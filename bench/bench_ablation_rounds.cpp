@@ -1,0 +1,89 @@
+// E10 — ablation of Algorithm 1's round budget: the paper reserves
+// ζ = 2·40^k⌈ln^{k+1} m⌉ rounds per phase (a w.h.p. worst case); the
+// implementation stops as soon as a phase's transactions commit
+// (DESIGN.md §4.5). This bench measures how many rounds are actually used
+// and how often the derandomized fallback fires.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "core/generators.hpp"
+#include "core/validate.hpp"
+#include "graph/metric.hpp"
+#include "sched/cluster.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dtm;
+
+void print_series() {
+  std::cout << "\n=== E10 — Algorithm 1 round budget ablation ===\n"
+               "rounds actually needed vs the theoretical per-phase budget "
+               "ζ = 2·40^k·⌈ln^{k+1} m⌉\n\n";
+  Table table({"alpha", "beta", "k", "sigma", "phases", "rounds(mean)",
+               "rounds(max)", "forced(mean)", "zeta(theory)"});
+  const std::size_t alpha = 8;
+  for (std::size_t beta : {4u, 8u}) {
+    for (std::size_t k : {1u, 2u}) {
+      for (std::size_t sigma : {2u, 4u, 8u}) {
+        const ClusterGraph topo(alpha, beta, static_cast<Weight>(beta));
+        const DenseMetric metric(topo.graph);
+        Stats rounds, forced, phases;
+        for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+          Rng rng(seed * 71 + sigma);
+          const Instance inst =
+              generate_cluster_spread(topo, 3 * alpha, k, sigma, rng);
+          ClusterSchedulerOptions opts;
+          opts.approach = ClusterApproach::kRandomized;
+          opts.seed = seed;
+          ClusterScheduler sched(topo, opts);
+          const Schedule s = sched.run(inst, metric);
+          DTM_REQUIRE(validate(inst, metric, s).ok, "infeasible schedule");
+          rounds.add(static_cast<double>(sched.last_stats().total_rounds));
+          forced.add(static_cast<double>(sched.last_stats().forced_rounds));
+          phases.add(static_cast<double>(sched.last_stats().phases));
+        }
+        const double m = static_cast<double>(
+            std::max(topo.num_nodes(), std::size_t{3} * alpha));
+        const double zeta =
+            2.0 * std::pow(40.0, static_cast<double>(k)) *
+            std::ceil(std::pow(std::log(m), static_cast<double>(k + 1)));
+        table.add_row(alpha, beta, k, sigma, phases.mean(), rounds.mean(),
+                      rounds.max(), forced.mean(), zeta);
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n(early termination is Las-Vegas-safe: feasibility never "
+               "depends on the round budget)\n";
+}
+
+void BM_RandomizedRounds(benchmark::State& state) {
+  const auto sigma = static_cast<std::size_t>(state.range(0));
+  const ClusterGraph topo(8, 4, 4);
+  const DenseMetric metric(topo.graph);
+  Rng rng(5);
+  const Instance inst = generate_cluster_spread(topo, 24, 2, sigma, rng);
+  for (auto _ : state) {
+    ClusterSchedulerOptions opts;
+    opts.approach = ClusterApproach::kRandomized;
+    ClusterScheduler sched(topo, opts);
+    const Schedule s = sched.run(inst, metric);
+    benchmark::DoNotOptimize(s.commit_time.data());
+  }
+}
+BENCHMARK(BM_RandomizedRounds)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

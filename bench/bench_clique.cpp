@@ -1,0 +1,89 @@
+// E1 — Theorem 1 (Clique): the greedy schedule is an O(k) approximation.
+//
+// Series: for each (n, k, w), mean certified lower bound, mean makespan of
+// the paper-rule greedy schedule, their ratio, and the proven O(k) factor.
+// Expected shape: ratio roughly flat in n, growing at most linearly in k,
+// always under the k+2 accounting of Theorem 1's proof.
+#include "bench_common.hpp"
+
+#include "core/generators.hpp"
+#include "graph/topologies/clique.hpp"
+#include "sched/greedy.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dtm;
+
+void print_series() {
+  benchutil::print_header(
+      "E1 / Theorem 1 — Clique",
+      "greedy is O(k)-approximate; ratio should track k, not n");
+  Table table({"n", "w", "k", "LB(mean)", "makespan(mean)", "ratio(mean)",
+               "ratio(max)", "paper k+2"});
+  for (std::size_t n : {32u, 64u, 128u}) {
+    const Clique topo(n);
+    const DenseMetric metric(topo.graph);
+    for (std::size_t w : {8u, 16u}) {
+      for (std::size_t k : {1u, 2u, 4u, 8u}) {
+        if (k > w) continue;
+        const auto summary = benchutil::run_trials(
+            metric,
+            [&](std::uint64_t seed) {
+              Rng rng(seed);
+              return generate_uniform(
+                  topo.graph,
+                  {.num_objects = w,
+                   .objects_per_txn = k,
+                   .placement = ObjectPlacement::kRandomNode},
+                  rng);
+            },
+            [&](std::uint64_t seed) {
+              GreedyOptions opts;
+              opts.seed = seed;
+              return std::make_unique<GreedyScheduler>(opts);
+            },
+            /*trials=*/5, /*seed0=*/1000 * n + 10 * w + k);
+        table.add_row(n, w, k, summary.lower_bound.mean(),
+                      summary.makespan.mean(), summary.ratio.mean(),
+                      summary.ratio.max(), k + 2);
+      }
+    }
+  }
+  table.print(std::cout);
+}
+
+void BM_GreedyOnClique(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const Clique topo(n);
+  const DenseMetric metric(topo.graph);
+  Rng rng(7);
+  const Instance inst = generate_uniform(
+      topo.graph, {.num_objects = 16, .objects_per_txn = k}, rng);
+  double ratio = 0;
+  for (auto _ : state) {
+    GreedyScheduler sched;
+    const Schedule s = sched.run(inst, metric);
+    benchmark::DoNotOptimize(s.commit_time.data());
+    const InstanceBounds lb = compute_bounds(inst, metric);
+    ratio = static_cast<double>(s.makespan()) /
+            static_cast<double>(std::max<Time>(lb.makespan_lb, 1));
+  }
+  state.counters["ratio"] = ratio;
+}
+BENCHMARK(BM_GreedyOnClique)
+    ->Args({64, 2})
+    ->Args({64, 8})
+    ->Args({256, 2})
+    ->Args({256, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

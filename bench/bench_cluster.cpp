@@ -1,0 +1,162 @@
+// E5 — Theorem 4 + Algorithm 1 + Fig. 3 (Cluster): the scheduler is an
+// O(min(kβ, 40^k ln^k m)) approximation w.h.p.
+//
+// Series 1 (crossover): fixed α, k, σ; sweep β. Approach 1's ratio grows
+// with β while Approach 2's stays roughly flat, so they cross; the auto
+// selector should track the minimum of the two.
+// Series 2 (locality): single-cluster objects -> O(k) regardless of γ.
+#include "bench_common.hpp"
+
+#include "core/generators.hpp"
+#include "graph/topologies/cluster.hpp"
+#include "sched/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dtm;
+
+std::unique_ptr<Scheduler> make_cluster_sched(const ClusterGraph& topo,
+                                              ClusterApproach ap,
+                                              std::uint64_t seed) {
+  ClusterSchedulerOptions opts;
+  opts.approach = ap;
+  opts.seed = seed;
+  return std::make_unique<ClusterScheduler>(topo, opts);
+}
+
+void crossover_series() {
+  benchutil::print_header(
+      "E5a / Theorem 4 — Cluster approach crossover",
+      "Approach 1 is O(kβ), Approach 2 is O(40^k ln^k m); sweeping β shows "
+      "the crossover and the auto selector tracking the min");
+  Table table({"alpha", "beta", "gamma", "k", "sigma(req)", "approach",
+               "LB(mean)", "makespan(mean)", "ratio(mean)"});
+  const std::size_t alpha = 8, sigma = 4;
+  // k = 1 reaches the theoretical crossover kβ ≈ 40·ln m at feasible β;
+  // k = 2 shows the regime where Approach 1 stays ahead (40^k explodes).
+  const std::pair<std::size_t, std::vector<std::size_t>> sweeps[] = {
+      {1, {8, 32, 128, 256}},
+      {2, {2, 4, 8, 16}},
+  };
+  for (const auto& [k, betas] : sweeps) {
+    for (std::size_t beta : betas) {
+      const ClusterGraph topo(alpha, beta, static_cast<Weight>(beta));
+      const DenseMetric metric(topo.graph);
+      const auto make_inst = [&, k = k](std::uint64_t seed) {
+        Rng rng(seed);
+        return generate_cluster_spread(topo, 3 * alpha, k, sigma, rng);
+      };
+      for (auto [name, ap] :
+           {std::pair{"greedy(A1)", ClusterApproach::kGreedy},
+            std::pair{"random(A2)", ClusterApproach::kRandomized},
+            std::pair{"auto", ClusterApproach::kAuto},
+            std::pair{"best(min)", ClusterApproach::kBest}}) {
+        const auto summary = benchutil::run_trials(
+            metric, make_inst,
+            [&](std::uint64_t seed) {
+              return make_cluster_sched(topo, ap, seed);
+            },
+            /*trials=*/5, /*seed0=*/40 * beta + k);
+        table.add_row(alpha, beta, beta, k, sigma, name,
+                      summary.lower_bound.mean(), summary.makespan.mean(),
+                      summary.ratio.mean());
+      }
+    }
+  }
+  table.print(std::cout);
+}
+
+void locality_series() {
+  benchutil::print_header(
+      "E5b / Theorem 4 first case — single-cluster objects",
+      "when every object stays in one cluster, greedy is O(k) and the "
+      "bridge weight γ does not appear in the makespan");
+  Table table({"alpha", "beta", "gamma", "LB(mean)", "makespan(mean)",
+               "ratio(mean)", "paper k+2"});
+  const std::size_t alpha = 6, beta = 8, k = 2;
+  for (Weight gamma : {8, 64, 512}) {
+    const ClusterGraph topo(alpha, beta, gamma);
+    const DenseMetric metric(topo.graph);
+    const auto summary = benchutil::run_trials(
+        metric,
+        [&](std::uint64_t seed) {
+          Rng rng(seed);
+          return generate_cluster_local(topo, 4 * alpha, k, rng);
+        },
+        [&](std::uint64_t seed) {
+          return make_cluster_sched(topo, ClusterApproach::kAuto, seed);
+        },
+        /*trials=*/5, /*seed0=*/static_cast<std::uint64_t>(gamma));
+    table.add_row(alpha, beta, gamma, summary.lower_bound.mean(),
+                  summary.makespan.mean(), summary.ratio.mean(), k + 2);
+  }
+  table.print(std::cout);
+}
+
+void sigma_series() {
+  benchutil::print_header(
+      "E5c / Theorem 4 — spread sweep",
+      "ratio vs σ (clusters per object): both approaches' makespans scale "
+      "with σγ, so the ratio stays bounded as σ grows");
+  Table table({"sigma(req)", "sigma(real)", "approach", "LB(mean)",
+               "makespan(mean)", "ratio(mean)"});
+  const std::size_t alpha = 8, beta = 4, k = 2;
+  const ClusterGraph topo(alpha, beta, static_cast<Weight>(beta));
+  const DenseMetric metric(topo.graph);
+  for (std::size_t sigma : {1u, 2u, 4u, 8u}) {
+    std::size_t realized = 0;
+    const auto make_inst = [&](std::uint64_t seed) {
+      Rng rng(seed);
+      Instance inst = generate_cluster_spread(topo, 3 * alpha, k, sigma, rng);
+      realized = std::max(realized, max_cluster_spread(topo, inst));
+      return inst;
+    };
+    for (auto [name, ap] : {std::pair{"greedy(A1)", ClusterApproach::kGreedy},
+                            std::pair{"random(A2)", ClusterApproach::kRandomized}}) {
+      const auto summary = benchutil::run_trials(
+          metric, make_inst,
+          [&](std::uint64_t seed) {
+            return make_cluster_sched(topo, ap, seed);
+          },
+          /*trials=*/5, /*seed0=*/17 * sigma + 1);
+      table.add_row(sigma, realized, name, summary.lower_bound.mean(),
+                    summary.makespan.mean(), summary.ratio.mean());
+    }
+  }
+  table.print(std::cout);
+}
+
+void BM_ClusterScheduler(benchmark::State& state) {
+  const auto beta = static_cast<std::size_t>(state.range(0));
+  const bool randomized = state.range(1) != 0;
+  const ClusterGraph topo(8, beta, static_cast<Weight>(beta));
+  const DenseMetric metric(topo.graph);
+  Rng rng(11);
+  const Instance inst = generate_cluster_spread(topo, 24, 2, 4, rng);
+  for (auto _ : state) {
+    auto sched = make_cluster_sched(
+        topo,
+        randomized ? ClusterApproach::kRandomized : ClusterApproach::kGreedy,
+        13);
+    const Schedule s = sched->run(inst, metric);
+    benchmark::DoNotOptimize(s.commit_time.data());
+  }
+}
+BENCHMARK(BM_ClusterScheduler)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  crossover_series();
+  locality_series();
+  sigma_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared helpers for the experiment benches (DESIGN.md §3).
+//
+// Every bench binary does two things:
+//  1. prints the experiment's paper-style series (a Table of parameters ->
+//     lower bound, measured makespan, ratio, proven bound) over several
+//     seeded trials — these are the rows recorded in EXPERIMENTS.md;
+//  2. registers google-benchmark timings for the scheduler itself.
+//
+// Schedules are validated on every trial; an infeasible schedule aborts the
+// bench (a benchmark of a wrong answer is meaningless).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "core/metrics.hpp"
+#include "core/validate.hpp"
+#include "lb/bounds.hpp"
+#include "sched/scheduler.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace dtm::benchutil {
+
+struct TrialSummary {
+  Stats makespan;
+  Stats lower_bound;
+  Stats ratio;
+  Stats communication;
+};
+
+/// Runs `trials` seeded repetitions: build instance -> schedule -> validate
+/// -> bound -> accumulate. `make_instance(seed)` returns a fresh instance;
+/// `make_scheduler(seed)` a fresh scheduler.
+inline TrialSummary run_trials(
+    const Metric& metric,
+    const std::function<Instance(std::uint64_t)>& make_instance,
+    const std::function<std::unique_ptr<Scheduler>(std::uint64_t)>&
+        make_scheduler,
+    int trials, std::uint64_t seed0) {
+  TrialSummary out;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(t);
+    const Instance inst = make_instance(seed);
+    auto sched = make_scheduler(seed);
+    const Schedule s = sched->run(inst, metric);
+    const ValidationResult vr = validate(inst, metric, s);
+    DTM_REQUIRE(vr.ok, "bench produced infeasible schedule: " << vr.summary());
+    const InstanceBounds lb = compute_bounds(inst, metric);
+    const auto mk = static_cast<double>(s.makespan());
+    const auto bound = static_cast<double>(std::max<Time>(lb.makespan_lb, 1));
+    out.makespan.add(mk);
+    out.lower_bound.add(bound);
+    out.ratio.add(mk / bound);
+    out.communication.add(
+        static_cast<double>(compute_metrics(inst, metric, s).communication));
+  }
+  return out;
+}
+
+/// Prints a section header so bench output reads like the paper's tables.
+inline void print_header(const std::string& experiment,
+                         const std::string& claim) {
+  std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+}  // namespace dtm::benchutil

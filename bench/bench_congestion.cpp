@@ -1,0 +1,214 @@
+// E13 — link congestion (paper's open question #2: bounded-capacity links).
+//
+// The §2.1 model allows unlimited messages per link per step. This bench
+// measures how hard each schedule leans on that assumption: the peak
+// number of objects simultaneously crossing one link. A schedule with peak
+// load L stretches by at most L on a serializing network, so small peaks
+// mean the paper's bounds survive capacity limits nearly unchanged.
+//
+// Expected shape: the specialized schedules (line/grid) keep peaks low
+// (objects move in disjoint regions); hub topologies (star center) and
+// makespan-aggressive schedules concentrate load.
+#include "bench_common.hpp"
+
+#include "core/generators.hpp"
+#include "graph/topologies/grid.hpp"
+#include "graph/topologies/line.hpp"
+#include "graph/topologies/star.hpp"
+#include "sched/baseline.hpp"
+#include "sched/grid.hpp"
+#include "sched/line.hpp"
+#include "sched/star.hpp"
+#include "sim/capacity_sim.hpp"
+#include "sim/congestion.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dtm;
+
+void measure(const char* topology, const Graph& g, const Metric& metric,
+             const std::function<Instance(std::uint64_t)>& make_inst,
+             const std::function<std::unique_ptr<Scheduler>()>& make_sched,
+             Table& table) {
+  Stats makespan, peak, flow;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance inst = make_inst(seed);
+    auto sched = make_sched();
+    const Schedule s = sched->run(inst, metric);
+    DTM_REQUIRE(validate(inst, metric, s).ok, "infeasible schedule");
+    const CongestionReport r = analyze_congestion(inst, metric, s);
+    makespan.add(static_cast<double>(s.makespan()));
+    peak.add(static_cast<double>(r.peak_load));
+    flow.add(static_cast<double>(r.total_flow));
+  }
+  auto sched = make_sched();
+  table.add_row(topology, sched->name(), makespan.mean(), peak.mean(),
+                peak.max(), flow.mean());
+  (void)g;
+}
+
+void print_series() {
+  benchutil::print_header(
+      "E13 — link congestion under the unbounded-capacity model",
+      "peak simultaneous objects per link; a peak of L means at most an "
+      "L-fold stretch on serializing links");
+  Table table({"topology", "scheduler", "makespan(mean)", "peak(mean)",
+               "peak(max)", "flow(mean)"});
+  {
+    const Line topo(64);
+    const DenseMetric metric(topo.graph);
+    auto make_inst = [&](std::uint64_t seed) {
+      Rng rng(seed);
+      return generate_uniform(topo.graph,
+                              {.num_objects = 12, .objects_per_txn = 2}, rng);
+    };
+    measure("line64", topo.graph, metric, make_inst,
+            [&] { return std::make_unique<LineScheduler>(topo); }, table);
+    measure("line64", topo.graph, metric, make_inst,
+            [&] {
+              GreedyOptions o;
+              o.rule = ColoringRule::kFirstFit;
+              return std::make_unique<GreedyScheduler>(o);
+            },
+            table);
+  }
+  {
+    const Grid topo(12);
+    const DenseMetric metric(topo.graph);
+    auto make_inst = [&](std::uint64_t seed) {
+      Rng rng(seed);
+      return generate_uniform(topo.graph,
+                              {.num_objects = 12, .objects_per_txn = 2}, rng);
+    };
+    measure("grid12", topo.graph, metric, make_inst,
+            [&] { return std::make_unique<GridScheduler>(topo); }, table);
+    measure("grid12", topo.graph, metric, make_inst,
+            [&] {
+              GreedyOptions o;
+              o.rule = ColoringRule::kFirstFit;
+              return std::make_unique<GreedyScheduler>(o);
+            },
+            table);
+    measure("grid12", topo.graph, metric, make_inst,
+            [&] {
+              return std::make_unique<OrderScheduler>(
+                  OrderOptions{false, true, 1});
+            },
+            table);
+  }
+  {
+    const Star topo(8, 8);
+    const DenseMetric metric(topo.graph);
+    auto make_inst = [&](std::uint64_t seed) {
+      Rng rng(seed);
+      return generate_uniform(topo.graph,
+                              {.num_objects = 12, .objects_per_txn = 2}, rng);
+    };
+    measure("star8x8", topo.graph, metric, make_inst,
+            [&] { return std::make_unique<StarScheduler>(topo); }, table);
+    measure("star8x8", topo.graph, metric, make_inst,
+            [&] {
+              GreedyOptions o;
+              o.rule = ColoringRule::kFirstFit;
+              return std::make_unique<GreedyScheduler>(o);
+            },
+            table);
+  }
+  table.print(std::cout);
+}
+
+void capacity_series() {
+  benchutil::print_header(
+      "E13b — realized makespan under bounded link capacity",
+      "re-executing each policy's visit orders with FIFO links of capacity "
+      "C; stretch = makespan(C) / makespan(unbounded)");
+  Table table({"topology", "scheduler", "unbounded", "C=4", "C=2", "C=1",
+               "stretch C=1"});
+  auto run_capacities = [&](const char* topology, const Graph& g,
+                            const Metric& metric,
+                            const std::function<Instance(std::uint64_t)>& mk,
+                            const std::function<std::unique_ptr<Scheduler>()>&
+                                make_sched) {
+    Stats unbounded, c4, c2, c1;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const Instance inst = mk(seed);
+      auto sched = make_sched();
+      const Schedule s = sched->run(inst, metric);
+      for (auto [cap, stats] : {std::pair<std::size_t, Stats*>{0, &unbounded},
+                                {4, &c4},
+                                {2, &c2},
+                                {1, &c1}}) {
+        const CapacitySimResult r =
+            simulate_with_capacity(inst, metric, s, {.capacity = cap});
+        DTM_REQUIRE(r.ok, "capacity sim failed: " << r.error);
+        stats->add(static_cast<double>(r.makespan));
+      }
+    }
+    auto sched = make_sched();
+    table.add_row(topology, sched->name(), unbounded.mean(), c4.mean(),
+                  c2.mean(), c1.mean(), c1.mean() / unbounded.mean());
+    (void)g;
+  };
+  {
+    const Grid topo(12);
+    const DenseMetric metric(topo.graph);
+    auto mk = [&](std::uint64_t seed) {
+      Rng rng(seed);
+      return generate_uniform(topo.graph,
+                              {.num_objects = 12, .objects_per_txn = 2}, rng);
+    };
+    run_capacities("grid12", topo.graph, metric, mk,
+                   [&] { return std::make_unique<GridScheduler>(topo); });
+    run_capacities("grid12", topo.graph, metric, mk, [&] {
+      GreedyOptions o;
+      o.rule = ColoringRule::kFirstFit;
+      return std::make_unique<GreedyScheduler>(o);
+    });
+  }
+  {
+    const Star topo(8, 8);
+    const DenseMetric metric(topo.graph);
+    auto mk = [&](std::uint64_t seed) {
+      Rng rng(seed);
+      return generate_uniform(topo.graph,
+                              {.num_objects = 12, .objects_per_txn = 2}, rng);
+    };
+    run_capacities("star8x8", topo.graph, metric, mk,
+                   [&] { return std::make_unique<StarScheduler>(topo); });
+    run_capacities("star8x8", topo.graph, metric, mk, [&] {
+      GreedyOptions o;
+      o.rule = ColoringRule::kFirstFit;
+      return std::make_unique<GreedyScheduler>(o);
+    });
+  }
+  table.print(std::cout);
+}
+
+void BM_CongestionAnalysis(benchmark::State& state) {
+  const Grid topo(static_cast<std::size_t>(state.range(0)));
+  const DenseMetric metric(topo.graph);
+  Rng rng(5);
+  const Instance inst = generate_uniform(
+      topo.graph, {.num_objects = 16, .objects_per_txn = 2}, rng);
+  GreedyOptions o;
+  o.rule = ColoringRule::kFirstFit;
+  GreedyScheduler sched(o);
+  const Schedule s = sched.run(inst, metric);
+  for (auto _ : state) {
+    const CongestionReport r = analyze_congestion(inst, metric, s);
+    benchmark::DoNotOptimize(r.peak_load);
+  }
+}
+BENCHMARK(BM_CongestionAnalysis)->Arg(8)->Arg(16)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  capacity_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// E16 — data-flow vs control-flow (§1.2 related work; Palmieri et al. [27]
+// study this comparison experimentally for partially-replicated DTMs).
+//
+// Same workloads, two execution models: the paper's data-flow (objects
+// travel, §2.3 greedy + compaction) vs control-flow (objects pinned home,
+// serial RPC round trips). Expected shape: data-flow wins when objects are
+// shared by many far-away transactions (ℓ large — each access would pay a
+// full round trip, while a moving object pays each inter-requester hop
+// once); control-flow closes the gap when sharing is light or requesters
+// sit near the object's home.
+#include "bench_common.hpp"
+
+#include "core/generators.hpp"
+#include "graph/topologies/clique.hpp"
+#include "graph/topologies/grid.hpp"
+#include "sched/control_flow.hpp"
+#include "sched/greedy.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dtm;
+
+void series(const char* topology, const Graph& g, const Metric& metric,
+            std::size_t w, std::size_t k, bool hotspot, Table& table) {
+  Stats df_mk, cf_mk, df_comm, cf_comm;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed * 97);
+    const Instance inst =
+        hotspot ? generate_hotspot(g, w, k, rng)
+                : generate_uniform(
+                      g,
+                      {.num_objects = w,
+                       .objects_per_txn = k,
+                       .placement = ObjectPlacement::kRandomNode},
+                      rng);
+    GreedyOptions o;
+    o.rule = ColoringRule::kFirstFit;
+    o.compact = true;
+    GreedyScheduler df(o);
+    const Schedule s = df.run(inst, metric);
+    DTM_REQUIRE(validate(inst, metric, s).ok, "infeasible data-flow schedule");
+    const ScheduleMetrics sm = compute_metrics(inst, metric, s);
+    const ControlFlowResult cf =
+        schedule_control_flow(inst, metric, ControlFlowOrder::kNearestFirst);
+    DTM_REQUIRE(check_control_flow(inst, metric, cf).empty(),
+                "inconsistent control-flow result");
+    df_mk.add(static_cast<double>(sm.makespan));
+    df_comm.add(static_cast<double>(sm.communication));
+    cf_mk.add(static_cast<double>(cf.makespan()));
+    cf_comm.add(static_cast<double>(cf.communication));
+  }
+  table.add_row(topology, w, k, hotspot ? "hotspot" : "uniform", df_mk.mean(),
+                cf_mk.mean(), cf_mk.mean() / df_mk.mean(), df_comm.mean(),
+                cf_comm.mean());
+}
+
+void print_series() {
+  benchutil::print_header(
+      "E16 — data-flow vs control-flow execution (§1.2, ref [27])",
+      "data-flow = §2.3 greedy with mobile objects; control-flow = serial "
+      "RPC round trips to pinned objects (nearest-first service)");
+  Table table({"topology", "w", "k", "workload", "data-flow mk",
+               "control-flow mk", "cf/df", "df comm", "cf comm"});
+  {
+    const Clique topo(48);
+    const DenseMetric metric(topo.graph);
+    series("clique48", topo.graph, metric, 24, 2, false, table);
+    series("clique48", topo.graph, metric, 6, 2, false, table);
+    series("clique48", topo.graph, metric, 6, 2, true, table);
+  }
+  {
+    const Grid topo(10);
+    const DenseMetric metric(topo.graph);
+    series("grid10", topo.graph, metric, 24, 2, false, table);
+    series("grid10", topo.graph, metric, 6, 2, false, table);
+    series("grid10", topo.graph, metric, 6, 2, true, table);
+  }
+  table.print(std::cout);
+}
+
+void BM_ControlFlow(benchmark::State& state) {
+  const Grid topo(static_cast<std::size_t>(state.range(0)));
+  const DenseMetric metric(topo.graph);
+  Rng rng(3);
+  const Instance inst = generate_uniform(
+      topo.graph, {.num_objects = 12, .objects_per_txn = 2}, rng);
+  for (auto _ : state) {
+    const ControlFlowResult r = schedule_control_flow(inst, metric);
+    benchmark::DoNotOptimize(r.commit_time.data());
+  }
+}
+BENCHMARK(BM_ControlFlow)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

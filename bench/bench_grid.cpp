@@ -1,0 +1,84 @@
+// E4 — Theorem 3 + Fig. 2 (Grid): the subgrid schedule is an O(k·log m)
+// approximation w.h.p. for random k-subset workloads.
+//
+// Series: ratio vs the certified LB across n, w, k, with the paper factor
+// k·ln m for reference; also the chosen subgrid side √ξ. Expected shape:
+// ratio grows with k and only logarithmically with m = max(n, w).
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "core/generators.hpp"
+#include "graph/topologies/grid.hpp"
+#include "sched/greedy.hpp"
+#include "sched/grid.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dtm;
+
+void print_series() {
+  benchutil::print_header(
+      "E4 / Theorem 3 — Grid",
+      "subgrid schedule is O(k·log m)-approximate w.h.p. on random "
+      "k-subsets (m = max(n, w))");
+  Table table({"n(side)", "w", "k", "sqrt_xi", "LB(mean)", "makespan(mean)",
+               "ratio(mean)", "paper k·ln m"});
+  for (std::size_t n : {8u, 16u, 24u}) {
+    const Grid topo(n);
+    const DenseMetric metric(topo.graph);
+    for (std::size_t w : {8u, 32u}) {
+      for (std::size_t k : {1u, 2u, 3u}) {
+        if (k > w) continue;
+        GridScheduler probe(topo);  // to report the chosen side
+        {
+          Rng rng(1);
+          const Instance inst = generate_uniform(
+              topo.graph, {.num_objects = w, .objects_per_txn = k}, rng);
+          (void)probe.run(inst, metric);
+        }
+        const auto summary = benchutil::run_trials(
+            metric,
+            [&](std::uint64_t seed) {
+              Rng rng(seed);
+              return generate_uniform(
+                  topo.graph, {.num_objects = w, .objects_per_txn = k}, rng);
+            },
+            [&](std::uint64_t) { return std::make_unique<GridScheduler>(topo); },
+            /*trials=*/5, /*seed0=*/70 * n + 5 * w + k);
+        const double m = static_cast<double>(std::max(n * 1, w));
+        table.add_row(n, w, k, probe.last_subgrid_side(),
+                      summary.lower_bound.mean(), summary.makespan.mean(),
+                      summary.ratio.mean(),
+                      static_cast<double>(k) * std::log(std::max(m, 2.0)));
+      }
+    }
+  }
+  table.print(std::cout);
+}
+
+void BM_GridScheduler(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Grid topo(n);
+  const DenseMetric metric(topo.graph);
+  Rng rng(9);
+  const Instance inst = generate_uniform(
+      topo.graph, {.num_objects = 16, .objects_per_txn = 2}, rng);
+  for (auto _ : state) {
+    GridScheduler sched(topo);
+    const Schedule s = sched.run(inst, metric);
+    benchmark::DoNotOptimize(s.commit_time.data());
+  }
+}
+BENCHMARK(BM_GridScheduler)->Arg(8)->Arg(16)->Arg(24)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E2 — §3.1 (Hypercube / Butterfly / diameter-d graphs): greedy gives an
+// O(k·log n) (generally O(k·d)) approximation.
+//
+// Series: hypercubes and butterflies of growing dimension. Expected shape:
+// ratio bounded by ~k·d and roughly (ratio / clique ratio) = O(d).
+#include "bench_common.hpp"
+
+#include "core/generators.hpp"
+#include "graph/shortest_paths.hpp"
+#include "graph/topologies/butterfly.hpp"
+#include "graph/topologies/hypercube.hpp"
+#include "sched/greedy.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dtm;
+
+template <typename Topo>
+void series_for(const char* name, const Topo& topo, std::size_t w,
+                Table& table) {
+  const DenseMetric metric(topo.graph);
+  const Weight d = diameter(topo.graph);
+  for (std::size_t k : {1u, 2u, 4u}) {
+    const auto summary = benchutil::run_trials(
+        metric,
+        [&](std::uint64_t seed) {
+          Rng rng(seed);
+          return generate_uniform(
+              topo.graph,
+              {.num_objects = w,
+               .objects_per_txn = k,
+               .placement = ObjectPlacement::kRandomNode},
+              rng);
+        },
+        [&](std::uint64_t seed) {
+          GreedyOptions opts;
+          opts.seed = seed;
+          return std::make_unique<GreedyScheduler>(opts);
+        },
+        /*trials=*/5, /*seed0=*/500 * topo.graph.num_nodes() + k);
+    table.add_row(name, topo.graph.num_nodes(), d, k,
+                  summary.lower_bound.mean(), summary.makespan.mean(),
+                  summary.ratio.mean(),
+                  static_cast<double>(k) * static_cast<double>(d) + 2.0);
+  }
+}
+
+void print_series() {
+  benchutil::print_header(
+      "E2 / §3.1 — Hypercube & Butterfly",
+      "greedy is O(k·d)-approximate with d = diameter = Θ(log n)");
+  Table table({"topology", "n", "diam", "k", "LB(mean)", "makespan(mean)",
+               "ratio(mean)", "paper k·d+2"});
+  for (std::size_t dim : {4u, 6u, 8u}) {
+    series_for("hypercube", Hypercube(dim), 16, table);
+  }
+  for (std::size_t dim : {2u, 3u, 4u}) {
+    series_for("butterfly", Butterfly(dim), 16, table);
+  }
+  table.print(std::cout);
+}
+
+void BM_GreedyOnHypercube(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const Hypercube topo(dim);
+  const DenseMetric metric(topo.graph);
+  Rng rng(3);
+  const Instance inst = generate_uniform(
+      topo.graph, {.num_objects = 16, .objects_per_txn = 2}, rng);
+  for (auto _ : state) {
+    GreedyScheduler sched;
+    const Schedule s = sched.run(inst, metric);
+    benchmark::DoNotOptimize(s.commit_time.data());
+  }
+}
+BENCHMARK(BM_GreedyOnHypercube)->Arg(4)->Arg(6)->Arg(8)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// E3 — Theorem 2 + Fig. 1 (Line): the two-phase line schedule is
+// asymptotically optimal (within a constant of ℓ, the longest object walk).
+//
+// Series: makespan vs ℓ across sizes and k; the ratio makespan/ℓ must stay
+// <= 4 and be flat in n. A global greedy baseline shows what the
+// specialized schedule buys.
+#include "bench_common.hpp"
+
+#include "core/generators.hpp"
+#include "graph/topologies/line.hpp"
+#include "sched/greedy.hpp"
+#include "sched/line.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dtm;
+
+void print_series() {
+  benchutil::print_header(
+      "E3 / Theorem 2 — Line",
+      "two-phase schedule runs in <= 4ℓ steps (asymptotically optimal); "
+      "ratio vs the certified LB should be a flat constant <= ~4");
+  Table table({"n", "k", "algo", "LB(mean)", "makespan(mean)", "ratio(mean)",
+               "ratio(max)", "paper bound"});
+  for (std::size_t n : {64u, 256u, 1024u}) {
+    const Line topo(n);
+    const DenseMetric metric(topo.graph);
+    for (std::size_t k : {1u, 2u, 4u}) {
+      const auto make_inst = [&](std::uint64_t seed) {
+        Rng rng(seed);
+        return generate_uniform(topo.graph,
+                                {.num_objects = 16, .objects_per_txn = k},
+                                rng);
+      };
+      const auto line_summary = benchutil::run_trials(
+          metric, make_inst,
+          [&](std::uint64_t) { return std::make_unique<LineScheduler>(topo); },
+          /*trials=*/5, /*seed0=*/90 * n + k);
+      table.add_row(n, k, "line(§4)", line_summary.lower_bound.mean(),
+                    line_summary.makespan.mean(), line_summary.ratio.mean(),
+                    line_summary.ratio.max(), "4ℓ");
+      const auto greedy_summary = benchutil::run_trials(
+          metric, make_inst,
+          [&](std::uint64_t seed) {
+            GreedyOptions opts;
+            opts.seed = seed;
+            return std::make_unique<GreedyScheduler>(opts);
+          },
+          /*trials=*/5, /*seed0=*/90 * n + k);
+      table.add_row(n, k, "greedy(§2.3)", greedy_summary.lower_bound.mean(),
+                    greedy_summary.makespan.mean(),
+                    greedy_summary.ratio.mean(), greedy_summary.ratio.max(),
+                    "O(k·ℓ·h_max)");
+    }
+  }
+  table.print(std::cout);
+}
+
+void BM_LineScheduler(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Line topo(n);
+  const DenseMetric metric(topo.graph);
+  Rng rng(5);
+  const Instance inst = generate_uniform(
+      topo.graph, {.num_objects = 16, .objects_per_txn = 2}, rng);
+  for (auto _ : state) {
+    LineScheduler sched(topo);
+    const Schedule s = sched.run(inst, metric);
+    benchmark::DoNotOptimize(s.commit_time.data());
+  }
+}
+BENCHMARK(BM_LineScheduler)->Arg(64)->Arg(256)->Arg(1024)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

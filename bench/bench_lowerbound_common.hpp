@@ -1,0 +1,63 @@
+// Shared series printer for the §8 lower-bound experiments (E7 grid /
+// E8 tree).
+//
+// Theorem 6: on these instances every schedule runs Ω(n^{1/40}/log n) above
+// the objects' TSP tour lengths, while tours stay O(n^{4/5}) = O(s²).
+// The empirical series reports, per s:
+//   * max object tour length (feasible walk upper bound) and its ratio to
+//     the paper's 5s² cap (Lemma 10),
+//   * the best schedule makespan found (greedy first-fit + compaction),
+//   * gap = makespan / max tour — the quantity Theorem 6 proves cannot
+//     shrink to O(1) under any scheduler,
+//   * a per-block serialization floor s^{3/2} (every block's transactions
+//     share that block's A object, so each block alone needs s^{3/2} steps).
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/validate.hpp"
+#include "graph/metric.hpp"
+#include "lb/bounds.hpp"
+#include "lb/lb_instances.hpp"
+#include "sched/greedy.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace dtm::benchutil {
+
+inline void lower_bound_series(const char* title, bool tree,
+                               const std::vector<std::size_t>& sizes) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "tours stay O(s^2) while every schedule pays a growing gap "
+               "(Theorem 6)\n\n";
+  Table table({"s", "n", "max tour", "tour/5s^2", "block floor s^1.5",
+               "makespan(greedy-ff-compact)", "gap makespan/tour"});
+  for (std::size_t s : sizes) {
+    Rng rng(1234 + s);
+    const LowerBoundInstance li =
+        tree ? make_lb_tree(s, rng) : make_lb_grid(s, rng);
+    const auto metric = make_metric(li.graph());
+    const InstanceBounds bounds = compute_bounds(li.instance, *metric);
+
+    GreedyOptions opts;
+    opts.rule = ColoringRule::kFirstFit;
+    opts.compact = true;
+    GreedyScheduler sched(opts);
+    const Schedule sol = sched.run(li.instance, *metric);
+    const ValidationResult vr = validate(li.instance, *metric, sol);
+    DTM_REQUIRE(vr.ok, "infeasible §8 schedule: " << vr.summary());
+
+    const double tour = static_cast<double>(bounds.max_walk_upper());
+    const double cap = 5.0 * static_cast<double>(s) * static_cast<double>(s);
+    const double floor_block =
+        std::pow(static_cast<double>(s), 1.5);
+    const double mk = static_cast<double>(sol.makespan());
+    table.add_row(s, li.graph().num_nodes(), tour, tour / cap, floor_block,
+                  mk, mk / std::max(tour, 1.0));
+  }
+  table.print(std::cout);
+}
+
+}  // namespace dtm::benchutil

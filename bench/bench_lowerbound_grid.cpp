@@ -1,0 +1,31 @@
+// E7 — Theorem 6 + Fig. 5 (§8.1 grid construction): execution time cannot
+// track the objects' TSP tour lengths.
+#include <benchmark/benchmark.h>
+
+#include "bench_lowerbound_common.hpp"
+
+namespace {
+
+using namespace dtm;
+
+void BM_BuildLbGridInstance(benchmark::State& state) {
+  const auto s = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(7);
+    const LowerBoundInstance li = make_lb_grid(s, rng);
+    benchmark::DoNotOptimize(li.instance.num_transactions());
+  }
+}
+BENCHMARK(BM_BuildLbGridInstance)->Arg(4)->Arg(9)->Arg(16)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dtm::benchutil::lower_bound_series(
+      "E7 / Theorem 6 — §8.1 grid-of-blocks construction", /*tree=*/false,
+      {4, 9, 16, 25, 36});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// E8 — §8.2 + Fig. 6 (tree construction): the same tour-vs-makespan gap on
+// trees.
+#include <benchmark/benchmark.h>
+
+#include "bench_lowerbound_common.hpp"
+
+namespace {
+
+using namespace dtm;
+
+void BM_BuildLbTreeInstance(benchmark::State& state) {
+  const auto s = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(7);
+    const LowerBoundInstance li = make_lb_tree(s, rng);
+    benchmark::DoNotOptimize(li.instance.num_transactions());
+  }
+}
+BENCHMARK(BM_BuildLbTreeInstance)->Arg(4)->Arg(9)->Arg(16)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dtm::benchutil::lower_bound_series(
+      "E8 / §8.2 — tree-of-blocks construction", /*tree=*/true,
+      {4, 9, 16, 25, 36});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

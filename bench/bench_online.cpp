@@ -1,0 +1,141 @@
+// E12 — online extension (paper's open question #1): transactions released
+// over time, scheduler commits without future knowledge.
+//
+// Series: FIFO dispatch vs window-batched greedy (several window sizes) vs
+// the clairvoyant offline greedy on the same instances. Reported ratio is
+// makespan / offline-greedy makespan (an upper bound on the competitive
+// ratio vs OPT multiplied by the offline algorithm's own approximation).
+// Expected shape: batching with a window near the natural batch span beats
+// FIFO under bursts; all online variants stay within a small factor of
+// offline when the horizon is short, degrading as arrivals stretch out
+// (the makespan becomes arrival-dominated).
+#include "bench_common.hpp"
+
+#include "core/generators.hpp"
+#include "core/online.hpp"
+#include "graph/topologies/clique.hpp"
+#include "graph/topologies/grid.hpp"
+#include "sched/online.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dtm;
+
+struct OnlineRow {
+  double makespan_mean = 0;
+  double vs_offline_mean = 0;
+};
+
+template <typename MakeArrivals>
+OnlineRow run_online_trials(const Graph& g, const Metric& metric,
+                            OnlineScheduler& sched,
+                            const MakeArrivals& make_arrivals, int trials,
+                            std::uint64_t seed0) {
+  Stats makespan, vs_offline;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(t);
+    Rng rng(seed);
+    const Instance inst = generate_uniform(
+        g, {.num_objects = 8, .objects_per_txn = 2}, rng);
+    Rng arrival_rng(seed + 9999);
+    const ArrivalTimes arrival = make_arrivals(inst, arrival_rng);
+    const Schedule s = sched.run_online(inst, metric, arrival);
+    const auto vr = validate_online(inst, metric, arrival, s);
+    DTM_REQUIRE(vr.ok, "infeasible online schedule: " << vr.summary());
+
+    GreedyOptions gopts;
+    gopts.rule = ColoringRule::kFirstFit;
+    gopts.compact = true;
+    GreedyScheduler offline(gopts);
+    const Time off = offline.run(inst, metric).makespan();
+    makespan.add(static_cast<double>(s.makespan()));
+    vs_offline.add(static_cast<double>(s.makespan()) /
+                   static_cast<double>(std::max<Time>(off, 1)));
+  }
+  return {makespan.mean(), vs_offline.mean()};
+}
+
+void print_series() {
+  benchutil::print_header(
+      "E12 — online scheduling (open question #1)",
+      "FIFO dispatch vs window-batched §2.3 greedy vs clairvoyant offline; "
+      "ratio = makespan / offline greedy makespan");
+  Table table({"graph", "arrivals", "horizon", "algo", "makespan(mean)",
+               "vs offline(mean)"});
+  const Grid grid(10);
+  const DenseMetric grid_metric(grid.graph);
+  const Clique clique(64);
+  const DenseMetric clique_metric(clique.graph);
+
+  struct ArrivalKind {
+    const char* name;
+    Time horizon;
+    bool bursty;
+  };
+  const ArrivalKind kinds[] = {
+      {"all-at-0", 0, false},
+      {"uniform", 64, false},
+      {"uniform", 512, false},
+      {"bursty x4", 64, true},
+  };
+  for (const auto& [gname, graph, metric] :
+       {std::tuple<const char*, const Graph&, const Metric&>{
+            "grid10", grid.graph, grid_metric},
+        std::tuple<const char*, const Graph&, const Metric&>{
+            "clique64", clique.graph, clique_metric}}) {
+    for (const ArrivalKind& kind : kinds) {
+      auto make_arrivals = [&](const Instance& inst, Rng& rng) {
+        if (kind.horizon == 0) {
+          return ArrivalTimes(inst.num_transactions(), 0);
+        }
+        return kind.bursty
+                   ? generate_bursty_arrivals(inst.num_transactions(),
+                                              kind.horizon, 4, rng)
+                   : generate_arrivals(inst.num_transactions(), kind.horizon,
+                                       rng);
+      };
+      {
+        OnlineFifoScheduler fifo;
+        const OnlineRow row = run_online_trials(graph, metric, fifo,
+                                                make_arrivals, 5, 31);
+        table.add_row(gname, kind.name, kind.horizon, "fifo",
+                      row.makespan_mean, row.vs_offline_mean);
+      }
+      for (Time window : {Time{8}, Time{32}}) {
+        OnlineBatchScheduler batch({.window = window});
+        const OnlineRow row = run_online_trials(graph, metric, batch,
+                                                make_arrivals, 5, 31);
+        table.add_row(gname, kind.name, kind.horizon, batch.name(),
+                      row.makespan_mean, row.vs_offline_mean);
+      }
+    }
+  }
+  table.print(std::cout);
+}
+
+void BM_OnlineFifo(benchmark::State& state) {
+  const Grid grid(static_cast<std::size_t>(state.range(0)));
+  const DenseMetric metric(grid.graph);
+  Rng rng(3);
+  const Instance inst = generate_uniform(
+      grid.graph, {.num_objects = 8, .objects_per_txn = 2}, rng);
+  Rng arng(4);
+  const ArrivalTimes arrival =
+      generate_arrivals(inst.num_transactions(), 64, arng);
+  for (auto _ : state) {
+    OnlineFifoScheduler sched;
+    const Schedule s = sched.run_online(inst, metric, arrival);
+    benchmark::DoNotOptimize(s.commit_time.data());
+  }
+}
+BENCHMARK(BM_OnlineFifo)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// E6 — Theorem 5 + Fig. 4 (Star): the segment schedule is an
+// O(log β · min(kβ, c^k ln^k m)) approximation w.h.p.
+//
+// Series: ratio across (α, β, k) for both per-period strategies and the
+// auto selector. Expected shape: ratio grows ~log β (period count) times
+// the per-period cluster-style factor, and stays far below the naive
+// serial baseline.
+#include "bench_common.hpp"
+
+#include "core/generators.hpp"
+#include "graph/topologies/star.hpp"
+#include "sched/baseline.hpp"
+#include "sched/star.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dtm;
+
+void print_series() {
+  benchutil::print_header(
+      "E6 / Theorem 5 — Star",
+      "segment schedule is O(log β · min(kβ, c^k ln^k m))-approximate");
+  Table table({"alpha", "beta", "log2beta", "k", "strategy", "LB(mean)",
+               "makespan(mean)", "ratio(mean)"});
+  for (std::size_t alpha : {4u, 8u}) {
+    for (std::size_t beta : {8u, 32u}) {
+      const Star topo(alpha, beta);
+      const DenseMetric metric(topo.graph);
+      for (std::size_t k : {1u, 2u}) {
+        const auto make_inst = [&](std::uint64_t seed) {
+          Rng rng(seed);
+          return generate_uniform(topo.graph,
+                                  {.num_objects = 12, .objects_per_txn = k},
+                                  rng);
+        };
+        for (auto [name, strat] :
+             {std::pair{"greedy", StarStrategy::kGreedy},
+              std::pair{"random", StarStrategy::kRandomized},
+              std::pair{"auto", StarStrategy::kAuto},
+              std::pair{"best(min)", StarStrategy::kBest}}) {
+          const auto summary = benchutil::run_trials(
+              metric, make_inst,
+              [&, strat = strat](std::uint64_t seed) {
+                StarSchedulerOptions opts;
+                opts.strategy = strat;
+                opts.seed = seed;
+                return std::make_unique<StarScheduler>(topo, opts);
+              },
+              /*trials=*/5, /*seed0=*/100 * alpha + beta + k);
+          table.add_row(alpha, beta, topo.num_segments(), k, name,
+                        summary.lower_bound.mean(), summary.makespan.mean(),
+                        summary.ratio.mean());
+        }
+        // Naive serial baseline for contrast.
+        const auto serial = benchutil::run_trials(
+            metric, make_inst,
+            [&](std::uint64_t seed) {
+              return std::make_unique<OrderScheduler>(
+                  OrderOptions{false, true, seed});
+            },
+            /*trials=*/5, /*seed0=*/100 * alpha + beta + k);
+        table.add_row(alpha, beta, topo.num_segments(), k, "serial-baseline",
+                      serial.lower_bound.mean(), serial.makespan.mean(),
+                      serial.ratio.mean());
+      }
+    }
+  }
+  table.print(std::cout);
+}
+
+void locality_series() {
+  benchutil::print_header(
+      "E6b / §7 — ray-local objects",
+      "when objects stay on one ray, every period's segments are "
+      "independent and the star scheduler parallelizes across rays; the "
+      "serial baseline pays Θ(α·β)");
+  Table table({"alpha", "beta", "algo", "LB(mean)", "makespan(mean)",
+               "ratio(mean)"});
+  for (std::size_t alpha : {8u, 16u}) {
+    for (std::size_t beta : {16u, 32u}) {
+      const Star topo(alpha, beta);
+      const DenseMetric metric(topo.graph);
+      const auto make_inst = [&](std::uint64_t seed) {
+        Rng rng(seed);
+        return generate_star_ray_local(topo, 4 * alpha, 2, rng);
+      };
+      const auto star_summary = benchutil::run_trials(
+          metric, make_inst,
+          [&](std::uint64_t seed) {
+            StarSchedulerOptions opts;
+            opts.seed = seed;
+            return std::make_unique<StarScheduler>(topo, opts);
+          },
+          /*trials=*/5, /*seed0=*/7 * alpha + beta);
+      table.add_row(alpha, beta, "star(§7)", star_summary.lower_bound.mean(),
+                    star_summary.makespan.mean(), star_summary.ratio.mean());
+      const auto serial_summary = benchutil::run_trials(
+          metric, make_inst,
+          [&](std::uint64_t seed) {
+            return std::make_unique<OrderScheduler>(
+                OrderOptions{false, true, seed});
+          },
+          /*trials=*/5, /*seed0=*/7 * alpha + beta);
+      table.add_row(alpha, beta, "serial", serial_summary.lower_bound.mean(),
+                    serial_summary.makespan.mean(),
+                    serial_summary.ratio.mean());
+    }
+  }
+  table.print(std::cout);
+}
+
+void BM_StarScheduler(benchmark::State& state) {
+  const auto beta = static_cast<std::size_t>(state.range(0));
+  const Star topo(8, beta);
+  const DenseMetric metric(topo.graph);
+  Rng rng(15);
+  const Instance inst = generate_uniform(
+      topo.graph, {.num_objects = 12, .objects_per_txn = 2}, rng);
+  for (auto _ : state) {
+    StarScheduler sched(topo);
+    const Schedule s = sched.run(inst, metric);
+    benchmark::DoNotOptimize(s.commit_time.data());
+  }
+}
+BENCHMARK(BM_StarScheduler)->Arg(8)->Arg(32)->Arg(128)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  locality_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E15 — synchronicity factor (paper's conclusion: "if the system is not
+// completely synchronous, then our bounds are affected by the synchronicity
+// factor — maximum delay divided by minimum delay").
+//
+// Series: clique and hypercube with every edge weight jittered by a random
+// factor in [1, F]; greedy's measured ratio vs F. Expected shape: the
+// ratio grows at most linearly in the realized synchronicity factor (it is
+// exactly the h_max/h_min degradation of the §2.3 weighted-coloring bound).
+#include "bench_common.hpp"
+
+#include "core/generators.hpp"
+#include "graph/topologies/clique.hpp"
+#include "graph/topologies/hypercube.hpp"
+#include "graph/transform.hpp"
+#include "sched/greedy.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dtm;
+
+void series(const char* name, const Graph& base, Table& table) {
+  for (Weight factor : {1, 2, 4, 8, 16}) {
+    Stats ratio, realized;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      Rng jitter_rng(seed * 17);
+      const Graph g = jitter_weights(base, factor, jitter_rng);
+      const DenseMetric metric(g);
+      Rng rng(seed * 29);
+      const Instance inst = generate_uniform(
+          g, {.num_objects = 8, .objects_per_txn = 2}, rng);
+      GreedyOptions o;
+      o.rule = ColoringRule::kFirstFit;
+      GreedyScheduler sched(o);
+      const Schedule s = sched.run(inst, metric);
+      DTM_REQUIRE(validate(inst, metric, s).ok, "infeasible schedule");
+      const InstanceBounds lb = compute_bounds(inst, metric);
+      ratio.add(static_cast<double>(s.makespan()) /
+                static_cast<double>(std::max<Time>(lb.makespan_lb, 1)));
+      realized.add(synchronicity_factor(g));
+    }
+    table.add_row(name, factor, realized.mean(), ratio.mean(), ratio.max());
+  }
+}
+
+void print_series() {
+  benchutil::print_header(
+      "E15 — synchronicity factor (conclusion remark)",
+      "greedy ratio under heterogeneous link delays jittered in [1, F]; "
+      "degradation should stay within ~the realized max/min delay factor");
+  Table table({"topology", "jitter F", "realized factor", "ratio(mean)",
+               "ratio(max)"});
+  series("clique48", Clique(48).graph, table);
+  series("hypercube64", Hypercube(6).graph, table);
+  table.print(std::cout);
+}
+
+void BM_JitteredGreedy(benchmark::State& state) {
+  const auto factor = static_cast<Weight>(state.range(0));
+  Rng jitter_rng(3);
+  const Graph g = jitter_weights(Clique(64).graph, factor, jitter_rng);
+  const DenseMetric metric(g);
+  Rng rng(5);
+  const Instance inst =
+      generate_uniform(g, {.num_objects = 8, .objects_per_txn = 2}, rng);
+  for (auto _ : state) {
+    GreedyScheduler sched;
+    const Schedule s = sched.run(inst, metric);
+    benchmark::DoNotOptimize(s.commit_time.data());
+  }
+}
+BENCHMARK(BM_JitteredGreedy)->Arg(1)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

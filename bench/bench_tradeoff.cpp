@@ -1,0 +1,109 @@
+// E14 — execution time vs communication cost (the impossibility result of
+// Busch et al. [PODC 2015], reference [3], which the paper builds on: both
+// objectives cannot be minimized simultaneously).
+//
+// Series: for the same workloads, schedulers optimized for makespan
+// (greedy/compact) against movement-frugal baselines (serial token
+// passing). Expected shape: rows form a Pareto frontier — lower makespan
+// rows show higher communication and vice versa; no scheduler wins both
+// columns.
+#include "bench_common.hpp"
+
+#include "core/generators.hpp"
+#include "core/metrics.hpp"
+#include "graph/topologies/grid.hpp"
+#include "graph/topologies/hypercube.hpp"
+#include "sched/baseline.hpp"
+#include "sched/greedy.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dtm;
+
+void series(const char* topology, const Graph& g, const Metric& metric,
+            Table& table) {
+  struct Algo {
+    const char* label;
+    std::function<std::unique_ptr<Scheduler>(std::uint64_t)> make;
+  };
+  const Algo algos[] = {
+      {"greedy-ff-compact",
+       [](std::uint64_t seed) {
+         GreedyOptions o;
+         o.rule = ColoringRule::kFirstFit;
+         o.compact = true;
+         o.seed = seed;
+         return std::make_unique<GreedyScheduler>(o);
+       }},
+      {"id-order",
+       [](std::uint64_t seed) {
+         return std::make_unique<OrderScheduler>(OrderOptions{false, false, seed});
+       }},
+      {"serial",
+       [](std::uint64_t seed) {
+         return std::make_unique<OrderScheduler>(OrderOptions{false, true, seed});
+       }},
+  };
+  for (const Algo& algo : algos) {
+    Stats makespan, comm;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      Rng rng(seed * 53);
+      const Instance inst = generate_uniform(
+          g, {.num_objects = 10, .objects_per_txn = 2}, rng);
+      auto sched = algo.make(seed);
+      const Schedule s = sched->run(inst, metric);
+      DTM_REQUIRE(validate(inst, metric, s).ok, "infeasible schedule");
+      const ScheduleMetrics sm = compute_metrics(inst, metric, s);
+      makespan.add(static_cast<double>(sm.makespan));
+      comm.add(static_cast<double>(sm.communication));
+    }
+    table.add_row(topology, algo.label, makespan.mean(), comm.mean(),
+                  comm.mean() / makespan.mean());
+  }
+}
+
+void print_series() {
+  benchutil::print_header(
+      "E14 — makespan vs communication trade-off (ref [3], PODC 2015)",
+      "the same workloads under time-optimizing vs movement-frugal "
+      "schedulers; no row should win both columns");
+  Table table({"topology", "scheduler", "makespan(mean)", "communication(mean)",
+               "comm/makespan"});
+  {
+    const Grid topo(10);
+    const DenseMetric metric(topo.graph);
+    series("grid10", topo.graph, metric, table);
+  }
+  {
+    const Hypercube topo(7);
+    const DenseMetric metric(topo.graph);
+    series("hypercube128", topo.graph, metric, table);
+  }
+  table.print(std::cout);
+}
+
+void BM_MetricsComputation(benchmark::State& state) {
+  const Hypercube topo(static_cast<std::size_t>(state.range(0)));
+  const DenseMetric metric(topo.graph);
+  Rng rng(5);
+  const Instance inst = generate_uniform(
+      topo.graph, {.num_objects = 16, .objects_per_txn = 2}, rng);
+  GreedyScheduler sched;
+  const Schedule s = sched.run(inst, metric);
+  for (auto _ : state) {
+    const ScheduleMetrics sm = compute_metrics(inst, metric, s);
+    benchmark::DoNotOptimize(sm.communication);
+  }
+}
+BENCHMARK(BM_MetricsComputation)->Arg(6)->Arg(8)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

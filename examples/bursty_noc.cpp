@@ -1,0 +1,75 @@
+// Online + bounded-capacity scenario: a NoC where transactions are
+// released in bursts (think: phases of a parallel program) and links carry
+// one object per step.
+//
+// Shows the two model extensions working together:
+//  * online window-batched scheduling (sched/online.hpp) — commits are
+//    fixed without future knowledge;
+//  * capacity-constrained re-execution (sim/capacity_sim.hpp) — the
+//    resulting policy is replayed on serializing links to measure the
+//    congestion stretch.
+#include <iostream>
+
+#include "core/generators.hpp"
+#include "core/online.hpp"
+#include "graph/metric.hpp"
+#include "graph/topologies/grid.hpp"
+#include "sched/online.hpp"
+#include "sim/capacity_sim.hpp"
+#include "sim/congestion.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dtm;
+
+  const Grid topo(12);
+  const DenseMetric metric(topo.graph);
+  Rng rng(2026);
+  const Instance inst = generate_uniform(
+      topo.graph, {.num_objects = 24, .objects_per_txn = 2}, rng);
+  Rng arrival_rng(7);
+  const ArrivalTimes arrival =
+      generate_bursty_arrivals(inst.num_transactions(), 120, 4, arrival_rng);
+
+  std::cout << "12x12 NoC, " << inst.num_transactions()
+            << " transactions released in 4 bursts over 120 steps\n\n";
+
+  // The capacity replay re-executes only the *policy* (object visit
+  // orders), so its baseline is the unbounded replay of the same orders,
+  // not the online makespan (which also includes window-close waiting).
+  Table table({"algo", "batches", "online makespan", "replay C=inf",
+               "replay C=1", "queue-wait C=1", "stretch"});
+  auto add_row = [&](OnlineScheduler& sched, std::size_t batches) {
+    const Schedule s = sched.run_online(inst, metric, arrival);
+    const auto vr = validate_online(inst, metric, arrival, s);
+    DTM_REQUIRE(vr.ok, "infeasible online schedule: " << vr.summary());
+    const CapacitySimResult unbounded =
+        simulate_with_capacity(inst, metric, s, {.capacity = 0});
+    const CapacitySimResult tight =
+        simulate_with_capacity(inst, metric, s, {.capacity = 1});
+    DTM_REQUIRE(unbounded.ok && tight.ok, "capacity replay failed");
+    table.add_row(sched.name(), batches, static_cast<double>(s.makespan()),
+                  static_cast<double>(unbounded.makespan),
+                  static_cast<double>(tight.makespan),
+                  static_cast<double>(tight.total_queue_wait),
+                  static_cast<double>(tight.makespan) /
+                      static_cast<double>(unbounded.makespan));
+  };
+  for (Time window : {Time{8}, Time{32}, Time{128}}) {
+    OnlineBatchScheduler sched({.window = window});
+    (void)sched.run_online(inst, metric, arrival);  // to populate batches
+    add_row(sched, sched.last_batches());
+  }
+  {
+    OnlineFifoScheduler fifo;
+    add_row(fifo, 0);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nWindows matched to the burst spacing batch whole bursts "
+               "together, giving the offline greedy guarantee per burst; "
+               "capacity-1 links stretch the replayed policies only "
+               "modestly.\n";
+  return 0;
+}

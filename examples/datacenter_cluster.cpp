@@ -1,0 +1,78 @@
+// Datacenter scenario (§1/§6: "the cluster graph is an abstraction of
+// clusters of computers found in data centers").
+//
+// Eight racks of eight machines each; intra-rack hops cost 1 step,
+// cross-rack transfers cost γ = 16. The example contrasts:
+//   * a rack-local workload (every object used inside one rack) — Theorem
+//     4's first case, where the greedy schedule is O(k) and γ never shows;
+//   * a scattered workload (objects travel across σ racks) — where
+//     Algorithm 1's phases/rounds machinery kicks in.
+#include <iostream>
+
+#include "core/generators.hpp"
+#include "core/metrics.hpp"
+#include "core/validate.hpp"
+#include "graph/metric.hpp"
+#include "lb/bounds.hpp"
+#include "sched/cluster.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dtm;
+
+void evaluate(const ClusterGraph& topo, const Metric& metric,
+              const Instance& inst, const char* workload, Table& table) {
+  const InstanceBounds lb = compute_bounds(inst, metric);
+  for (auto [label, approach] :
+       {std::pair{"greedy (Approach 1)", ClusterApproach::kGreedy},
+        std::pair{"randomized (Algorithm 1)", ClusterApproach::kRandomized},
+        std::pair{"auto", ClusterApproach::kAuto}}) {
+    ClusterScheduler sched(topo, {.approach = approach, .seed = 3});
+    const Schedule s = sched.run(inst, metric);
+    DTM_REQUIRE(validate(inst, metric, s).ok, "infeasible schedule");
+    const ClusterRunStats& st = sched.last_stats();
+    table.add_row(workload, label, static_cast<double>(s.makespan()),
+                  static_cast<double>(s.makespan()) /
+                      static_cast<double>(std::max<Time>(lb.makespan_lb, 1)),
+                  st.sigma,
+                  st.used_randomized
+                      ? std::to_string(st.phases) + " phases / " +
+                            std::to_string(st.total_rounds) + " rounds"
+                      : "—");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace dtm;
+
+  const std::size_t racks = 8, machines = 8;
+  const Weight gamma = 16;
+  const ClusterGraph topo(racks, machines, gamma);
+  const DenseMetric metric(topo.graph);
+  std::cout << "datacenter: " << racks << " racks x " << machines
+            << " machines, cross-rack latency " << gamma << " steps\n\n";
+
+  Table table({"workload", "scheduler", "makespan", "ratio", "sigma",
+               "phase/round usage"});
+  {
+    Rng rng(11);
+    const Instance local = generate_cluster_local(topo, 32, 2, rng);
+    evaluate(topo, metric, local, "rack-local", table);
+  }
+  {
+    Rng rng(12);
+    const Instance scattered = generate_cluster_spread(topo, 24, 2, 4, rng);
+    evaluate(topo, metric, scattered, "scattered σ≈4", table);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nTakeaway (Theorem 4): rack-local traffic schedules in O(k)"
+               " regardless of γ; scattered traffic pays Ω(σγ) no matter "
+               "what, and the scheduler picks whichever approach's factor — "
+               "kβ or 40^k ln^k m — is smaller.\n";
+  return 0;
+}

@@ -1,0 +1,289 @@
+// dtm_cli — generate / schedule / inspect DTM workloads from the shell.
+//
+// Examples:
+//   dtm_cli --topology grid --n 12 --w 16 --k 2 --scheduler auto --seed 7
+//   dtm_cli --topology cluster --alpha 8 --beta 8 --gamma 16
+//           --workload cluster-spread --sigma 4 --scheduler cluster-best
+//   dtm_cli --topology clique --n 64 --scheduler greedy-ff --csv out.csv
+//           --save-instance inst.txt --save-schedule sched.txt
+//
+// `--scheduler auto` picks the paper's specialized algorithm for the
+// chosen topology; any name from sched/registry.hpp works as well, plus
+// "line", "grid", "cluster", "cluster-best", "star", "online-fifo",
+// "online-batch".
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+
+#include "core/generators.hpp"
+#include "core/io.hpp"
+#include "core/metrics.hpp"
+#include "core/online.hpp"
+#include "core/validate.hpp"
+#include "graph/metric.hpp"
+#include "graph/topologies/butterfly.hpp"
+#include "graph/topologies/clique.hpp"
+#include "graph/topologies/cluster.hpp"
+#include "graph/topologies/grid.hpp"
+#include "graph/topologies/hypercube.hpp"
+#include "graph/topologies/line.hpp"
+#include "graph/topologies/star.hpp"
+#include "lb/bounds.hpp"
+#include "sched/cluster.hpp"
+#include "sched/grid.hpp"
+#include "sched/line.hpp"
+#include "sched/online.hpp"
+#include "sched/registry.hpp"
+#include "sched/star.hpp"
+#include "sim/capacity_sim.hpp"
+#include "sim/congestion.hpp"
+#include "sim/simulator.hpp"
+#include "util/args.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dtm;
+
+/// Owns whichever topology was requested plus its specialized scheduler.
+struct TopologyBundle {
+  std::string kind;
+  std::unique_ptr<Clique> clique;
+  std::unique_ptr<Line> line;
+  std::unique_ptr<Grid> grid;
+  std::unique_ptr<ClusterGraph> cluster;
+  std::unique_ptr<Hypercube> hypercube;
+  std::unique_ptr<Butterfly> butterfly;
+  std::unique_ptr<Star> star;
+
+  const Graph& graph() const {
+    if (clique) return clique->graph;
+    if (line) return line->graph;
+    if (grid) return grid->graph;
+    if (cluster) return cluster->graph;
+    if (hypercube) return hypercube->graph;
+    if (butterfly) return butterfly->graph;
+    return star->graph;
+  }
+};
+
+TopologyBundle build_topology(const ArgParser& args) {
+  TopologyBundle b;
+  b.kind = args.get("topology", "grid");
+  const auto n = static_cast<std::size_t>(args.get_int("n", 8));
+  if (b.kind == "clique") {
+    b.clique = std::make_unique<Clique>(n);
+  } else if (b.kind == "line") {
+    b.line = std::make_unique<Line>(n);
+  } else if (b.kind == "grid") {
+    b.grid = std::make_unique<Grid>(n);
+  } else if (b.kind == "cluster") {
+    b.cluster = std::make_unique<ClusterGraph>(
+        static_cast<std::size_t>(args.get_int("alpha", 4)),
+        static_cast<std::size_t>(args.get_int("beta", 8)),
+        args.get_int("gamma", 16));
+  } else if (b.kind == "hypercube") {
+    b.hypercube =
+        std::make_unique<Hypercube>(static_cast<std::size_t>(args.get_int("dim", 5)));
+  } else if (b.kind == "butterfly") {
+    b.butterfly =
+        std::make_unique<Butterfly>(static_cast<std::size_t>(args.get_int("dim", 3)));
+  } else if (b.kind == "star") {
+    b.star = std::make_unique<Star>(
+        static_cast<std::size_t>(args.get_int("alpha", 4)),
+        static_cast<std::size_t>(args.get_int("beta", 8)));
+  } else {
+    throw Error("unknown --topology '" + b.kind +
+                "' (clique|line|grid|cluster|hypercube|butterfly|star)");
+  }
+  return b;
+}
+
+Instance build_workload(const ArgParser& args, const TopologyBundle& topo,
+                        Rng& rng) {
+  const std::string workload = args.get("workload", "uniform");
+  const auto w = static_cast<std::size_t>(args.get_int("w", 12));
+  const auto k = static_cast<std::size_t>(args.get_int("k", 2));
+  if (workload == "uniform") {
+    return generate_uniform(topo.graph(),
+                            {.num_objects = w, .objects_per_txn = k}, rng);
+  }
+  if (workload == "hotspot") {
+    return generate_hotspot(topo.graph(), w, k, rng);
+  }
+  if (workload == "cluster-local") {
+    DTM_REQUIRE(topo.cluster != nullptr,
+                "--workload cluster-local needs --topology cluster");
+    return generate_cluster_local(*topo.cluster, w, k, rng);
+  }
+  if (workload == "cluster-spread") {
+    DTM_REQUIRE(topo.cluster != nullptr,
+                "--workload cluster-spread needs --topology cluster");
+    return generate_cluster_spread(
+        *topo.cluster, w, k,
+        static_cast<std::size_t>(args.get_int("sigma", 2)), rng);
+  }
+  if (workload == "ray-local") {
+    DTM_REQUIRE(topo.star != nullptr,
+                "--workload ray-local needs --topology star");
+    return generate_star_ray_local(*topo.star, w, k, rng);
+  }
+  throw Error("unknown --workload '" + workload +
+              "' (uniform|hotspot|cluster-local|cluster-spread|ray-local)");
+}
+
+std::unique_ptr<Scheduler> build_scheduler(const ArgParser& args,
+                                           const TopologyBundle& topo,
+                                           std::uint64_t seed) {
+  std::string name = args.get("scheduler", "auto");
+  if (name == "auto") {
+    if (topo.line) name = "line";
+    else if (topo.grid) name = "grid";
+    else if (topo.cluster) name = "cluster";
+    else if (topo.star) name = "star";
+    else name = "greedy-paper";
+  }
+  if (name == "line") {
+    DTM_REQUIRE(topo.line != nullptr, "--scheduler line needs --topology line");
+    return std::make_unique<LineScheduler>(*topo.line);
+  }
+  if (name == "grid") {
+    DTM_REQUIRE(topo.grid != nullptr, "--scheduler grid needs --topology grid");
+    return std::make_unique<GridScheduler>(*topo.grid);
+  }
+  if (name == "cluster" || name == "cluster-best") {
+    DTM_REQUIRE(topo.cluster != nullptr,
+                "--scheduler cluster needs --topology cluster");
+    ClusterSchedulerOptions opts;
+    opts.approach = name == "cluster-best" ? ClusterApproach::kBest
+                                           : ClusterApproach::kAuto;
+    opts.seed = seed;
+    return std::make_unique<ClusterScheduler>(*topo.cluster, opts);
+  }
+  if (name == "star") {
+    DTM_REQUIRE(topo.star != nullptr, "--scheduler star needs --topology star");
+    StarSchedulerOptions opts;
+    opts.seed = seed;
+    return std::make_unique<StarScheduler>(*topo.star, opts);
+  }
+  if (name == "online-fifo") return std::make_unique<OnlineFifoScheduler>();
+  if (name == "online-batch") {
+    OnlineBatchOptions opts;
+    opts.window = args.get_int("window", 16);
+    return std::make_unique<OnlineBatchScheduler>(opts);
+  }
+  return make_scheduler(name, seed);  // registry names
+}
+
+int run(const ArgParser& args) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto trials = static_cast<int>(args.get_int("trials", 1));
+  const TopologyBundle topo = build_topology(args);
+  const auto metric = make_metric(topo.graph());
+
+  Table table({"trial", "scheduler", "txns", "makespan", "LB", "ratio",
+               "communication", "peak link load"});
+  std::optional<CsvWriter> csv;
+  if (args.has("csv")) {
+    csv.emplace(args.get("csv", ""),
+                std::vector<std::string>{"trial", "scheduler", "txns",
+                                         "makespan", "lb", "ratio",
+                                         "communication", "peak_load"});
+  }
+
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng rng(seed + static_cast<std::uint64_t>(trial));
+    const Instance inst = build_workload(args, topo, rng);
+    auto sched = build_scheduler(args, topo, seed + static_cast<std::uint64_t>(trial));
+    const Schedule schedule = sched->run(inst, *metric);
+
+    const ValidationResult vr = validate(inst, *metric, schedule);
+    DTM_REQUIRE(vr.ok, "scheduler produced infeasible schedule:\n"
+                           << vr.summary());
+    const SimResult sim = simulate(inst, *metric, schedule);
+    DTM_REQUIRE(sim.ok, "simulation failed:\n" << sim.summary());
+
+    const InstanceBounds lb = compute_bounds(inst, *metric);
+    const ScheduleMetrics sm = compute_metrics(inst, *metric, schedule);
+    const CongestionReport cong = analyze_congestion(inst, *metric, schedule);
+    if (args.has("capacity")) {
+      const auto cap = static_cast<std::size_t>(args.get_int("capacity", 1));
+      const CapacitySimResult replay =
+          simulate_with_capacity(inst, *metric, schedule, {.capacity = cap});
+      DTM_REQUIRE(replay.ok, "capacity replay failed: " << replay.error);
+      std::cout << "capacity-" << cap << " replay: makespan "
+                << replay.makespan << ", queue wait "
+                << replay.total_queue_wait << ", max queue "
+                << replay.max_queue_length << "\n";
+    }
+    const double ratio = static_cast<double>(sm.makespan) /
+                         static_cast<double>(std::max<Time>(lb.makespan_lb, 1));
+    table.add_row(trial, sched->name(), inst.num_transactions(),
+                  static_cast<double>(sm.makespan),
+                  static_cast<double>(lb.makespan_lb), ratio,
+                  static_cast<double>(sm.communication), cong.peak_load);
+    if (csv) {
+      csv->write_row({std::to_string(trial), sched->name(),
+                      std::to_string(inst.num_transactions()),
+                      std::to_string(sm.makespan),
+                      std::to_string(lb.makespan_lb), Table::format_cell(ratio),
+                      std::to_string(sm.communication),
+                      std::to_string(cong.peak_load)});
+    }
+
+    if (trial == 0) {
+      if (args.has("save-graph")) {
+        std::ofstream out(args.get("save-graph", ""));
+        write_graph(out, topo.graph());
+      }
+      if (args.has("save-instance")) {
+        std::ofstream out(args.get("save-instance", ""));
+        write_instance(out, inst);
+      }
+      if (args.has("save-schedule")) {
+        std::ofstream out(args.get("save-schedule", ""));
+        write_schedule(out, schedule);
+      }
+    }
+  }
+  table.print(std::cout);
+
+  const auto unknown = args.unknown_flags();
+  if (!unknown.empty()) {
+    std::cerr << "warning: unused flags:";
+    for (const auto& f : unknown) std::cerr << " --" << f;
+    std::cerr << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ArgParser args(argc, argv);
+    if (args.has("help")) {
+      std::cout <<
+          "usage: dtm_cli [--topology clique|line|grid|cluster|hypercube|"
+          "butterfly|star]\n"
+          "  [--n N] [--alpha A --beta B --gamma G] [--dim D]\n"
+          "  [--workload uniform|hotspot|cluster-local|cluster-spread|"
+          "ray-local] [--w W] [--k K] [--sigma S]\n"
+          "  [--scheduler auto|line|grid|cluster|cluster-best|star|"
+          "online-fifo|online-batch|greedy-paper|greedy-ff|greedy-compact|"
+          "id-order|random-order|serial|exact]\n"
+          "  [--seed S] [--trials T] [--window W] [--capacity C] "
+          "[--csv FILE]\n"
+          "  [--save-graph FILE] [--save-instance FILE] "
+          "[--save-schedule FILE]\n";
+      return 0;
+    }
+    return run(args);
+  } catch (const dtm::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,76 @@
+// Instance generators for the paper's workloads.
+//
+// §3/§4/§6/§7 say "each transaction uses an arbitrary subset of k objects";
+// the uniform generator realizes that with random k-subsets (which is also
+// exactly the §5 Grid model). Specialized generators produce the structured
+// cases the analyses distinguish: single-cluster object locality (Cluster
+// Approach 1), bounded cluster spread σ, and hot-object contention.
+#pragma once
+
+#include "core/instance.hpp"
+#include "graph/topologies/cluster.hpp"
+#include "graph/topologies/star.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+
+/// Where each object starts.
+enum class ObjectPlacement {
+  /// At the home node of a uniformly chosen requester (the assumption of
+  /// §4 Line and §5 Grid); objects nobody requests start at a random node.
+  kAtRequester,
+  /// Uniformly random node (the §3 Clique "arbitrary node" case).
+  kRandomNode,
+  /// Node 0 (deterministic; useful in unit tests).
+  kNodeZero,
+};
+
+struct UniformOptions {
+  std::size_t num_objects = 8;      // w
+  std::size_t objects_per_txn = 2;  // k, must be <= w
+  /// Fraction of nodes hosting a transaction (paper: m <= n, one per node).
+  double txn_density = 1.0;
+  ObjectPlacement placement = ObjectPlacement::kAtRequester;
+};
+
+/// One transaction on each selected node; each picks a uniform random
+/// k-subset of the w objects.
+Instance generate_uniform(const Graph& g, const UniformOptions& opt, Rng& rng);
+
+/// Cluster workload where every object is requested only inside one cluster
+/// (objects are partitioned round-robin across clusters; each transaction
+/// picks k objects from its own cluster's pool). Requires the pool size
+/// ceil/floor(w/alpha) >= k. This is the favorable case of Theorem 4 where
+/// Approach 1 achieves O(k).
+Instance generate_cluster_local(const ClusterGraph& cg, std::size_t num_objects,
+                                std::size_t objects_per_txn, Rng& rng);
+
+/// Cluster workload with bounded spread: each object is offered to (about)
+/// `sigma` random clusters; transactions draw k objects offered to their
+/// cluster. When a cluster ends up with fewer than k offered objects, extra
+/// objects are pulled in (so the realized max spread can slightly exceed
+/// `sigma`; measure it with max_cluster_spread()).
+Instance generate_cluster_spread(const ClusterGraph& cg,
+                                 std::size_t num_objects,
+                                 std::size_t objects_per_txn,
+                                 std::size_t sigma, Rng& rng);
+
+/// Realized σ: max over objects of the number of distinct clusters hosting
+/// its requesters.
+std::size_t max_cluster_spread(const ClusterGraph& cg, const Instance& inst);
+
+/// Star workload where every object is requested only on one ray (objects
+/// are partitioned round-robin across rays; each ray transaction picks k
+/// from its ray's pool; the center node gets no transaction). With ray
+/// locality every period's segments are independent, so the §7 scheduler
+/// runs all rays in parallel. Requires pool size >= k.
+Instance generate_star_ray_local(const Star& star, std::size_t num_objects,
+                                 std::size_t objects_per_txn, Rng& rng);
+
+/// Contention workload: every transaction requests object 0 (the hot spot)
+/// plus k-1 uniform picks from the rest. Used by ablations and tests (it
+/// maximizes ℓ and forces full serialization on the hot object).
+Instance generate_hotspot(const Graph& g, std::size_t num_objects,
+                          std::size_t objects_per_txn, Rng& rng);
+
+}  // namespace dtm

@@ -1,0 +1,26 @@
+// Schedule quality metrics: makespan (the paper's objective, Definition 1)
+// and communication cost (total distance traveled by all objects — the
+// second objective discussed in the related-work trade-off [Busch et al.,
+// PODC 2015]).
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "graph/metric.hpp"
+
+namespace dtm {
+
+struct ScheduleMetrics {
+  Time makespan = 0;
+  /// Sum over objects of the distance traveled along their visit chains
+  /// (initial positioning included).
+  Weight communication = 0;
+  /// Longest single object's travel (>= the TSP-walk lower bound for that
+  /// object's requester set under this schedule's order).
+  Weight max_object_travel = 0;
+};
+
+ScheduleMetrics compute_metrics(const Instance& inst, const Metric& metric,
+                                const Schedule& schedule);
+
+}  // namespace dtm

@@ -1,0 +1,39 @@
+// Earliest-commit-time solver.
+//
+// Fixing a visit order per object induces a precedence DAG on transactions
+// (an edge between consecutive requesters of each object, weighted by their
+// distance, plus a source constraint from each object's initial location).
+// The earliest feasible commit times are the longest paths in that DAG.
+//
+// Two uses:
+//  * "compaction" — take any scheduler's object orders and recompute the
+//    tightest commit times consistent with them (never increases makespan);
+//  * the exact baseline — enumerate orders and solve each (sched/exact.hpp).
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "graph/metric.hpp"
+
+namespace dtm {
+
+/// Earliest commit times for the given per-object orders.
+/// Requires: each object_order[o] is a permutation of inst.requesters(o),
+/// and the induced precedence relation is acyclic (throws dtm::Error
+/// otherwise — a cycle means the orders are jointly infeasible).
+std::vector<Time> earliest_commit_times(
+    const Instance& inst, const Metric& metric,
+    const std::vector<std::vector<TxnId>>& object_order);
+
+/// Convenience: builds the full (order, earliest-times) schedule.
+Schedule schedule_from_orders(const Instance& inst, const Metric& metric,
+                              std::vector<std::vector<TxnId>> object_order);
+
+/// Recomputes commit times for an existing schedule's orders ("compaction").
+/// The result is feasible and its makespan is <= the input's.
+Schedule compact(const Instance& inst, const Metric& metric,
+                 const Schedule& schedule);
+
+}  // namespace dtm

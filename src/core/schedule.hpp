@@ -1,0 +1,37 @@
+// Execution schedule: the output of every scheduling algorithm.
+//
+// A schedule fixes (a) the commit time of every transaction and (b) a visit
+// order per object (the sequence of its requesters). Feasibility (§2.1,
+// Definition 1) means every object can reach each requester in time:
+//
+//   t(first requester of o)  >=  dist(home(o), node(first)),
+//   t(next) - t(prev)        >=  dist(node(prev), node(next)).
+//
+// These constraints are exactly what validate() checks and what the
+// simulator re-derives operationally.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+
+namespace dtm {
+
+struct Schedule {
+  /// commit_time[t] is the step at which transaction t commits (>= 1).
+  std::vector<Time> commit_time;
+  /// object_order[o] lists o's requesters in visiting order.
+  std::vector<std::vector<TxnId>> object_order;
+
+  /// Max commit time; 0 for an empty schedule.
+  Time makespan() const;
+
+  /// Derives object orders by sorting each object's requesters by commit
+  /// time (ties broken by TxnId; feasible schedules never have ties among
+  /// requesters of one object since they are at distinct nodes).
+  static Schedule from_commit_times(const Instance& inst,
+                                    std::vector<Time> commit_time);
+};
+
+}  // namespace dtm

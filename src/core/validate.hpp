@@ -1,0 +1,31 @@
+// Feasibility validator for schedules. Every scheduler's output is run
+// through this in tests; the simulator provides an independent second
+// check with operational semantics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "graph/metric.hpp"
+
+namespace dtm {
+
+struct ValidationResult {
+  bool ok = true;
+  /// Human-readable description of every violated constraint (empty if ok).
+  std::vector<std::string> violations;
+
+  explicit operator bool() const { return ok; }
+  std::string summary() const;
+};
+
+/// Checks structural integrity (sizes, each object order is a permutation
+/// of its requesters, commit times >= 1) and the timing constraints listed
+/// in schedule.hpp. Collects all violations rather than stopping at the
+/// first.
+ValidationResult validate(const Instance& inst, const Metric& metric,
+                          const Schedule& schedule);
+
+}  // namespace dtm

@@ -1,0 +1,39 @@
+#include "graph/apsp.hpp"
+
+#include <algorithm>
+
+#include "graph/shortest_paths.hpp"
+#include "util/parallel_for.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dtm {
+
+DistanceMatrix::DistanceMatrix(std::size_t n, std::vector<Weight> flat)
+    : n_(n), flat_(std::move(flat)) {
+  DTM_REQUIRE(flat_.size() == n * n, "DistanceMatrix: wrong buffer size");
+}
+
+Weight DistanceMatrix::max_finite() const {
+  Weight best = 0;
+  for (Weight d : flat_) {
+    if (d < kInfiniteWeight) best = std::max(best, d);
+  }
+  return best;
+}
+
+DistanceMatrix compute_apsp(const Graph& g, ThreadPool* pool) {
+  const std::size_t n = g.num_nodes();
+  std::vector<Weight> flat(n * n, kInfiniteWeight);
+  auto run_source = [&](std::size_t u) {
+    const auto tree = single_source(g, static_cast<NodeId>(u));
+    std::copy(tree.dist.begin(), tree.dist.end(), flat.begin() + u * n);
+  };
+  if (pool != nullptr) {
+    parallel_for(*pool, n, run_source);
+  } else {
+    for (std::size_t u = 0; u < n; ++u) run_source(u);
+  }
+  return DistanceMatrix(n, std::move(flat));
+}
+
+}  // namespace dtm

@@ -1,0 +1,40 @@
+// All-pairs shortest-path distance matrix, computed by running one
+// single-source search per node (BFS or Dijkstra) in parallel on a
+// ThreadPool. Suitable for graphs up to a few thousand nodes; larger
+// graphs should use LazyMetric (graph/metric.hpp).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dtm {
+
+class ThreadPool;
+
+/// Flat n×n matrix of shortest distances.
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+  DistanceMatrix(std::size_t n, std::vector<Weight> flat);
+
+  std::size_t num_nodes() const { return n_; }
+
+  Weight at(NodeId u, NodeId v) const {
+    DTM_ASSERT(u < n_ && v < n_);
+    return flat_[static_cast<std::size_t>(u) * n_ + v];
+  }
+
+  /// Max finite entry (the weighted diameter when the graph is connected).
+  Weight max_finite() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<Weight> flat_;
+};
+
+/// Computes the full matrix; uses `pool` when given, otherwise runs
+/// sequentially.
+DistanceMatrix compute_apsp(const Graph& g, ThreadPool* pool = nullptr);
+
+}  // namespace dtm

@@ -1,0 +1,93 @@
+// Weighted undirected graph in CSR (compressed sparse row) form.
+//
+// This is the communication network `G` of the paper's model (§2.1): nodes
+// host transactions, edges are links, integer edge weights are link delays
+// in synchronous time steps.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dtm {
+
+using NodeId = std::uint32_t;
+/// Edge weights and distances are integer time steps (the model is fully
+/// discrete); 64-bit so that makespans/communication costs never overflow.
+using Weight = std::int64_t;
+
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+constexpr Weight kInfiniteWeight = static_cast<Weight>(1) << 62;
+
+/// One directed arc in the CSR adjacency (each undirected edge is stored
+/// twice).
+struct Arc {
+  NodeId to;
+  Weight weight;
+
+  friend bool operator==(const Arc&, const Arc&) = default;
+};
+
+class Graph;
+
+/// Incremental edge-list builder; finalize with build().
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t num_nodes);
+
+  /// Adds an undirected edge {u, v} with positive integer weight.
+  /// Parallel edges are allowed at build time; shortest-path code simply
+  /// uses the lighter one.
+  void add_edge(NodeId u, NodeId v, Weight weight = 1);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  Graph build() const;
+
+ private:
+  struct Edge {
+    NodeId u, v;
+    Weight weight;
+  };
+  std::size_t num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+/// Immutable CSR graph. Construct via GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  std::size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  std::size_t num_edges() const { return arcs_.size() / 2; }
+
+  /// Arcs leaving `u`, sorted by target id.
+  std::span<const Arc> neighbors(NodeId u) const {
+    DTM_ASSERT(u < num_nodes());
+    return {arcs_.data() + offsets_[u], arcs_.data() + offsets_[u + 1]};
+  }
+
+  std::size_t degree(NodeId u) const { return neighbors(u).size(); }
+
+  /// True when every edge has weight exactly 1 (lets callers pick BFS over
+  /// Dijkstra).
+  bool unit_weights() const { return unit_weights_; }
+
+  /// Largest edge weight (0 for an edgeless graph).
+  Weight max_weight() const { return max_weight_; }
+
+  /// True if there is a path between every pair of nodes.
+  bool connected() const;
+
+ private:
+  friend class GraphBuilder;
+  std::vector<std::size_t> offsets_;  // size num_nodes+1
+  std::vector<Arc> arcs_;
+  bool unit_weights_ = true;
+  Weight max_weight_ = 0;
+};
+
+}  // namespace dtm

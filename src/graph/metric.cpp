@@ -1,0 +1,72 @@
+#include "graph/metric.hpp"
+
+#include <algorithm>
+
+namespace dtm {
+
+DenseMetric::DenseMetric(const Graph& g, ThreadPool* pool)
+    : Metric(g), matrix_(compute_apsp(g, pool)) {}
+
+Weight DenseMetric::distance(NodeId u, NodeId v) const {
+  return matrix_.at(u, v);
+}
+
+std::vector<NodeId> DenseMetric::path(NodeId u, NodeId v) const {
+  DTM_REQUIRE(matrix_.at(u, v) < kInfiniteWeight,
+              "path: " << v << " unreachable from " << u);
+  // Walk from u to v: repeatedly step to a neighbor w of the current node c
+  // with dist(w, v) + weight(c, w) == dist(c, v). Such a neighbor always
+  // exists on a shortest path.
+  std::vector<NodeId> out = {u};
+  NodeId cur = u;
+  while (cur != v) {
+    const Weight remaining = matrix_.at(cur, v);
+    NodeId next = kInvalidNode;
+    for (const Arc& a : graph().neighbors(cur)) {
+      if (matrix_.at(a.to, v) + a.weight == remaining) {
+        next = a.to;
+        break;
+      }
+    }
+    DTM_ASSERT_MSG(next != kInvalidNode,
+                   "no descent neighbor from " << cur << " toward " << v);
+    out.push_back(next);
+    cur = next;
+  }
+  return out;
+}
+
+const ShortestPathTree& LazyMetric::tree(NodeId source) const {
+  auto it = cache_.find(source);
+  if (it == cache_.end()) {
+    it = cache_.emplace(source, single_source(graph(), source)).first;
+  }
+  return it->second;
+}
+
+Weight LazyMetric::distance(NodeId u, NodeId v) const {
+  if (u == v) return 0;
+  // Prefer whichever endpoint is already cached to keep the cache small.
+  if (cache_.count(v) && !cache_.count(u)) std::swap(u, v);
+  return tree(u).dist[v];
+}
+
+std::vector<NodeId> LazyMetric::path(NodeId u, NodeId v) const {
+  if (cache_.count(v) && !cache_.count(u)) {
+    auto p = tree(v).path_to(u);
+    std::reverse(p.begin(), p.end());
+    return p;
+  }
+  return tree(u).path_to(v);
+}
+
+std::unique_ptr<Metric> make_metric(const Graph& g,
+                                    std::size_t dense_node_limit,
+                                    ThreadPool* pool) {
+  if (g.num_nodes() <= dense_node_limit) {
+    return std::make_unique<DenseMetric>(g, pool);
+  }
+  return std::make_unique<LazyMetric>(g);
+}
+
+}  // namespace dtm

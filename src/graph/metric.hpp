@@ -1,0 +1,83 @@
+// Metric: the distance/routing oracle that schedulers and the simulator
+// query. Two implementations:
+//
+//  * DenseMetric — precomputes the full APSP matrix (O(n^2) memory); right
+//    for the moderate graphs of most experiments, O(1) distance queries.
+//  * LazyMetric — computes and caches one shortest-path tree per queried
+//    source; right for the large Section-8 lower-bound instances where the
+//    set of queried sources (object locations) is small.
+//
+// Neither implementation is thread-safe for concurrent queries; parallel
+// benchmark trials each construct their own Metric.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/apsp.hpp"
+#include "graph/graph.hpp"
+#include "graph/shortest_paths.hpp"
+
+namespace dtm {
+
+class Metric {
+ public:
+  explicit Metric(const Graph& g) : graph_(&g) {}
+  virtual ~Metric() = default;
+
+  Metric(const Metric&) = delete;
+  Metric& operator=(const Metric&) = delete;
+
+  const Graph& graph() const { return *graph_; }
+  std::size_t num_nodes() const { return graph_->num_nodes(); }
+
+  /// Shortest distance between u and v (kInfiniteWeight if disconnected).
+  virtual Weight distance(NodeId u, NodeId v) const = 0;
+
+  /// One shortest path u -> v as a node sequence (inclusive of endpoints).
+  virtual std::vector<NodeId> path(NodeId u, NodeId v) const = 0;
+
+ private:
+  const Graph* graph_;
+};
+
+/// Full APSP matrix; path queries walk the matrix greedily (no parent
+/// storage needed).
+class DenseMetric final : public Metric {
+ public:
+  /// Pass a pool to parallelize the APSP precomputation.
+  explicit DenseMetric(const Graph& g, ThreadPool* pool = nullptr);
+
+  Weight distance(NodeId u, NodeId v) const override;
+  std::vector<NodeId> path(NodeId u, NodeId v) const override;
+
+  const DistanceMatrix& matrix() const { return matrix_; }
+
+ private:
+  DistanceMatrix matrix_;
+};
+
+/// Per-source shortest-path-tree cache (unbounded; callers control the
+/// number of distinct sources they query).
+class LazyMetric final : public Metric {
+ public:
+  explicit LazyMetric(const Graph& g) : Metric(g) {}
+
+  Weight distance(NodeId u, NodeId v) const override;
+  std::vector<NodeId> path(NodeId u, NodeId v) const override;
+
+  std::size_t cached_sources() const { return cache_.size(); }
+
+ private:
+  const ShortestPathTree& tree(NodeId source) const;
+  mutable std::unordered_map<NodeId, ShortestPathTree> cache_;
+};
+
+/// Convenience: picks DenseMetric for graphs up to `dense_node_limit` nodes,
+/// LazyMetric beyond.
+std::unique_ptr<Metric> make_metric(const Graph& g,
+                                    std::size_t dense_node_limit = 4096,
+                                    ThreadPool* pool = nullptr);
+
+}  // namespace dtm

@@ -1,0 +1,95 @@
+#include "graph/shortest_paths.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dtm {
+
+std::vector<NodeId> ShortestPathTree::path_to(NodeId target) const {
+  DTM_REQUIRE(target < dist.size(), "path_to: target out of range");
+  DTM_REQUIRE(dist[target] < kInfiniteWeight,
+              "path_to: target " << target << " unreachable from " << source);
+  std::vector<NodeId> path;
+  for (NodeId v = target; v != kInvalidNode; v = parent[v]) {
+    path.push_back(v);
+    DTM_ASSERT(path.size() <= dist.size());  // parent chain must be acyclic
+  }
+  std::reverse(path.begin(), path.end());
+  DTM_ASSERT(path.front() == source);
+  return path;
+}
+
+ShortestPathTree dijkstra(const Graph& g, NodeId source) {
+  const std::size_t n = g.num_nodes();
+  DTM_REQUIRE(source < n, "dijkstra: source out of range");
+  ShortestPathTree t;
+  t.source = source;
+  t.dist.assign(n, kInfiniteWeight);
+  t.parent.assign(n, kInvalidNode);
+  using Entry = std::pair<Weight, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  t.dist[source] = 0;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d != t.dist[u]) continue;  // stale entry
+    for (const Arc& a : g.neighbors(u)) {
+      const Weight nd = d + a.weight;
+      if (nd < t.dist[a.to]) {
+        t.dist[a.to] = nd;
+        t.parent[a.to] = u;
+        heap.push({nd, a.to});
+      }
+    }
+  }
+  return t;
+}
+
+ShortestPathTree bfs(const Graph& g, NodeId source) {
+  const std::size_t n = g.num_nodes();
+  DTM_REQUIRE(source < n, "bfs: source out of range");
+  DTM_REQUIRE(g.unit_weights(), "bfs requires unit edge weights");
+  ShortestPathTree t;
+  t.source = source;
+  t.dist.assign(n, kInfiniteWeight);
+  t.parent.assign(n, kInvalidNode);
+  std::queue<NodeId> queue;
+  t.dist[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop();
+    for (const Arc& a : g.neighbors(u)) {
+      if (t.dist[a.to] == kInfiniteWeight) {
+        t.dist[a.to] = t.dist[u] + 1;
+        t.parent[a.to] = u;
+        queue.push(a.to);
+      }
+    }
+  }
+  return t;
+}
+
+ShortestPathTree single_source(const Graph& g, NodeId source) {
+  return g.unit_weights() ? bfs(g, source) : dijkstra(g, source);
+}
+
+Weight distance(const Graph& g, NodeId u, NodeId v) {
+  DTM_REQUIRE(u < g.num_nodes() && v < g.num_nodes(),
+              "distance: node out of range");
+  if (u == v) return 0;
+  return single_source(g, u).dist[v];
+}
+
+Weight diameter(const Graph& g) {
+  DTM_REQUIRE(g.connected(), "diameter requires a connected graph");
+  Weight best = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto t = single_source(g, u);
+    for (Weight d : t.dist) best = std::max(best, d);
+  }
+  return best;
+}
+
+}  // namespace dtm

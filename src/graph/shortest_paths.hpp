@@ -1,0 +1,46 @@
+// Single-source shortest paths: Dijkstra for weighted graphs, BFS for
+// unit-weight graphs, plus path extraction from the parent tree.
+//
+// Objects in the data-flow model always travel along shortest paths (§2.1),
+// so these routines are the routing substrate for both the schedulers and
+// the step-accurate simulator.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dtm {
+
+/// Result of a single-source search: dist[v] is the shortest distance from
+/// the source (kInfiniteWeight when unreachable) and parent[v] the
+/// predecessor on one shortest path (kInvalidNode for the source and
+/// unreachable nodes).
+struct ShortestPathTree {
+  NodeId source = kInvalidNode;
+  std::vector<Weight> dist;
+  std::vector<NodeId> parent;
+
+  /// Reconstructs the node sequence source -> ... -> target (inclusive).
+  /// Requires target reachable.
+  std::vector<NodeId> path_to(NodeId target) const;
+};
+
+/// Dijkstra from `source` (binary heap, lazy deletion). O((m+n) log n).
+ShortestPathTree dijkstra(const Graph& g, NodeId source);
+
+/// BFS from `source`; requires g.unit_weights(). O(m+n).
+ShortestPathTree bfs(const Graph& g, NodeId source);
+
+/// Dispatches to bfs() or dijkstra() based on g.unit_weights().
+ShortestPathTree single_source(const Graph& g, NodeId source);
+
+/// Shortest distance between two nodes (single query convenience; runs a
+/// full single-source search — use a Metric for repeated queries).
+Weight distance(const Graph& g, NodeId u, NodeId v);
+
+/// Weighted diameter: max over reachable pairs of shortest distance.
+/// Requires a connected graph. O(n · SSSP).
+Weight diameter(const Graph& g);
+
+}  // namespace dtm

@@ -1,0 +1,55 @@
+#include "graph/topologies/block_tree.hpp"
+
+#include <cmath>
+
+namespace dtm {
+
+namespace {
+std::size_t integer_sqrt(std::size_t s) {
+  auto r = static_cast<std::size_t>(std::llround(std::sqrt(static_cast<double>(s))));
+  DTM_REQUIRE(r * r == s, "block tree requires a perfect-square s, got " << s);
+  return r;
+}
+}  // namespace
+
+BlockTree::BlockTree(std::size_t s_in)
+    : s(s_in),
+      sqrt_s(integer_sqrt(s_in)),
+      rows(s_in),
+      cols(s_in * sqrt_s) {
+  DTM_REQUIRE(s >= 1, "block tree needs s >= 1");
+  GraphBuilder b(rows * cols);
+  for (std::size_t block = 0; block < s; ++block) {
+    const std::size_t c0 = block * sqrt_s;
+    // Spine: the block's leftmost column.
+    for (std::size_t r = 0; r + 1 < rows; ++r) {
+      b.add_edge(node_at(r, c0), node_at(r + 1, c0), 1);
+    }
+    // Rows: horizontal paths hanging off the spine.
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = c0; c + 1 < c0 + sqrt_s; ++c) {
+        b.add_edge(node_at(r, c), node_at(r, c + 1), 1);
+      }
+    }
+    // One weight-s edge to the next block, through the topmost row.
+    if (block + 1 < s) {
+      b.add_edge(node_at(0, c0 + sqrt_s - 1), node_at(0, c0 + sqrt_s),
+                 static_cast<Weight>(s));
+    }
+  }
+  graph = b.build();
+}
+
+std::vector<NodeId> BlockTree::block_nodes(std::size_t block) const {
+  DTM_ASSERT(block < s);
+  std::vector<NodeId> out;
+  out.reserve(rows * sqrt_s);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = block * sqrt_s; c < (block + 1) * sqrt_s; ++c) {
+      out.push_back(node_at(r, c));
+    }
+  }
+  return out;
+}
+
+}  // namespace dtm

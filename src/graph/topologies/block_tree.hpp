@@ -1,0 +1,37 @@
+// Lower-bound tree construction (§8.2, Fig. 6): same node layout as
+// BlockGrid (s blocks of s rows × √s columns), but each block is a tree —
+// its leftmost column is a connected spine and each row is a path attached
+// to that spine. Adjacent blocks are joined by a single weight-s edge
+// between their topmost-row boundary nodes, so the whole graph is a tree.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace dtm {
+
+struct BlockTree {
+  explicit BlockTree(std::size_t s);
+
+  std::size_t s;
+  std::size_t sqrt_s;
+  std::size_t rows;
+  std::size_t cols;
+  Graph graph;
+
+  std::size_t num_nodes() const { return rows * cols; }
+
+  NodeId node_at(std::size_t r, std::size_t c) const {
+    DTM_ASSERT(r < rows && c < cols);
+    return static_cast<NodeId>(r * cols + c);
+  }
+  std::size_t row_of(NodeId v) const { return v / cols; }
+  std::size_t col_of(NodeId v) const { return v % cols; }
+  std::size_t block_of(NodeId v) const { return col_of(v) / sqrt_s; }
+  NodeId block_top_left(std::size_t block) const {
+    DTM_ASSERT(block < s);
+    return node_at(0, block * sqrt_s);
+  }
+  std::vector<NodeId> block_nodes(std::size_t block) const;
+};
+
+}  // namespace dtm

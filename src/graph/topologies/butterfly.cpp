@@ -1,0 +1,17 @@
+#include "graph/topologies/butterfly.hpp"
+
+namespace dtm {
+
+Butterfly::Butterfly(std::size_t dim_in) : dim(dim_in) {
+  DTM_REQUIRE(dim >= 1 && dim <= 16, "butterfly dimension out of [1,16]");
+  GraphBuilder b(num_nodes());
+  for (std::size_t l = 0; l < dim; ++l) {
+    for (std::size_t r = 0; r < rows(); ++r) {
+      b.add_edge(node_at(l, r), node_at(l + 1, r), 1);
+      b.add_edge(node_at(l, r), node_at(l + 1, r ^ (std::size_t{1} << l)), 1);
+    }
+  }
+  graph = b.build();
+}
+
+}  // namespace dtm

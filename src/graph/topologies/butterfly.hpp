@@ -1,0 +1,29 @@
+// (d+1)-level butterfly network with unit weights (§3.1): nodes are
+// (level, row) with level in [0, d] and row in [0, 2^d); node (l, r) is
+// joined to (l+1, r) (straight edge) and (l+1, r ^ 2^l) (cross edge).
+// Diameter Θ(d) = Θ(log n).
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace dtm {
+
+struct Butterfly {
+  explicit Butterfly(std::size_t dim);
+
+  std::size_t dim;
+  Graph graph;
+
+  std::size_t rows() const { return std::size_t{1} << dim; }
+  std::size_t levels() const { return dim + 1; }
+  std::size_t num_nodes() const { return levels() * rows(); }
+
+  NodeId node_at(std::size_t level, std::size_t row) const {
+    DTM_ASSERT(level < levels() && row < rows());
+    return static_cast<NodeId>(level * rows() + row);
+  }
+  std::size_t level_of(NodeId v) const { return v / rows(); }
+  std::size_t row_of(NodeId v) const { return v % rows(); }
+};
+
+}  // namespace dtm

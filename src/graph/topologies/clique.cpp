@@ -1,0 +1,16 @@
+#include "graph/topologies/clique.hpp"
+
+namespace dtm {
+
+Clique::Clique(std::size_t n_in) : n(n_in) {
+  DTM_REQUIRE(n >= 1, "clique needs at least 1 node");
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      b.add_edge(u, v, 1);
+    }
+  }
+  graph = b.build();
+}
+
+}  // namespace dtm

@@ -1,0 +1,17 @@
+// Complete graph on n nodes with unit edge weights (§3). Also stands in
+// for "any node can reach any other in one step" fabrics such as full
+// crossbars.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace dtm {
+
+struct Clique {
+  explicit Clique(std::size_t n);
+
+  std::size_t n;
+  Graph graph;
+};
+
+}  // namespace dtm

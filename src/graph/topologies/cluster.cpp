@@ -1,0 +1,36 @@
+#include "graph/topologies/cluster.hpp"
+
+namespace dtm {
+
+ClusterGraph::ClusterGraph(std::size_t alpha_in, std::size_t beta_in,
+                           Weight gamma_in)
+    : alpha(alpha_in), beta(beta_in), gamma(gamma_in) {
+  DTM_REQUIRE(alpha >= 1, "cluster graph needs at least one cluster");
+  DTM_REQUIRE(beta >= 1, "clusters need at least one node");
+  DTM_REQUIRE(gamma >= 1, "bridge weight must be positive");
+  GraphBuilder b(alpha * beta);
+  for (std::size_t c = 0; c < alpha; ++c) {
+    for (std::size_t i = 0; i < beta; ++i) {
+      for (std::size_t j = i + 1; j < beta; ++j) {
+        b.add_edge(node_at(c, i), node_at(c, j), 1);
+      }
+    }
+  }
+  for (std::size_t c = 0; c < alpha; ++c) {
+    for (std::size_t d = c + 1; d < alpha; ++d) {
+      b.add_edge(bridge_of(c), bridge_of(d), gamma);
+    }
+  }
+  graph = b.build();
+}
+
+Weight ClusterGraph::cluster_distance(NodeId u, NodeId v) const {
+  if (u == v) return 0;
+  if (cluster_of(u) == cluster_of(v)) return 1;
+  Weight d = gamma;
+  if (!is_bridge(u)) d += 1;
+  if (!is_bridge(v)) d += 1;
+  return d;
+}
+
+}  // namespace dtm

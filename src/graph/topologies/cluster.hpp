@@ -1,0 +1,35 @@
+// Cluster graph (§6, Fig. 3): α cliques ("clusters") of β nodes each, unit
+// weights inside a cluster. Each cluster designates node 0 as its bridge;
+// every pair of bridges is joined by an edge of weight γ. The paper's
+// analysis assumes γ ≥ β ("clusters far apart"); the builder allows any
+// γ ≥ 1 and exposes the parameters so schedulers can check the assumption.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace dtm {
+
+struct ClusterGraph {
+  ClusterGraph(std::size_t alpha, std::size_t beta, Weight gamma);
+
+  std::size_t alpha;  // number of clusters
+  std::size_t beta;   // nodes per cluster
+  Weight gamma;       // bridge-edge weight
+  Graph graph;
+
+  std::size_t num_nodes() const { return alpha * beta; }
+
+  NodeId node_at(std::size_t cluster, std::size_t i) const {
+    DTM_ASSERT(cluster < alpha && i < beta);
+    return static_cast<NodeId>(cluster * beta + i);
+  }
+  std::size_t cluster_of(NodeId v) const { return v / beta; }
+  NodeId bridge_of(std::size_t cluster) const { return node_at(cluster, 0); }
+  bool is_bridge(NodeId v) const { return v % beta == 0; }
+
+  /// Closed-form shortest distance (1 inside a cluster; through the two
+  /// bridges otherwise).
+  Weight cluster_distance(NodeId u, NodeId v) const;
+};
+
+}  // namespace dtm

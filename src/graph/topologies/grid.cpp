@@ -1,0 +1,18 @@
+#include "graph/topologies/grid.hpp"
+
+namespace dtm {
+
+Grid::Grid(std::size_t rows_in, std::size_t cols_in)
+    : rows(rows_in), cols(cols_in) {
+  DTM_REQUIRE(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  GraphBuilder b(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(node_at(r, c), node_at(r, c + 1), 1);
+      if (r + 1 < rows) b.add_edge(node_at(r, c), node_at(r + 1, c), 1);
+    }
+  }
+  graph = b.build();
+}
+
+}  // namespace dtm

@@ -1,0 +1,38 @@
+// 2-D mesh (grid) with unit weights (§5, Fig. 2). Models NoCs / systems on
+// chips (XMOS, Xeon Phi). Coordinates are (row, col) with (0,0) at the top
+// left, matching the paper's orientation.
+#pragma once
+
+#include <cstdlib>
+
+#include "graph/graph.hpp"
+
+namespace dtm {
+
+struct Grid {
+  Grid(std::size_t rows, std::size_t cols);
+
+  /// Square n×n grid as in §5.
+  explicit Grid(std::size_t n) : Grid(n, n) {}
+
+  std::size_t rows, cols;
+  Graph graph;
+
+  NodeId node_at(std::size_t r, std::size_t c) const {
+    DTM_ASSERT(r < rows && c < cols);
+    return static_cast<NodeId>(r * cols + c);
+  }
+  std::size_t row_of(NodeId v) const { return v / cols; }
+  std::size_t col_of(NodeId v) const { return v % cols; }
+
+  /// Manhattan distance (closed form; equals graph shortest distance).
+  Weight grid_distance(NodeId u, NodeId v) const {
+    const auto dr = static_cast<std::int64_t>(row_of(u)) -
+                    static_cast<std::int64_t>(row_of(v));
+    const auto dc = static_cast<std::int64_t>(col_of(u)) -
+                    static_cast<std::int64_t>(col_of(v));
+    return std::abs(dr) + std::abs(dc);
+  }
+};
+
+}  // namespace dtm

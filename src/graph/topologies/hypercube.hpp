@@ -1,0 +1,25 @@
+// d-dimensional binary hypercube with unit weights (§3.1): 2^d nodes, an
+// edge between ids differing in exactly one bit. Diameter d = log2(n).
+#pragma once
+
+#include <bit>
+
+#include "graph/graph.hpp"
+
+namespace dtm {
+
+struct Hypercube {
+  explicit Hypercube(std::size_t dim);
+
+  std::size_t dim;
+  Graph graph;
+
+  std::size_t num_nodes() const { return std::size_t{1} << dim; }
+
+  /// Hamming distance (closed form; equals graph shortest distance).
+  static Weight cube_distance(NodeId u, NodeId v) {
+    return std::popcount(u ^ v);
+  }
+};
+
+}  // namespace dtm

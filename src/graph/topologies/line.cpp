@@ -1,0 +1,14 @@
+#include "graph/topologies/line.hpp"
+
+namespace dtm {
+
+Line::Line(std::size_t n_in) : n(n_in) {
+  DTM_REQUIRE(n >= 1, "line needs at least 1 node");
+  GraphBuilder b(n);
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    b.add_edge(u, u + 1, 1);
+  }
+  graph = b.build();
+}
+
+}  // namespace dtm

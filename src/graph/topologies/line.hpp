@@ -1,0 +1,21 @@
+// Line (path) graph v_1 — v_2 — ... — v_n with unit weights (§4, Fig. 1).
+// Models bus-style architectures, e.g. boards in a rack.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace dtm {
+
+struct Line {
+  explicit Line(std::size_t n);
+
+  std::size_t n;
+  Graph graph;
+
+  /// Distance between two line nodes is |u - v| (closed form, no search).
+  static Weight line_distance(NodeId u, NodeId v) {
+    return u > v ? static_cast<Weight>(u - v) : static_cast<Weight>(v - u);
+  }
+};
+
+}  // namespace dtm

@@ -1,0 +1,20 @@
+#include "graph/topologies/topology.hpp"
+
+namespace dtm {
+
+const char* to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kClique: return "clique";
+    case TopologyKind::kLine: return "line";
+    case TopologyKind::kGrid: return "grid";
+    case TopologyKind::kCluster: return "cluster";
+    case TopologyKind::kHypercube: return "hypercube";
+    case TopologyKind::kButterfly: return "butterfly";
+    case TopologyKind::kStar: return "star";
+    case TopologyKind::kBlockGrid: return "block_grid";
+    case TopologyKind::kBlockTree: return "block_tree";
+  }
+  return "unknown";
+}
+
+}  // namespace dtm

@@ -1,0 +1,21 @@
+// Shared identifiers for the specialized network families studied in the
+// paper (§1, §3–§8).
+#pragma once
+
+namespace dtm {
+
+enum class TopologyKind {
+  kClique,     // §3  complete graph, unit weights
+  kLine,       // §4  path graph, unit weights
+  kGrid,       // §5  2-D mesh, unit weights
+  kCluster,    // §6  cliques joined by weight-γ bridge edges
+  kHypercube,  // §3.1 d-dimensional binary hypercube
+  kButterfly,  // §3.1 (d+1)-level butterfly
+  kStar,       // §7  α rays of β nodes around a center
+  kBlockGrid,  // §8.1 lower-bound grid of s blocks
+  kBlockTree,  // §8.2 lower-bound tree of s blocks
+};
+
+const char* to_string(TopologyKind kind);
+
+}  // namespace dtm

@@ -1,0 +1,56 @@
+#include "graph/transform.hpp"
+
+#include <algorithm>
+
+namespace dtm {
+
+Graph jitter_weights(const Graph& g, Weight max_factor, Rng& rng) {
+  DTM_REQUIRE(max_factor >= 1, "jitter factor must be >= 1");
+  GraphBuilder b(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Arc& a : g.neighbors(u)) {
+      if (u < a.to) {
+        const Weight f = static_cast<Weight>(
+            rng.uniform(1, static_cast<std::uint64_t>(max_factor)));
+        b.add_edge(u, a.to, a.weight * f);
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph subgraph(const Graph& g, const std::vector<NodeId>& nodes,
+               std::vector<NodeId>* old_to_new) {
+  DTM_REQUIRE(!nodes.empty(), "subgraph needs at least one node");
+  std::vector<NodeId> mapping(g.num_nodes(), kInvalidNode);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    DTM_REQUIRE(nodes[i] < g.num_nodes(), "subgraph node out of range");
+    DTM_REQUIRE(mapping[nodes[i]] == kInvalidNode,
+                "duplicate node " << nodes[i] << " in subgraph set");
+    mapping[nodes[i]] = static_cast<NodeId>(i);
+  }
+  GraphBuilder b(nodes.size());
+  for (NodeId u : nodes) {
+    for (const Arc& a : g.neighbors(u)) {
+      if (mapping[a.to] != kInvalidNode && u < a.to) {
+        b.add_edge(mapping[u], mapping[a.to], a.weight);
+      }
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(mapping);
+  return b.build();
+}
+
+double synchronicity_factor(const Graph& g) {
+  Weight min_w = kInfiniteWeight, max_w = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Arc& a : g.neighbors(u)) {
+      min_w = std::min(min_w, a.weight);
+      max_w = std::max(max_w, a.weight);
+    }
+  }
+  if (max_w == 0) return 1.0;
+  return static_cast<double>(max_w) / static_cast<double>(min_w);
+}
+
+}  // namespace dtm

@@ -1,0 +1,34 @@
+// Graph transformations used by the model-extension experiments.
+//
+// The paper's conclusion notes that without full synchrony the bounds scale
+// with the "synchronicity factor" (max delay / min delay). jitter_weights()
+// builds that workload: every edge weight is scaled by an independent
+// random factor in [1, factor], turning a unit-weight topology into a
+// heterogeneous-delay one. subgraph() extracts induced subgraphs (used by
+// tests to cross-check the schedulers' internal decompositions).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+
+/// Returns a copy of `g` with every edge weight multiplied by an integer
+/// factor drawn uniformly from [1, max_factor]. max_factor == 1 returns an
+/// identical graph. The result's synchronicity factor (max/min edge delay)
+/// is at most max_factor times the input's.
+Graph jitter_weights(const Graph& g, Weight max_factor, Rng& rng);
+
+/// Induced subgraph on `nodes` (need not be sorted; duplicates rejected).
+/// Returns the subgraph plus the mapping old->new in `old_to_new`
+/// (kInvalidNode for nodes outside the subset).
+Graph subgraph(const Graph& g, const std::vector<NodeId>& nodes,
+               std::vector<NodeId>* old_to_new = nullptr);
+
+/// Measured synchronicity factor: max edge weight / min edge weight
+/// (1 for edgeless graphs).
+double synchronicity_factor(const Graph& g);
+
+}  // namespace dtm

@@ -1,0 +1,47 @@
+#include "lb/bounds.hpp"
+
+#include <algorithm>
+
+#include "lb/object_walk.hpp"
+
+namespace dtm {
+
+Weight InstanceBounds::max_walk_lower() const {
+  Weight best = 0;
+  for (Weight v : walk_lower) best = std::max(best, v);
+  return best;
+}
+
+Weight InstanceBounds::max_walk_upper() const {
+  Weight best = 0;
+  for (Weight v : walk_upper) best = std::max(best, v);
+  return best;
+}
+
+InstanceBounds compute_bounds(const Instance& inst, const Metric& metric,
+                              std::size_t exact_limit) {
+  InstanceBounds out;
+  out.walk_lower.assign(inst.num_objects(), 0);
+  out.walk_upper.assign(inst.num_objects(), 0);
+  if (inst.num_transactions() > 0) out.makespan_lb = 1;
+  for (ObjectId o = 0; o < inst.num_objects(); ++o) {
+    const auto& reqs = inst.requesters(o);
+    if (reqs.empty()) continue;
+    std::vector<NodeId> targets;
+    targets.reserve(reqs.size());
+    for (TxnId t : reqs) targets.push_back(inst.txn(t).home);
+    const WalkBounds wb =
+        walk_bounds(metric, inst.object_home(o), targets, exact_limit);
+    out.walk_lower[o] = wb.lower;
+    out.walk_upper[o] = wb.upper;
+    const Time obj_lb =
+        std::max<Time>(wb.lower, static_cast<Time>(reqs.size()));
+    if (obj_lb > out.makespan_lb) {
+      out.makespan_lb = obj_lb;
+      out.critical_object = o;
+    }
+  }
+  return out;
+}
+
+}  // namespace dtm

@@ -1,0 +1,36 @@
+// Instance-level execution-time lower bounds. Benches divide measured
+// makespans by these to report certified approximation ratios.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "graph/metric.hpp"
+
+namespace dtm {
+
+struct InstanceBounds {
+  /// Certified lower bound on the makespan of ANY feasible schedule:
+  ///   max over objects o of max( walk_lb(o), |requesters(o)| ),
+  /// and at least 1 when any transaction exists.
+  /// (Each of an object's requesters commits at a distinct step and
+  /// consecutive commits are separated by at least their distance, so both
+  /// the requester count and the shortest-walk length bound the makespan.)
+  Time makespan_lb = 0;
+  /// Index of the object attaining the bound (kInvalidObject if none).
+  ObjectId critical_object = kInvalidObject;
+  /// Per-object walk lower/upper bounds (upper = feasible tour length; the
+  /// §8 experiments report the max upper as "the objects' TSP length").
+  std::vector<Weight> walk_lower;
+  std::vector<Weight> walk_upper;
+
+  Weight max_walk_lower() const;
+  Weight max_walk_upper() const;
+};
+
+/// Computes all bounds. `exact_limit` caps the Held–Karp terminal count
+/// (see lb/object_walk.hpp).
+InstanceBounds compute_bounds(const Instance& inst, const Metric& metric,
+                              std::size_t exact_limit = 14);
+
+}  // namespace dtm

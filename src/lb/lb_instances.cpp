@@ -1,0 +1,67 @@
+#include "lb/lb_instances.hpp"
+
+#include <vector>
+
+namespace dtm {
+
+namespace {
+
+/// Shared assembly over either block topology. `block_nodes(i)` must list
+/// block i's nodes and `h1_top_left` is H_1's corner node.
+template <typename BlockTopo>
+Instance build_block_instance(const BlockTopo& topo, std::size_t s,
+                              NodeId h1_top_left, Rng& rng) {
+  const auto w = static_cast<ObjectId>(2 * s);
+  InstanceBuilder b(topo.graph, w);
+
+  // b_draw[v] = which B object the transaction at node v picked.
+  std::vector<ObjectId> b_draw(topo.num_nodes());
+  for (std::size_t block = 0; block < s; ++block) {
+    for (NodeId v : topo.block_nodes(block)) {
+      const auto b_obj = static_cast<ObjectId>(s + rng.index(s));
+      b_draw[v] = b_obj;
+      b.add_transaction(v, {static_cast<ObjectId>(block), b_obj});
+    }
+  }
+
+  // Objects in A all start at H_1's top-left corner.
+  for (std::size_t block = 0; block < s; ++block) {
+    b.set_object_home(static_cast<ObjectId>(block), h1_top_left);
+  }
+  // Each b_j starts at a node of H_1 that requested it, if any.
+  std::vector<NodeId> b_home(s, h1_top_left);
+  std::vector<char> found(s, 0);
+  for (NodeId v : topo.block_nodes(0)) {
+    const std::size_t j = b_draw[v] - s;
+    if (!found[j]) {
+      found[j] = 1;
+      b_home[j] = v;
+    }
+  }
+  for (std::size_t j = 0; j < s; ++j) {
+    b.set_object_home(static_cast<ObjectId>(s + j), b_home[j]);
+  }
+  return b.build();
+}
+
+}  // namespace
+
+LowerBoundInstance make_lb_grid(std::size_t s, Rng& rng) {
+  LowerBoundInstance out;
+  out.s = s;
+  out.grid = std::make_unique<BlockGrid>(s);
+  out.instance = build_block_instance(*out.grid, s,
+                                      out.grid->block_top_left(0), rng);
+  return out;
+}
+
+LowerBoundInstance make_lb_tree(std::size_t s, Rng& rng) {
+  LowerBoundInstance out;
+  out.s = s;
+  out.tree = std::make_unique<BlockTree>(s);
+  out.instance = build_block_instance(*out.tree, s,
+                                      out.tree->block_top_left(0), rng);
+  return out;
+}
+
+}  // namespace dtm

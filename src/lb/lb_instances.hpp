@@ -1,0 +1,52 @@
+// The §8 adversarial problem instances (Fig. 5 / Fig. 6): s blocks
+// H_1..H_s, object set O = A ∪ B with |A| = |B| = s, two objects per
+// transaction:
+//   * a_i ∈ A is requested by every transaction of block H_i and starts at
+//     the top-left corner of H_1;
+//   * each transaction additionally picks one b_j ∈ B uniformly at random;
+//     b_j starts at a node of H_1 that requests it (top-left of H_1 if
+//     nobody in H_1 drew it).
+//
+// The paper proves (Theorem 6) that on these instances every schedule runs
+// Ω(n^{1/40}/log n) above the objects' TSP tour lengths — bench E7/E8
+// measures exactly that gap.
+#pragma once
+
+#include <memory>
+
+#include "core/instance.hpp"
+#include "graph/topologies/block_grid.hpp"
+#include "graph/topologies/block_tree.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+
+struct LowerBoundInstance {
+  /// Exactly one of these is set, and owns the graph `instance` refers to.
+  std::unique_ptr<BlockGrid> grid;
+  std::unique_ptr<BlockTree> tree;
+  Instance instance;
+  std::size_t s = 0;
+
+  /// Object ids: A objects are [0, s), B objects are [s, 2s).
+  ObjectId a_object(std::size_t block) const {
+    DTM_ASSERT(block < s);
+    return static_cast<ObjectId>(block);
+  }
+  ObjectId b_object(std::size_t j) const {
+    DTM_ASSERT(j < s);
+    return static_cast<ObjectId>(s + j);
+  }
+
+  const Graph& graph() const {
+    return grid ? grid->graph : tree->graph;
+  }
+};
+
+/// §8.1 grid construction. `s` must be a perfect square; n = s^{5/2} nodes.
+LowerBoundInstance make_lb_grid(std::size_t s, Rng& rng);
+
+/// §8.2 tree construction (same block layout, tree-shaped blocks).
+LowerBoundInstance make_lb_tree(std::size_t s, Rng& rng);
+
+}  // namespace dtm

@@ -1,0 +1,61 @@
+#include "lb/object_walk.hpp"
+
+#include <algorithm>
+
+#include "lb/tsp.hpp"
+
+namespace dtm {
+
+WalkBounds walk_bounds(const Metric& metric, NodeId start,
+                       const std::vector<NodeId>& targets,
+                       std::size_t exact_limit) {
+  // Deduplicate terminals; the walk starts at `start`.
+  std::vector<NodeId> terms = {start};
+  {
+    auto rest = targets;
+    std::sort(rest.begin(), rest.end());
+    rest.erase(std::unique(rest.begin(), rest.end()), rest.end());
+    for (NodeId v : rest) {
+      if (v != start) terms.push_back(v);
+    }
+  }
+  WalkBounds out;
+  if (terms.size() == 1) {
+    out.exact = true;
+    return out;  // nothing to visit
+  }
+  TerminalDistances td(metric, std::move(terms));
+  if (td.size() <= exact_limit) {
+    const Weight exact = held_karp_path(td);
+    return {exact, exact, true};
+  }
+  // Lower bound: a walk from terminal 0 visiting all terminals spans a
+  // connected subgraph containing them, so its length is at least the
+  // Steiner-tree weight, which is at least MST(metric closure)/2. It is
+  // also at least the distance to the farthest terminal and at least
+  // (#terminals - 1) since consecutive distinct nodes are >= 1 apart.
+  Weight farthest = 0;
+  for (std::size_t i = 1; i < td.size(); ++i) {
+    farthest = std::max(farthest, td.at(0, i));
+  }
+  const Weight mst = mst_weight(td);
+  out.lower = std::max({farthest, (mst + 1) / 2,
+                        static_cast<Weight>(td.size() - 1)});
+  nearest_neighbor_two_opt(td, &out.upper);
+  DTM_ASSERT(out.upper >= out.lower);
+  return out;
+}
+
+Weight line_walk_length(NodeId start, const std::vector<NodeId>& targets) {
+  if (targets.empty()) return 0;
+  const auto [lo_it, hi_it] = std::minmax_element(targets.begin(), targets.end());
+  const auto lo = static_cast<Weight>(*lo_it);
+  const auto hi = static_cast<Weight>(*hi_it);
+  const auto s = static_cast<Weight>(start);
+  const Weight to_lo = std::abs(s - lo);
+  const Weight to_hi = std::abs(s - hi);
+  // Sweep to the nearer extreme first, then across to the other.
+  return (hi - lo) + std::min(to_lo, to_hi);
+}
+
+}  // namespace dtm

@@ -1,0 +1,36 @@
+// Per-object walk bounds: the length an object must travel to serve all its
+// requesters from its initial node. The maximum over objects is the
+// execution-time lower bound the paper measures its schedules against
+// (§2.3, §8: "the maximum shortest walk of any object is a lower bound").
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "graph/metric.hpp"
+
+namespace dtm {
+
+struct WalkBounds {
+  /// Certified lower bound on the shortest walk from the start visiting all
+  /// targets (max of: farthest target distance, Steiner/MST bound, distinct
+  /// visit count). When `exact` is true, lower == upper == exact value.
+  Weight lower = 0;
+  /// Feasible walk length (exact DP for small sets, NN+2-opt otherwise).
+  Weight upper = 0;
+  bool exact = false;
+};
+
+/// Walk bounds from `start` over `targets` (duplicates allowed & ignored;
+/// `start` itself may appear). `exact_limit` is the largest terminal count
+/// solved with the Held–Karp DP.
+WalkBounds walk_bounds(const Metric& metric, NodeId start,
+                       const std::vector<NodeId>& targets,
+                       std::size_t exact_limit = 14);
+
+/// Closed-form shortest walk on a line graph: start at `start`, visit every
+/// position in `targets` (node ids are line positions). Used by the §4 Line
+/// scheduler to compute ℓ exactly.
+Weight line_walk_length(NodeId start, const std::vector<NodeId>& targets);
+
+}  // namespace dtm

@@ -1,0 +1,120 @@
+#include "lb/tsp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace dtm {
+
+TerminalDistances::TerminalDistances(const Metric& metric,
+                                     std::vector<NodeId> terminals)
+    : terminals_(std::move(terminals)) {
+  const std::size_t r = terminals_.size();
+  DTM_REQUIRE(r >= 1, "TerminalDistances: empty terminal set");
+  d_.resize(r * r, 0);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = i + 1; j < r; ++j) {
+      const Weight d = metric.distance(terminals_[i], terminals_[j]);
+      d_[i * r + j] = d;
+      d_[j * r + i] = d;
+    }
+  }
+}
+
+Weight held_karp_path(const TerminalDistances& td) {
+  const std::size_t r = td.size();
+  DTM_REQUIRE(r <= 18, "held_karp_path: too many terminals (" << r << ")");
+  if (r == 1) return 0;
+  // dp[mask][j]: shortest path starting at 0, visiting exactly the
+  // terminals in mask (mask always contains bit 0), ending at j.
+  const std::size_t full = (std::size_t{1} << r) - 1;
+  std::vector<Weight> dp((full + 1) * r, kInfiniteWeight);
+  dp[(std::size_t{1}) * r + 0] = 0;
+  for (std::size_t mask = 1; mask <= full; ++mask) {
+    if (!(mask & 1)) continue;  // start terminal must be in the set
+    for (std::size_t j = 0; j < r; ++j) {
+      const Weight cur = dp[mask * r + j];
+      if (cur >= kInfiniteWeight || !(mask & (std::size_t{1} << j))) continue;
+      for (std::size_t next = 1; next < r; ++next) {
+        if (mask & (std::size_t{1} << next)) continue;
+        const std::size_t nmask = mask | (std::size_t{1} << next);
+        Weight& slot = dp[nmask * r + next];
+        slot = std::min(slot, cur + td.at(j, next));
+      }
+    }
+  }
+  Weight best = kInfiniteWeight;
+  for (std::size_t j = 0; j < r; ++j) {
+    best = std::min(best, dp[full * r + j]);
+  }
+  DTM_ASSERT(best < kInfiniteWeight);
+  return best;
+}
+
+Weight mst_weight(const TerminalDistances& td) {
+  const std::size_t r = td.size();
+  if (r <= 1) return 0;
+  std::vector<Weight> key(r, kInfiniteWeight);
+  std::vector<char> used(r, 0);
+  key[0] = 0;
+  Weight total = 0;
+  for (std::size_t iter = 0; iter < r; ++iter) {
+    std::size_t u = r;
+    for (std::size_t i = 0; i < r; ++i) {
+      if (!used[i] && (u == r || key[i] < key[u])) u = i;
+    }
+    used[u] = 1;
+    total += key[u];
+    for (std::size_t v = 0; v < r; ++v) {
+      if (!used[v]) key[v] = std::min(key[v], td.at(u, v));
+    }
+  }
+  return total;
+}
+
+std::vector<std::size_t> nearest_neighbor_two_opt(const TerminalDistances& td,
+                                                  Weight* length) {
+  const std::size_t r = td.size();
+  std::vector<std::size_t> order;
+  order.reserve(r);
+  std::vector<char> used(r, 0);
+  order.push_back(0);
+  used[0] = 1;
+  while (order.size() < r) {
+    const std::size_t cur = order.back();
+    std::size_t best = r;
+    for (std::size_t v = 0; v < r; ++v) {
+      if (!used[v] && (best == r || td.at(cur, v) < td.at(cur, best))) {
+        best = v;
+      }
+    }
+    used[best] = 1;
+    order.push_back(best);
+  }
+  // 2-opt on the open path (keep position 0 fixed: it is the walk start).
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 1; i + 1 < r; ++i) {
+      for (std::size_t j = i + 1; j < r; ++j) {
+        // Reversing order[i..j] changes edges (i-1,i) and (j,j+1).
+        const Weight before = td.at(order[i - 1], order[i]) +
+                              (j + 1 < r ? td.at(order[j], order[j + 1]) : 0);
+        const Weight after = td.at(order[i - 1], order[j]) +
+                             (j + 1 < r ? td.at(order[i], order[j + 1]) : 0);
+        if (after < before) {
+          std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i),
+                       order.begin() + static_cast<std::ptrdiff_t>(j + 1));
+          improved = true;
+        }
+      }
+    }
+  }
+  if (length != nullptr) {
+    Weight len = 0;
+    for (std::size_t i = 0; i + 1 < r; ++i) len += td.at(order[i], order[i + 1]);
+    *length = len;
+  }
+  return order;
+}
+
+}  // namespace dtm

@@ -1,0 +1,50 @@
+// Traveling-salesman machinery over metric closures of requester sets.
+//
+// The paper's lower bounds compare execution time to per-object shortest
+// walks / TSP tours (§2.3, §8). For small requester sets we solve the
+// shortest Hamiltonian path exactly (Held–Karp); for larger sets we bound
+// it from below (MST-based Steiner bound) and from above (nearest neighbor
+// + 2-opt).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/metric.hpp"
+
+namespace dtm {
+
+/// Dense pairwise distances over an explicit terminal list; index i refers
+/// to terminals[i]. Built once so TSP routines don't re-query the metric.
+class TerminalDistances {
+ public:
+  TerminalDistances(const Metric& metric, std::vector<NodeId> terminals);
+
+  std::size_t size() const { return terminals_.size(); }
+  NodeId terminal(std::size_t i) const { return terminals_[i]; }
+  Weight at(std::size_t i, std::size_t j) const {
+    DTM_ASSERT(i < size() && j < size());
+    return d_[i * size() + j];
+  }
+
+ private:
+  std::vector<NodeId> terminals_;
+  std::vector<Weight> d_;
+};
+
+/// Exact shortest walk visiting all terminals starting from terminals[0]
+/// (shortest Hamiltonian path on the metric closure; by triangle inequality
+/// of shortest-path distances this equals the shortest walk in G).
+/// Requires size <= 18 (O(2^r r^2) DP); practical for r <= 16.
+Weight held_karp_path(const TerminalDistances& td);
+
+/// Minimum-spanning-tree weight over the terminals (Prim).
+Weight mst_weight(const TerminalDistances& td);
+
+/// Nearest-neighbor walk from terminals[0] followed by 2-opt improvement.
+/// Returns the visiting order (indices into td) of all terminals starting
+/// with 0; `length` receives the walk length.
+std::vector<std::size_t> nearest_neighbor_two_opt(const TerminalDistances& td,
+                                                  Weight* length);
+
+}  // namespace dtm

@@ -1,0 +1,56 @@
+// Baseline schedulers for ratio ground truth and sanity comparisons.
+//
+//  * OrderScheduler — fixes a global transaction order (by id or random),
+//    induces per-object visit orders from it, and commits each transaction
+//    at its earliest feasible time (longest path in the precedence DAG).
+//    With strict_sequential set, additionally forces one-at-a-time
+//    execution (the naive "token passing" baseline).
+//  * ExactScheduler — enumerates ALL global orders and keeps the best.
+//    Every feasible schedule's per-object orders are jointly acyclic and
+//    hence arise from some global order (DESIGN.md §4.6), so this is the
+//    true optimum. Practical for n <= 9 transactions.
+#pragma once
+
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+
+struct OrderOptions {
+  /// Shuffle the order (seeded); otherwise ascending TxnId.
+  bool randomize = false;
+  /// Chain every transaction after the previous one (strictly serial).
+  bool strict_sequential = false;
+  std::uint64_t seed = 1;
+};
+
+class OrderScheduler final : public Scheduler {
+ public:
+  explicit OrderScheduler(OrderOptions opts = {});
+
+  std::string name() const override;
+  Schedule run(const Instance& inst, const Metric& metric) override;
+
+ private:
+  OrderOptions opts_;
+  Rng rng_;
+};
+
+/// Exhaustive optimal scheduler. Throws dtm::Error when the instance has
+/// more than `max_transactions` transactions.
+class ExactScheduler final : public Scheduler {
+ public:
+  explicit ExactScheduler(std::size_t max_transactions = 9);
+
+  std::string name() const override { return "exact"; }
+  Schedule run(const Instance& inst, const Metric& metric) override;
+
+  /// Makespan of the best schedule found by the last run().
+  Time best_makespan() const { return best_makespan_; }
+
+ private:
+  std::size_t max_transactions_;
+  Time best_makespan_ = 0;
+};
+
+}  // namespace dtm

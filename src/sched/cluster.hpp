@@ -1,0 +1,83 @@
+// Cluster-graph scheduler (§6, Theorem 4, Algorithm 1, Fig. 3).
+//
+// Approach 1: the plain §2.3 greedy schedule on the whole graph — an
+// O(kβ) approximation (Lemma 6). Exact when every object stays within one
+// cluster (then greedy is O(k), the first case of Theorem 4).
+//
+// Approach 2 (Algorithm 1): randomized phases and rounds.
+//   ψ = ⌈σ/(24 ln m)⌉ phases; every cluster joins a uniformly random phase.
+//   A phase is a sequence of rounds of duration R = β + γ + 2 steps:
+//     - each object still needed by an active cluster picks one uniformly
+//       at random among the active clusters needing it and travels to that
+//       cluster's bridge node (takes ≤ γ + 1 steps);
+//     - transactions whose k objects all picked their cluster are
+//       "enabled" and execute inside the round under the greedy schedule
+//       (clique ⇒ h_max = 1, ≤ β colors; the round length covers both).
+//   A transaction is enabled with probability ≥ 1/ξ^k per round (Lemma 8),
+//   so O(ξ^k ln m) rounds finish a phase w.h.p.
+//
+// Implementation notes (DESIGN.md §4.5): the algorithm is Las-Vegas — we
+// run rounds until the phase's transactions are all committed instead of
+// the astronomically safe ζ = 2·40^k⌈ln^{k+1} m⌉ budget, and after
+// `force_after` fruitless rounds we derandomize one round (all objects of
+// the oldest pending transaction pick its cluster), which guarantees
+// progress without breaking feasibility. Bench E10 measures how many
+// rounds are actually needed.
+#pragma once
+
+#include "graph/topologies/cluster.hpp"
+#include "sched/greedy.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+
+enum class ClusterApproach {
+  kGreedy,      // Approach 1
+  kRandomized,  // Approach 2 (Algorithm 1)
+  /// Pick per Theorem 4: Approach 1 when kβ <= 40^k ln^k m or σ <= 1,
+  /// else Approach 2. Faithful to the paper's min(...) but conservative —
+  /// Approach 2 usually beats its 40^k ln^k m bound by a wide margin.
+  kAuto,
+  /// Compute both schedules and keep the one with the smaller makespan
+  /// (legitimate for an offline scheduler; costs two scheduling passes).
+  kBest,
+};
+
+struct ClusterSchedulerOptions {
+  ClusterApproach approach = ClusterApproach::kAuto;
+  /// Coloring rule for greedy sub-schedules.
+  ColoringRule rule = ColoringRule::kPaperPigeonhole;
+  /// Derandomize a round after this many consecutive rounds without any
+  /// commit in the current phase (0 = never force).
+  std::size_t force_after = 64;
+  std::uint64_t seed = 1;
+};
+
+struct ClusterRunStats {
+  std::size_t sigma = 0;        // realized max cluster spread
+  std::size_t phases = 0;       // ψ actually used (Approach 2)
+  std::size_t total_rounds = 0; // across all phases (Approach 2)
+  std::size_t forced_rounds = 0;
+  bool used_randomized = false;
+};
+
+class ClusterScheduler final : public Scheduler {
+ public:
+  ClusterScheduler(const ClusterGraph& topo, ClusterSchedulerOptions opts = {});
+
+  std::string name() const override;
+  Schedule run(const Instance& inst, const Metric& metric) override;
+
+  const ClusterRunStats& last_stats() const { return stats_; }
+
+ private:
+  Schedule run_randomized(const Instance& inst, const Metric& metric);
+
+  const ClusterGraph* topo_;
+  ClusterSchedulerOptions opts_;
+  Rng rng_;
+  ClusterRunStats stats_;
+};
+
+}  // namespace dtm

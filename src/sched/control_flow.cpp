@@ -1,0 +1,122 @@
+#include "sched/control_flow.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+namespace dtm {
+
+Time ControlFlowResult::makespan() const {
+  Time best = 0;
+  for (Time t : commit_time) best = std::max(best, t);
+  return best;
+}
+
+ControlFlowResult schedule_control_flow(const Instance& inst,
+                                        const Metric& metric,
+                                        ControlFlowOrder order) {
+  const std::size_t n = inst.num_transactions();
+  ControlFlowResult out;
+  out.object_order.resize(inst.num_objects());
+
+  // A global priority keeps the per-object orders jointly acyclic (any
+  // per-object mix of local orders can deadlock the precedence system).
+  // kNearestFirst uses total round-trip work as the key — the SPT rule
+  // applied globally.
+  std::vector<Weight> work(n, 0);
+  if (order == ControlFlowOrder::kNearestFirst) {
+    for (const Transaction& t : inst.transactions()) {
+      for (ObjectId o : t.objects) {
+        work[t.id] += 2 * metric.distance(inst.object_home(o), t.home);
+      }
+    }
+  }
+  for (ObjectId o = 0; o < inst.num_objects(); ++o) {
+    auto& service = out.object_order[o];
+    service = inst.requesters(o);
+    if (order == ControlFlowOrder::kNearestFirst) {
+      std::stable_sort(service.begin(), service.end(), [&](TxnId a, TxnId b) {
+        return work[a] != work[b] ? work[a] < work[b] : a < b;
+      });
+    }
+  }
+
+  // Longest path over the service-order DAG with round-trip edge weights.
+  struct Succ {
+    TxnId next;
+    Weight round_trip;  // 2·dist(home(o), node(next))
+  };
+  std::vector<std::vector<Succ>> succ(n);
+  std::vector<std::size_t> indegree(n, 0);
+  std::vector<Time> time(n, 1);
+  for (ObjectId o = 0; o < inst.num_objects(); ++o) {
+    const NodeId home = inst.object_home(o);
+    const auto& service = out.object_order[o];
+    for (std::size_t i = 0; i < service.size(); ++i) {
+      const Weight rt = 2 * metric.distance(home, inst.txn(service[i]).home);
+      out.communication += rt;
+      if (i == 0) {
+        // First access only waits for its own round trip.
+        time[service[0]] = std::max(time[service[0]], std::max<Time>(rt, 1));
+      } else {
+        succ[service[i - 1]].push_back({service[i], rt});
+        ++indegree[service[i]];
+      }
+    }
+  }
+  std::queue<TxnId> q;
+  for (TxnId t = 0; t < n; ++t) {
+    if (indegree[t] == 0) q.push(t);
+  }
+  std::size_t processed = 0;
+  while (!q.empty()) {
+    const TxnId t = q.front();
+    q.pop();
+    ++processed;
+    for (const Succ& s : succ[t]) {
+      time[s.next] = std::max(time[s.next], time[t] + s.round_trip);
+      if (--indegree[s.next] == 0) q.push(s.next);
+    }
+  }
+  DTM_ASSERT_MSG(processed == n, "control-flow service orders form a cycle");
+  out.commit_time = std::move(time);
+  return out;
+}
+
+std::string check_control_flow(const Instance& inst, const Metric& metric,
+                               const ControlFlowResult& r) {
+  if (r.commit_time.size() != inst.num_transactions()) {
+    return "commit_time size mismatch";
+  }
+  for (TxnId t = 0; t < inst.num_transactions(); ++t) {
+    if (r.commit_time[t] < 1) {
+      std::ostringstream os;
+      os << "T" << t << " commits before step 1";
+      return os.str();
+    }
+  }
+  for (ObjectId o = 0; o < inst.num_objects(); ++o) {
+    auto sorted = r.object_order[o];
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted != inst.requesters(o)) {
+      std::ostringstream os;
+      os << "o" << o << " service order is not a permutation";
+      return os.str();
+    }
+    const NodeId home = inst.object_home(o);
+    Time prev = 0;
+    for (TxnId t : r.object_order[o]) {
+      const Weight rt = 2 * metric.distance(home, inst.txn(t).home);
+      if (r.commit_time[t] < prev + rt) {
+        std::ostringstream os;
+        os << "o" << o << ": T" << t << " commits at " << r.commit_time[t]
+           << " < previous release " << prev << " + round trip " << rt;
+        return os.str();
+      }
+      prev = r.commit_time[t];
+    }
+  }
+  return "";
+}
+
+}  // namespace dtm

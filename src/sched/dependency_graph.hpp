@@ -1,0 +1,51 @@
+// Transaction dependency (conflict) graph H (§2.3): one node per
+// transaction, an edge between transactions sharing at least one object,
+// edge weight = distance in G between their home nodes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "graph/metric.hpp"
+
+namespace dtm {
+
+struct DependencyEdge {
+  /// LOCAL index of the conflicting transaction (position in
+  /// DependencyGraph::txns, not a global TxnId).
+  TxnId neighbor;
+  Weight weight;
+};
+
+/// H restricted to a transaction subset (the Grid/Cluster/Star schedulers
+/// build H per subgrid / per cluster / per segment).
+struct DependencyGraph {
+  /// The transactions covered, ascending. adjacency[i] belongs to txns[i].
+  std::vector<TxnId> txns;
+  std::vector<std::vector<DependencyEdge>> adjacency;
+  /// h_max: heaviest edge (0 when conflict-free).
+  Weight max_edge_weight = 0;
+  /// Δ: max neighbor count.
+  std::size_t max_degree = 0;
+
+  /// Γ = h_max · Δ (the paper's weighted degree; greedy uses Γ+1 colors).
+  Weight weighted_degree() const {
+    return max_edge_weight * static_cast<Weight>(max_degree);
+  }
+
+  std::size_t size() const { return txns.size(); }
+};
+
+/// Builds H over `txns` (pass all transactions for the global graph).
+/// Distances come from `metric`. Runs in O(sum over objects of the squared
+/// requester count within the subset), the natural conflict-graph size.
+DependencyGraph build_dependency_graph(const Instance& inst,
+                                       const Metric& metric,
+                                       std::span<const TxnId> txns);
+
+/// Convenience overload over all transactions.
+DependencyGraph build_dependency_graph(const Instance& inst,
+                                       const Metric& metric);
+
+}  // namespace dtm

@@ -1,0 +1,144 @@
+#include "sched/online.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dtm {
+
+Schedule OnlineFifoScheduler::run_online(const Instance& inst,
+                                         const Metric& metric,
+                                         const ArrivalTimes& arrival) {
+  DTM_REQUIRE(arrival.size() == inst.num_transactions(),
+              "arrival vector size mismatch");
+  // Release order (ties by id — the model releases at discrete steps).
+  std::vector<TxnId> order(inst.num_transactions());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](TxnId a, TxnId b) {
+    return arrival[a] < arrival[b];
+  });
+
+  std::vector<Time> commit(inst.num_transactions(), 0);
+  std::vector<std::vector<TxnId>> chains(inst.num_objects());
+  std::vector<Time> tail_time(inst.num_objects(), 0);
+  std::vector<NodeId> tail_pos(inst.num_objects());
+  for (ObjectId o = 0; o < inst.num_objects(); ++o) {
+    tail_pos[o] = inst.object_home(o);
+  }
+
+  for (TxnId t : order) {
+    const NodeId home = inst.txn(t).home;
+    Time ready = std::max<Time>(arrival[t], 1);
+    for (ObjectId o : inst.txn(t).objects) {
+      ready = std::max(ready,
+                       tail_time[o] + metric.distance(tail_pos[o], home));
+    }
+    commit[t] = ready;
+    for (ObjectId o : inst.txn(t).objects) {
+      chains[o].push_back(t);
+      tail_time[o] = ready;
+      tail_pos[o] = home;
+    }
+  }
+  Schedule s;
+  s.commit_time = std::move(commit);
+  s.object_order = std::move(chains);
+  return s;
+}
+
+OnlineBatchScheduler::OnlineBatchScheduler(OnlineBatchOptions opts)
+    : opts_(opts) {
+  DTM_REQUIRE(opts_.window >= 1, "batch window must be >= 1 step");
+}
+
+std::string OnlineBatchScheduler::name() const {
+  return "online-batch-w" + std::to_string(opts_.window);
+}
+
+Schedule OnlineBatchScheduler::run_online(const Instance& inst,
+                                          const Metric& metric,
+                                          const ArrivalTimes& arrival) {
+  DTM_REQUIRE(arrival.size() == inst.num_transactions(),
+              "arrival vector size mismatch");
+  const std::size_t w = inst.num_objects();
+
+  // Group releases into windows [i·W, (i+1)·W); a window's batch is
+  // scheduled at its close, (i+1)·W.
+  std::vector<TxnId> order(inst.num_transactions());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](TxnId a, TxnId b) {
+    return arrival[a] < arrival[b];
+  });
+
+  std::vector<Time> commit(inst.num_transactions(), 0);
+  std::vector<std::vector<TxnId>> chains(w);
+  std::vector<NodeId> pos(w);
+  for (ObjectId o = 0; o < w; ++o) pos[o] = inst.object_home(o);
+
+  Time horizon = 0;  // every scheduled commit so far is <= horizon
+  last_batches_ = 0;
+  std::size_t cursor = 0;
+  while (cursor < order.size()) {
+    const Time window_index = arrival[order[cursor]] / opts_.window;
+    const Time close = (window_index + 1) * opts_.window;
+    std::vector<TxnId> batch;
+    while (cursor < order.size() &&
+           arrival[order[cursor]] / opts_.window == window_index) {
+      batch.push_back(order[cursor++]);
+    }
+    ++last_batches_;
+
+    const ColoredSubset colored =
+        greedy_color(inst, metric, batch, opts_.rule);
+    const Time base = std::max(horizon, close - 1);
+
+    // First/last requester per object within the batch.
+    std::vector<Time> first_t(w, kInfiniteWeight), last_t(w, 0);
+    std::vector<NodeId> first_v(w, kInvalidNode), last_v(w, kInvalidNode);
+    for (std::size_t i = 0; i < colored.txns.size(); ++i) {
+      const Transaction& t = inst.txn(colored.txns[i]);
+      for (ObjectId o : t.objects) {
+        if (colored.local_time[i] < first_t[o]) {
+          first_t[o] = colored.local_time[i];
+          first_v[o] = t.home;
+        }
+        if (colored.local_time[i] >= last_t[o]) {
+          last_t[o] = colored.local_time[i];
+          last_v[o] = t.home;
+        }
+      }
+    }
+    Weight transition = 0;
+    for (ObjectId o = 0; o < w; ++o) {
+      if (first_v[o] != kInvalidNode) {
+        transition = std::max(transition, metric.distance(pos[o], first_v[o]));
+      }
+    }
+    for (std::size_t i = 0; i < colored.txns.size(); ++i) {
+      commit[colored.txns[i]] = base + transition + colored.local_time[i];
+    }
+    // Append the batch's visit order to each object's chain (by color).
+    std::vector<std::size_t> by_color(colored.txns.size());
+    std::iota(by_color.begin(), by_color.end(), 0);
+    std::sort(by_color.begin(), by_color.end(), [&](std::size_t a, std::size_t b) {
+      return colored.local_time[a] != colored.local_time[b]
+                 ? colored.local_time[a] < colored.local_time[b]
+                 : colored.txns[a] < colored.txns[b];
+    });
+    for (std::size_t i : by_color) {
+      for (ObjectId o : inst.txn(colored.txns[i]).objects) {
+        chains[o].push_back(colored.txns[i]);
+      }
+    }
+    for (ObjectId o = 0; o < w; ++o) {
+      if (last_v[o] != kInvalidNode) pos[o] = last_v[o];
+    }
+    horizon = std::max(horizon, base + transition + colored.duration);
+  }
+
+  Schedule s;
+  s.commit_time = std::move(commit);
+  s.object_order = std::move(chains);
+  return s;
+}
+
+}  // namespace dtm

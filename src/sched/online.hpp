@@ -1,0 +1,68 @@
+// Online schedulers (paper's open question #1).
+//
+// Both algorithms see transactions only at their release steps and never
+// revise a committed decision — the online constraint is enforced by
+// construction.
+//
+//  * OnlineFifoScheduler — dispatch immediately: when T is released, append
+//    it to each of its objects' visit chains and commit it at the earliest
+//    step satisfying the chain constraints and its release time. This is
+//    the online analog of the §2.3 greedy with first-fit disabled (no gap
+//    filling — chains only grow at the tail, which is what an online
+//    scheduler without future knowledge can safely do).
+//  * OnlineBatchScheduler — accumulate releases into windows of `window`
+//    steps; at each window boundary run the offline §2.3 greedy coloring
+//    on the batch and append it after the current horizon. A direct online
+//    adaptation of the paper's batch machinery: within a batch the offline
+//    guarantees apply, so the competitive factor is O(k·ℓ_batch) per
+//    window plus the windowing delay.
+#pragma once
+
+#include "core/online.hpp"
+#include "sched/greedy.hpp"
+#include "sched/scheduler.hpp"
+
+namespace dtm {
+
+/// Base for online algorithms: run_online() is the real entry point; the
+/// Scheduler::run() interface treats all transactions as released at 0.
+class OnlineScheduler : public Scheduler {
+ public:
+  virtual Schedule run_online(const Instance& inst, const Metric& metric,
+                              const ArrivalTimes& arrival) = 0;
+
+  Schedule run(const Instance& inst, const Metric& metric) override {
+    return run_online(inst, metric, ArrivalTimes(inst.num_transactions(), 0));
+  }
+};
+
+class OnlineFifoScheduler final : public OnlineScheduler {
+ public:
+  std::string name() const override { return "online-fifo"; }
+  Schedule run_online(const Instance& inst, const Metric& metric,
+                      const ArrivalTimes& arrival) override;
+};
+
+struct OnlineBatchOptions {
+  /// Window length in steps; releases within the same window form a batch.
+  Time window = 16;
+  ColoringRule rule = ColoringRule::kFirstFit;
+};
+
+class OnlineBatchScheduler final : public OnlineScheduler {
+ public:
+  explicit OnlineBatchScheduler(OnlineBatchOptions opts = {});
+
+  std::string name() const override;
+  Schedule run_online(const Instance& inst, const Metric& metric,
+                      const ArrivalTimes& arrival) override;
+
+  /// Number of non-empty batches in the last run.
+  std::size_t last_batches() const { return last_batches_; }
+
+ private:
+  OnlineBatchOptions opts_;
+  std::size_t last_batches_ = 0;
+};
+
+}  // namespace dtm

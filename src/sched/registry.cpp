@@ -1,0 +1,43 @@
+#include "sched/registry.hpp"
+
+#include "sched/baseline.hpp"
+#include "sched/greedy.hpp"
+
+namespace dtm {
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          std::uint64_t seed) {
+  if (name == "greedy-paper") {
+    return std::make_unique<GreedyScheduler>(
+        GreedyOptions{ColoringRule::kPaperPigeonhole, ColoringOrder::kById,
+                      false, seed});
+  }
+  if (name == "greedy-ff") {
+    return std::make_unique<GreedyScheduler>(GreedyOptions{
+        ColoringRule::kFirstFit, ColoringOrder::kById, false, seed});
+  }
+  if (name == "greedy-compact") {
+    return std::make_unique<GreedyScheduler>(GreedyOptions{
+        ColoringRule::kFirstFit, ColoringOrder::kById, true, seed});
+  }
+  if (name == "id-order") {
+    return std::make_unique<OrderScheduler>(OrderOptions{false, false, seed});
+  }
+  if (name == "random-order") {
+    return std::make_unique<OrderScheduler>(OrderOptions{true, false, seed});
+  }
+  if (name == "serial") {
+    return std::make_unique<OrderScheduler>(OrderOptions{false, true, seed});
+  }
+  if (name == "exact") {
+    return std::make_unique<ExactScheduler>();
+  }
+  throw Error("unknown scheduler name: " + name);
+}
+
+std::vector<std::string> scheduler_names() {
+  return {"greedy-paper", "greedy-ff",    "greedy-compact", "id-order",
+          "random-order", "serial",       "exact"};
+}
+
+}  // namespace dtm

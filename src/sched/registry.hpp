@@ -1,0 +1,23 @@
+// Name-based factory for the topology-agnostic schedulers (used by the
+// examples and by parameterized tests that sweep algorithms).
+// Topology-specific schedulers (line/grid/cluster/star) need their
+// topology struct and are constructed directly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace dtm {
+
+/// Known names: "greedy-paper", "greedy-ff", "greedy-compact", "id-order",
+/// "random-order", "serial", "exact". Throws dtm::Error on unknown names.
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          std::uint64_t seed = 1);
+
+/// All names accepted by make_scheduler.
+std::vector<std::string> scheduler_names();
+
+}  // namespace dtm

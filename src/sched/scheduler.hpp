@@ -1,0 +1,27 @@
+// Common interface for all scheduling algorithms.
+#pragma once
+
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "graph/metric.hpp"
+
+namespace dtm {
+
+/// A scheduling algorithm A (§2.1): maps a problem instance to a feasible
+/// execution schedule. Implementations may be randomized (they own their
+/// Rng, seeded at construction) — schedule() is therefore non-const.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Computes a feasible schedule. Topology-specific schedulers require
+  /// that `inst.graph()` is the graph of the topology they were constructed
+  /// with and throw dtm::Error otherwise.
+  virtual Schedule run(const Instance& inst, const Metric& metric) = 0;
+};
+
+}  // namespace dtm

@@ -1,0 +1,71 @@
+// Star-graph scheduler (§7, Theorem 5, Fig. 4).
+//
+// Runs the center's transaction first, then processes η = ⌈log2 β⌉ periods;
+// period i executes the transactions whose ray position lies in segment
+// V_i = [2^{i-1}, 2^i − 1] (truncated at β). Each ray-segment of a period
+// acts like a cluster whose "bridge" is its innermost node (the tip at
+// position 2^{i-1}); segments communicate through the center with paths of
+// length about γ_i = 2^i.
+//
+// Per period, two strategies mirroring the Cluster scheduler:
+//  * kGreedy — §2.3 greedy over the period's transactions (Approach-1
+//    analog; O(k·σ_i·2^{2i}) time per the paper);
+//  * kRandomized — rounds in which every object picks a random needing
+//    segment, travels to its tip, and the enabled transactions execute in
+//    one inner-to-outer sweep along the segment (a line, so a sweep of
+//    length ≤ the segment size suffices — the §4 idea the paper reuses).
+//  * kAuto — per period, pick by comparing k·2^i against the randomized
+//    factor 40^k ln^k m, as Theorem 5's min(...) does.
+#pragma once
+
+#include "graph/topologies/star.hpp"
+#include "sched/greedy.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+
+enum class StarStrategy {
+  kGreedy,
+  kRandomized,
+  /// Per period, pick by Theorem 5's min(k·2^i, c^k ln^k m) comparison.
+  kAuto,
+  /// Compute both whole-run strategies and keep the smaller makespan
+  /// (offline min, like the Cluster scheduler's kBest).
+  kBest,
+};
+
+struct StarSchedulerOptions {
+  StarStrategy strategy = StarStrategy::kAuto;
+  ColoringRule rule = ColoringRule::kPaperPigeonhole;
+  /// Derandomize a round after this many fruitless rounds (0 = never).
+  std::size_t force_after = 64;
+  std::uint64_t seed = 1;
+};
+
+struct StarRunStats {
+  std::size_t periods = 0;
+  std::size_t randomized_periods = 0;
+  std::size_t total_rounds = 0;
+  std::size_t forced_rounds = 0;
+  /// max_i σ_i: worst per-period segment spread of any object.
+  std::size_t max_sigma = 0;
+};
+
+class StarScheduler final : public Scheduler {
+ public:
+  StarScheduler(const Star& topo, StarSchedulerOptions opts = {});
+
+  std::string name() const override { return "star"; }
+  Schedule run(const Instance& inst, const Metric& metric) override;
+
+  const StarRunStats& last_stats() const { return stats_; }
+
+ private:
+  const Star* topo_;
+  StarSchedulerOptions opts_;
+  Rng rng_;
+  StarRunStats stats_;
+};
+
+}  // namespace dtm

@@ -1,0 +1,56 @@
+// Bounded-capacity execution (the paper's open question #2 made
+// operational).
+//
+// The §2.1 model lets any number of objects cross a link per step. This
+// simulator re-executes a schedule's *policy* — the per-object visit
+// orders — on a network where each link carries at most `capacity`
+// objects simultaneously (an edge of weight d is occupied by a traversal
+// for d consecutive steps). Objects queue FIFO at each link; a transaction
+// commits at the first step its objects have all assembled (its scheduled
+// commit times are discarded — only the visit orders matter, so the result
+// measures how much the policy's makespan stretches under congestion).
+//
+// Guarantees: with capacity >= 1 and jointly-acyclic visit orders the
+// execution always terminates, and
+//   makespan(capacity=∞) <= makespan(C) <= makespan(C') for C >= C'.
+#pragma once
+
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "graph/metric.hpp"
+
+namespace dtm {
+
+struct CapacitySimOptions {
+  /// Max concurrent traversals per link (both directions combined).
+  /// 0 means unbounded (reproduces the §2.1 model).
+  std::size_t capacity = 1;
+  /// Abort if this many steps elapse without completing (guards against
+  /// accidental infinite loops; 0 = no limit).
+  Time max_steps = 1 << 22;
+};
+
+struct CapacitySimResult {
+  bool ok = true;
+  std::string error;
+  /// Step of the last commit.
+  Time makespan = 0;
+  /// Total object-steps spent queued waiting for a free link.
+  Time total_queue_wait = 0;
+  /// Largest queue observed on any link.
+  std::size_t max_queue_length = 0;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Executes `schedule.object_order` under link capacity constraints.
+/// Requires the orders to be a permutation of each object's requesters
+/// (same precondition as the validator); throws dtm::Error otherwise.
+CapacitySimResult simulate_with_capacity(const Instance& inst,
+                                         const Metric& metric,
+                                         const Schedule& schedule,
+                                         const CapacitySimOptions& opts = {});
+
+}  // namespace dtm

@@ -1,0 +1,50 @@
+// Link-congestion analysis of a schedule (the paper's conclusion flags
+// "the impact of network congestion, where network links have bounded
+// capacity" as the open extension).
+//
+// The §2.1 model allows unbounded messages per edge per step; this module
+// measures how much that assumption is exercised: for every edge it counts
+// the objects occupying it at each step (an edge of weight d is occupied
+// for d consecutive steps per traversal) and reports the peak and the
+// profile. A schedule with peak load L would stretch by at most a factor L
+// on a network that serializes link access — so `peak` bounds the damage
+// of the unbounded-capacity assumption.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "graph/metric.hpp"
+
+namespace dtm {
+
+struct EdgeLoad {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  /// Max simultaneous traversals of this edge over the schedule.
+  std::size_t peak = 0;
+  /// Number of traversals in total.
+  std::size_t traversals = 0;
+};
+
+struct CongestionReport {
+  /// Max over edges of the peak simultaneous load (0 = no movement).
+  std::size_t peak_load = 0;
+  /// Total object-hops (sum of traversal weights) across all edges.
+  Weight total_flow = 0;
+  /// Number of distinct edges used by some object.
+  std::size_t edges_used = 0;
+  /// The most congested edges, descending by peak (up to `top_k`).
+  std::vector<EdgeLoad> hottest;
+};
+
+/// Analyzes the schedule's object motion. Objects are assumed to depart a
+/// requester at its commit step and travel along `metric.path(...)`,
+/// matching the simulator's semantics exactly.
+CongestionReport analyze_congestion(const Instance& inst, const Metric& metric,
+                                    const Schedule& schedule,
+                                    std::size_t top_k = 5);
+
+}  // namespace dtm

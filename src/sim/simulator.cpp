@@ -1,0 +1,171 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dtm {
+
+namespace {
+
+/// Motion state of one object along its visit chain.
+struct ObjectState {
+  /// Visit chain: schedule.object_order[o] (indices into inst.txns).
+  const std::vector<TxnId>* order = nullptr;
+  /// Index of the next requester to reach (== order->size() when done).
+  std::size_t next_leg = 0;
+  /// Node the object currently occupies (when !in_transit).
+  NodeId at = kInvalidNode;
+  /// Transit bookkeeping: departure time and distance of the current leg.
+  bool in_transit = false;
+  Time depart_time = 0;
+  Weight leg_distance = 0;
+
+  Time arrival_time() const { return depart_time + leg_distance; }
+};
+
+}  // namespace
+
+std::string SimResult::summary() const {
+  if (ok) {
+    std::ostringstream os;
+    os << "ok: makespan=" << makespan << " travel=" << object_travel;
+    return os.str();
+  }
+  std::ostringstream os;
+  os << violations.size() << " violation(s):";
+  for (const auto& v : violations) os << "\n  - " << v;
+  return os.str();
+}
+
+SimResult simulate(const Instance& inst, const Metric& metric,
+                   const Schedule& s, const SimOptions& opts) {
+  SimResult r;
+  auto fail = [&](const std::string& msg) {
+    r.ok = false;
+    r.violations.push_back(msg);
+  };
+  if (s.commit_time.size() != inst.num_transactions() ||
+      s.object_order.size() != inst.num_objects()) {
+    fail("schedule shape does not match instance");
+    return r;
+  }
+
+  const std::size_t w = inst.num_objects();
+
+  auto record_leg = [&](Time depart, ObjectId o, NodeId from, NodeId to) {
+    if (!opts.record_events) return;
+    r.events.push_back({depart, SimEvent::Kind::kDepart, o, kInvalidTxn, from});
+    if (opts.record_hops && from != to) {
+      const auto path = metric.path(from, to);
+      Time clock = depart;
+      for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+        clock += metric.distance(path[i - 1], path[i]);
+        r.events.push_back({clock, SimEvent::Kind::kHop, o, kInvalidTxn, path[i]});
+      }
+    }
+    r.events.push_back({depart + metric.distance(from, to),
+                        SimEvent::Kind::kArrive, o, kInvalidTxn, to});
+  };
+
+  // Initialize object motion: leg 0 from the object's home.
+  std::vector<ObjectState> obj(w);
+  for (ObjectId o = 0; o < w; ++o) {
+    obj[o].order = &s.object_order[o];
+    obj[o].at = inst.object_home(o);
+    if (obj[o].order->empty()) {
+      obj[o].next_leg = 0;
+      continue;
+    }
+    const NodeId target = inst.txn(obj[o].order->front()).home;
+    if (target != obj[o].at) {
+      obj[o].in_transit = true;
+      obj[o].depart_time = 0;
+      obj[o].leg_distance = metric.distance(obj[o].at, target);
+      r.object_travel += obj[o].leg_distance;
+      record_leg(0, o, obj[o].at, target);
+    }
+  }
+
+  // Process commits in time order (event-driven; between commits the only
+  // activity is deterministic in-transit motion).
+  std::vector<TxnId> by_time(inst.num_transactions());
+  for (TxnId t = 0; t < by_time.size(); ++t) by_time[t] = t;
+  std::sort(by_time.begin(), by_time.end(), [&](TxnId a, TxnId b) {
+    return s.commit_time[a] != s.commit_time[b]
+               ? s.commit_time[a] < s.commit_time[b]
+               : a < b;
+  });
+
+  for (TxnId t : by_time) {
+    const Time now = s.commit_time[t];
+    if (now < 1) {
+      std::ostringstream os;
+      os << "T" << t << " scheduled at step " << now << " (< 1)";
+      fail(os.str());
+      continue;
+    }
+    const NodeId home = inst.txn(t).home;
+    bool all_present = true;
+    for (ObjectId o : inst.txn(t).objects) {
+      ObjectState& st = obj[o];
+      // Complete the leg if the object arrives by `now`.
+      if (st.in_transit && st.arrival_time() <= now) {
+        st.in_transit = false;
+        st.at = inst.txn((*st.order)[st.next_leg]).home;
+      }
+      const bool here = !st.in_transit && st.at == home &&
+                        st.next_leg < st.order->size() &&
+                        (*st.order)[st.next_leg] == t;
+      if (!here) {
+        all_present = false;
+        std::ostringstream os;
+        os << "T" << t << " @node " << home << " step " << now << ": object o"
+           << o << " absent (";
+        if (st.in_transit) {
+          os << "in transit, arrives at step " << st.arrival_time();
+        } else if (st.next_leg >= st.order->size()) {
+          os << "already finished its chain";
+        } else if ((*st.order)[st.next_leg] != t) {
+          os << "next leg targets T" << (*st.order)[st.next_leg];
+        } else {
+          os << "at node " << st.at;
+        }
+        os << ")";
+        fail(os.str());
+      }
+    }
+    if (!all_present) continue;
+    // Commit: release each object toward its next requester in the same
+    // step (receive -> execute -> forward).
+    if (opts.record_events) {
+      r.events.push_back({now, SimEvent::Kind::kCommit, kInvalidObject, t, home});
+    }
+    r.makespan = std::max(r.makespan, now);
+    for (ObjectId o : inst.txn(t).objects) {
+      ObjectState& st = obj[o];
+      ++st.next_leg;
+      if (st.next_leg < st.order->size()) {
+        const NodeId target = inst.txn((*st.order)[st.next_leg]).home;
+        st.in_transit = true;
+        st.depart_time = now;
+        st.leg_distance = metric.distance(st.at, target);
+        r.object_travel += st.leg_distance;
+        record_leg(now, o, st.at, target);
+        if (st.leg_distance == 0) {
+          st.in_transit = false;
+          st.at = target;
+        }
+      }
+    }
+  }
+
+  if (opts.record_events) {
+    std::stable_sort(r.events.begin(), r.events.end(),
+                     [](const SimEvent& a, const SimEvent& b) {
+                       return a.time < b.time;
+                     });
+  }
+  return r;
+}
+
+}  // namespace dtm

@@ -1,0 +1,65 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace dtm {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "";
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string ArgParser::get(const std::string& name,
+                           const std::string& fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  DTM_REQUIRE(!it->second.empty(), "flag --" << name << " needs a value");
+  return it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name,
+                                std::int64_t fallback) const {
+  const std::string v = get(name, "");
+  if (v.empty() && values_.count(name) == 0) return fallback;
+  char* end = nullptr;
+  const std::int64_t out = std::strtoll(v.c_str(), &end, 10);
+  DTM_REQUIRE(end != nullptr && *end == '\0' && !v.empty(),
+              "flag --" << name << " expects an integer, got '" << v << "'");
+  return out;
+}
+
+std::vector<std::string> ArgParser::unknown_flags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!queried_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace dtm

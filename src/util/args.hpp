@@ -1,0 +1,39 @@
+// Minimal command-line flag parser for the CLI and example binaries.
+// Accepts `--name value`, `--name=value`, and bare boolean `--name`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dtm {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Value of --name, or `fallback` when absent. Throws dtm::Error when
+  /// the flag was given without a value.
+  std::string get(const std::string& name, const std::string& fallback) const;
+
+  /// Integer value of --name; throws on non-numeric values.
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+
+  /// Flags that were passed but never queried via has/get/get_int — used
+  /// to reject typos: call after all lookups.
+  std::vector<std::string> unknown_flags() const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;  // "" = present, no value
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace dtm

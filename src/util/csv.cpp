@@ -1,0 +1,45 @@
+#include "util/csv.hpp"
+
+#include "util/error.hpp"
+
+namespace dtm {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  DTM_REQUIRE(out_.good(), "CsvWriter: cannot open " << path);
+  DTM_REQUIRE(columns_ > 0, "CsvWriter: empty header");
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (c) out_ << ',';
+    out_ << escape(header[c]);
+  }
+  out_ << '\n';
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  DTM_REQUIRE(cells.size() == columns_,
+              "CsvWriter: row has " << cells.size() << " cells, expected "
+                                    << columns_);
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c) out_ << ',';
+    out_ << escape(cells[c]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace dtm

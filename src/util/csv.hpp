@@ -1,0 +1,36 @@
+// Minimal CSV writer. Benches can dump their series to a file (for external
+// plotting) in addition to printing tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dtm {
+
+/// Streams rows to a CSV file; quoting is applied only when needed
+/// (cell contains a comma, a quote, or a newline).
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Number of data rows written so far (header excluded).
+  std::size_t rows_written() const { return rows_; }
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace dtm

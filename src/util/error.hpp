@@ -1,0 +1,60 @@
+// Error-handling helpers shared by the whole library.
+//
+// Library code reports precondition violations and infeasible inputs by
+// throwing `dtm::Error`; internal invariants use `DTM_ASSERT`, which is
+// active in all build types (the library is a reference implementation of a
+// theory paper — a silently wrong schedule is worse than an abort).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dtm {
+
+/// Exception type for all user-facing failures (bad arguments, infeasible
+/// schedules, malformed instances).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DTM_ASSERT failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace dtm
+
+/// Always-on assertion. Use for invariants whose violation means the
+/// library produced a wrong answer.
+#define DTM_ASSERT(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::dtm::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Always-on assertion with a context message (streamed into a string).
+#define DTM_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream dtm_assert_os_;                              \
+      dtm_assert_os_ << msg;                                          \
+      ::dtm::detail::assert_fail(#expr, __FILE__, __LINE__,           \
+                                 dtm_assert_os_.str());               \
+    }                                                                 \
+  } while (0)
+
+/// Throw dtm::Error when a user-facing precondition does not hold.
+#define DTM_REQUIRE(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream dtm_require_os_;                             \
+      dtm_require_os_ << "precondition failed: " << msg;              \
+      throw ::dtm::Error(dtm_require_os_.str());                      \
+    }                                                                 \
+  } while (0)

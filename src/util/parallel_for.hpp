@@ -1,0 +1,39 @@
+// parallel_for: block-partitioned parallel loop over [0, n) built on
+// ThreadPool. Used for APSP (one Dijkstra per source) and benchmark trial
+// sweeps. The body must be safe to call concurrently for distinct indices.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/thread_pool.hpp"
+
+namespace dtm {
+
+/// Runs body(i) for every i in [0, n) across the pool's workers.
+/// Blocks until all iterations complete; rethrows the first task exception.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t n, const Body& body) {
+  if (n == 0) return;
+  const std::size_t workers = pool.thread_count();
+  // At most 4 blocks per worker: enough slack for uneven iteration costs
+  // without drowning in queue overhead.
+  const std::size_t blocks = std::min(n, workers * 4);
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, n);
+    pool.submit([begin, end, &body] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+  }
+  pool.wait();
+}
+
+/// Convenience overload constructing a transient pool (for one-shot loops).
+template <typename Body>
+void parallel_for(std::size_t n, const Body& body) {
+  ThreadPool pool;
+  parallel_for(pool, n, body);
+}
+
+}  // namespace dtm

@@ -1,0 +1,72 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dtm {
+
+void Stats::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+double Stats::mean() const {
+  DTM_REQUIRE(!samples_.empty(), "Stats::mean on empty accumulator");
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double Stats::min() const {
+  DTM_REQUIRE(!samples_.empty(), "Stats::min on empty accumulator");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Stats::max() const {
+  DTM_REQUIRE(!samples_.empty(), "Stats::max on empty accumulator");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Stats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double ss = 0.0;
+  for (double x : samples_) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double Stats::percentile(double p) const {
+  DTM_REQUIRE(!samples_.empty(), "Stats::percentile on empty accumulator");
+  DTM_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+namespace chernoff {
+
+double upper_tail_bound(double mu, double delta) {
+  DTM_REQUIRE(mu >= 0.0, "chernoff: mu must be nonnegative");
+  DTM_REQUIRE(delta > 0.0 && delta < 1.0, "chernoff: delta must be in (0,1)");
+  return std::exp(-delta * delta * mu / 3.0);
+}
+
+double lower_tail_bound(double mu, double delta) {
+  DTM_REQUIRE(mu >= 0.0, "chernoff: mu must be nonnegative");
+  DTM_REQUIRE(delta > 0.0 && delta < 1.0, "chernoff: delta must be in (0,1)");
+  return std::exp(-delta * delta * mu / 2.0);
+}
+
+}  // namespace chernoff
+
+}  // namespace dtm

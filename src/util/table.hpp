@@ -1,0 +1,54 @@
+// Fixed-width ASCII table printer. Benches use it to print paper-style
+// result series ("rows the paper would report") in addition to the
+// google-benchmark counter output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dtm {
+
+/// Accumulates rows of strings/numbers and prints them with aligned columns.
+///
+///   Table t({"n", "k", "makespan", "LB", "ratio"});
+///   t.add_row(64, 2, 130, 31, 4.19);
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; each cell is formatted via format_cell().
+  template <typename... Cells>
+  void add_row(const Cells&... cells) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(cells));
+    (row.push_back(format_cell(cells)), ...);
+    add_row_strings(std::move(row));
+  }
+
+  void add_row_strings(std::vector<std::string> row);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with a header rule and right-aligned numeric-looking cells.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no alignment), matching the same cells.
+  void print_csv(std::ostream& os) const;
+
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(double v);
+  static std::string format_cell(bool v) { return v ? "yes" : "no"; }
+  template <typename T>
+  static std::string format_cell(T v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dtm

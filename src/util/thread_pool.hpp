@@ -1,0 +1,55 @@
+// Fixed-size worker pool used by the all-pairs shortest-path computation and
+// by benchmark sweeps (independent randomized trials run in parallel).
+//
+// Design notes (C++ Core Guidelines CP.*): tasks are plain
+// std::function<void()>; exceptions thrown by a task are captured and
+// rethrown to the caller of wait(); the pool joins its threads in the
+// destructor, so it can never outlive its work.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dtm {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains remaining work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task. Thread-safe.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished. If any task threw, the
+  /// first captured exception is rethrown here (remaining tasks still ran).
+  void wait();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace dtm

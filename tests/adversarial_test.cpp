@@ -1,0 +1,139 @@
+// Adversarial-workload coverage for the specialized schedulers: hot-object
+// contention (ℓ = n, the paths the uniform sweeps barely exercise), sparse
+// instances, and degenerate parameters.
+#include <gtest/gtest.h>
+
+#include "core/generators.hpp"
+#include "lb/bounds.hpp"
+#include "sched/cluster.hpp"
+#include "sched/grid.hpp"
+#include "sched/line.hpp"
+#include "sched/star.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+namespace {
+
+TEST(AdversarialLine, HotObjectForcesFullSweep) {
+  // Everyone wants o0: ℓ spans the line, one-phase schedule, makespan
+  // within a constant of n.
+  const Line line(40);
+  Rng rng(1);
+  const Instance inst = generate_hotspot(line.graph, 4, 2, rng);
+  const DenseMetric m(line.graph);
+  LineScheduler sched(line);
+  const Schedule s = test::run_and_check(sched, inst, m);
+  const InstanceBounds lb = compute_bounds(inst, m);
+  ASSERT_GE(lb.makespan_lb, 39);  // the hot object's walk spans the line
+  EXPECT_LE(s.makespan(), 5 * lb.makespan_lb);
+}
+
+TEST(AdversarialGrid, HotObjectStaysFeasible) {
+  const Grid g(8);
+  Rng rng(2);
+  const Instance inst = generate_hotspot(g.graph, 6, 2, rng);
+  const DenseMetric m(g.graph);
+  GridScheduler sched(g);
+  const Schedule s = test::run_and_check(sched, inst, m);
+  const InstanceBounds lb = compute_bounds(inst, m);
+  // The hot object serializes everything: LB >= n^2 commits.
+  EXPECT_GE(lb.makespan_lb, 64);
+  EXPECT_GE(s.makespan(), lb.makespan_lb);
+}
+
+TEST(AdversarialStar, HotObjectAcrossAllRays) {
+  const Star star(6, 6);
+  Rng rng(3);
+  const Instance inst = generate_hotspot(star.graph, 4, 2, rng);
+  const DenseMetric m(star.graph);
+  for (StarStrategy strat :
+       {StarStrategy::kGreedy, StarStrategy::kRandomized, StarStrategy::kBest}) {
+    StarScheduler sched(star, {.strategy = strat, .seed = 2});
+    test::run_and_check(sched, inst, m);
+  }
+}
+
+TEST(AdversarialCluster, HotObjectVisitsEveryCluster) {
+  const ClusterGraph cg(4, 4, 8);
+  Rng rng(4);
+  const Instance inst = generate_hotspot(cg.graph, 4, 2, rng);
+  const DenseMetric m(cg.graph);
+  for (ClusterApproach ap :
+       {ClusterApproach::kGreedy, ClusterApproach::kRandomized,
+        ClusterApproach::kBest}) {
+    ClusterScheduler sched(cg, {.approach = ap, .seed = 2});
+    const Schedule s = test::run_and_check(sched, inst, m);
+    // σ = α: the hot object crosses every bridge at least α-1 times.
+    EXPECT_EQ(sched.last_stats().sigma, 4u);
+    const InstanceBounds lb = compute_bounds(inst, m);
+    EXPECT_GE(s.makespan(), lb.makespan_lb);
+  }
+}
+
+TEST(AdversarialGrid, SingleTransaction) {
+  const Grid g(6);
+  InstanceBuilder b(g.graph, 2);
+  b.add_transaction(g.node_at(3, 3), {0, 1});
+  b.set_object_home(0, g.node_at(0, 0));
+  b.set_object_home(1, g.node_at(5, 5));
+  const Instance inst = b.build();
+  const DenseMetric m(g.graph);
+  GridScheduler sched(g);
+  const Schedule s = test::run_and_check(sched, inst, m);
+  // Both objects are 6 away; the schedule should be within the paper's
+  // positioning allowance of that.
+  EXPECT_GE(s.makespan(), 6);
+  EXPECT_LE(s.makespan(), 24);
+}
+
+TEST(AdversarialLine, ObjectsAtWrongEnd) {
+  // Arbitrary (non-requester) placement: all objects start at node 0, all
+  // requesters sit at the right end. The schedule must prepend positioning.
+  const Line line(30);
+  InstanceBuilder b(line.graph, 3);
+  for (NodeId v = 27; v < 30; ++v) {
+    b.add_transaction(v, {static_cast<ObjectId>(v - 27)});
+    b.set_object_home(static_cast<ObjectId>(v - 27), 0);
+  }
+  const Instance inst = b.build();
+  const DenseMetric m(line.graph);
+  LineScheduler sched(line);
+  const Schedule s = test::run_and_check(sched, inst, m);
+  EXPECT_GE(s.makespan(), 27);
+}
+
+TEST(AdversarialCluster, AllTransactionsOneCluster) {
+  // Only cluster 0 hosts transactions; others are idle.
+  const ClusterGraph cg(4, 5, 7);
+  InstanceBuilder b(cg.graph, 3);
+  for (std::size_t i = 0; i < cg.beta; ++i) {
+    b.add_transaction(cg.node_at(0, i), {static_cast<ObjectId>(i % 3)});
+  }
+  for (ObjectId o = 0; o < 3; ++o) b.set_object_home(o, cg.node_at(0, o));
+  const Instance inst = b.build();
+  const DenseMetric m(cg.graph);
+  ClusterScheduler sched(cg);
+  const Schedule s = test::run_and_check(sched, inst, m);
+  // Everything is local: no γ term.
+  EXPECT_LE(s.makespan(), static_cast<Time>(cg.beta) + 2);
+}
+
+TEST(AdversarialStar, TransactionsOnlyOnOneRay) {
+  const Star star(5, 8);
+  InstanceBuilder b(star.graph, 2);
+  for (std::size_t p = 1; p <= star.beta; ++p) {
+    b.add_transaction(star.node_at(2, p), {static_cast<ObjectId>(p % 2)});
+  }
+  b.set_object_home(0, star.node_at(2, 1));
+  b.set_object_home(1, star.node_at(2, 2));
+  const Instance inst = b.build();
+  const DenseMetric m(star.graph);
+  StarScheduler sched(star);
+  const Schedule s = test::run_and_check(sched, inst, m);
+  // A single ray behaves like a line: makespan stays O(β).
+  EXPECT_LE(s.makespan(), 6 * static_cast<Time>(star.beta));
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,160 @@
+// Tests for the CLI argument parser and the text serialization round-trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/generators.hpp"
+#include "core/io.hpp"
+#include "core/validate.hpp"
+#include "graph/metric.hpp"
+#include "graph/topologies/cluster.hpp"
+#include "graph/topologies/grid.hpp"
+#include "sched/greedy.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv_tail) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), argv_tail);
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, SpaceAndEqualsForms) {
+  const ArgParser a = parse({"--n", "12", "--k=3", "--verbose"});
+  EXPECT_EQ(a.get_int("n", 0), 12);
+  EXPECT_EQ(a.get_int("k", 0), 3);
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_FALSE(a.has("absent"));
+  EXPECT_EQ(a.get_int("absent", 7), 7);
+}
+
+TEST(Args, BareFlagHasNoValue) {
+  const ArgParser a = parse({"--flag"});
+  EXPECT_TRUE(a.has("flag"));
+  EXPECT_THROW(a.get("flag", "x"), Error);
+}
+
+TEST(Args, PositionalArguments) {
+  const ArgParser a = parse({"input.txt", "--n", "4", "output.txt"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "input.txt");
+  EXPECT_EQ(a.positional()[1], "output.txt");
+}
+
+TEST(Args, RejectsNonNumeric) {
+  const ArgParser a = parse({"--n", "abc"});
+  EXPECT_THROW(a.get_int("n", 0), Error);
+}
+
+TEST(Args, TracksUnknownFlags) {
+  const ArgParser a = parse({"--used", "1", "--typo", "2"});
+  (void)a.get_int("used", 0);
+  const auto unknown = a.unknown_flags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Args, NegativeIntegers) {
+  const ArgParser a = parse({"--offset", "-5"});
+  // "-5" does not start with "--", so it binds as the value.
+  EXPECT_EQ(a.get_int("offset", 0), -5);
+}
+
+// ---------------------------------------------------------------------- io
+
+TEST(Io, GraphRoundTrip) {
+  const ClusterGraph cg(3, 4, 7);
+  std::stringstream buf;
+  write_graph(buf, cg.graph);
+  const Graph g2 = read_graph(buf);
+  ASSERT_EQ(g2.num_nodes(), cg.graph.num_nodes());
+  ASSERT_EQ(g2.num_edges(), cg.graph.num_edges());
+  for (NodeId u = 0; u < g2.num_nodes(); ++u) {
+    const auto a = cg.graph.neighbors(u);
+    const auto b = g2.neighbors(u);
+    ASSERT_EQ(a.size(), b.size()) << "node " << u;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]);
+    }
+  }
+}
+
+TEST(Io, InstanceRoundTrip) {
+  const Grid g(5);
+  Rng rng(3);
+  const Instance inst =
+      generate_uniform(g.graph, {.num_objects = 7, .objects_per_txn = 2}, rng);
+  std::stringstream buf;
+  write_instance(buf, inst);
+  const Instance inst2 = read_instance(buf, g.graph);
+  ASSERT_EQ(inst2.num_transactions(), inst.num_transactions());
+  ASSERT_EQ(inst2.num_objects(), inst.num_objects());
+  for (TxnId t = 0; t < inst.num_transactions(); ++t) {
+    EXPECT_EQ(inst2.txn(t).home, inst.txn(t).home);
+    EXPECT_EQ(inst2.txn(t).objects, inst.txn(t).objects);
+  }
+  for (ObjectId o = 0; o < inst.num_objects(); ++o) {
+    EXPECT_EQ(inst2.object_home(o), inst.object_home(o));
+  }
+}
+
+TEST(Io, ScheduleRoundTripStaysFeasible) {
+  const Grid g(4);
+  Rng rng(4);
+  const Instance inst =
+      generate_uniform(g.graph, {.num_objects = 5, .objects_per_txn = 2}, rng);
+  const DenseMetric m(g.graph);
+  GreedyScheduler sched;
+  const Schedule s = sched.run(inst, m);
+  std::stringstream buf;
+  write_schedule(buf, s);
+  const Schedule s2 = read_schedule(buf);
+  EXPECT_EQ(s2.commit_time, s.commit_time);
+  EXPECT_EQ(s2.object_order, s.object_order);
+  EXPECT_TRUE(validate(inst, m, s2).ok);
+}
+
+TEST(Io, RejectsMalformedInput) {
+  {
+    std::stringstream buf("not-a-header v1\n");
+    EXPECT_THROW(read_graph(buf), Error);
+  }
+  {
+    std::stringstream buf("dtm-graph v1\nnodes 2\nedge 0 5 1\n");
+    EXPECT_THROW(read_graph(buf), Error);  // endpoint out of range
+  }
+  {
+    std::stringstream buf("dtm-graph v1\nnodes 2\nedge 0 1\n");
+    EXPECT_THROW(read_graph(buf), Error);  // missing weight
+  }
+  {
+    const Grid g(3);
+    std::stringstream buf("dtm-instance v1\nobjects 1\nmystery record\n");
+    EXPECT_THROW(read_instance(buf, g.graph), Error);
+  }
+  {
+    std::stringstream buf("dtm-schedule v1\ncommits 1\ncommit 5 step 1\n");
+    EXPECT_THROW(read_schedule(buf), Error);  // commit id out of range
+  }
+  {
+    std::stringstream buf("dtm-graph v1\nnodes two\n");
+    EXPECT_THROW(read_graph(buf), Error);  // non-numeric
+  }
+}
+
+TEST(Io, ErrorsCarryLineNumbers) {
+  std::stringstream buf("dtm-graph v1\nnodes 2\nedge 0 1 bad\n");
+  try {
+    read_graph(buf);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace dtm

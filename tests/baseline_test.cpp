@@ -1,0 +1,117 @@
+// Tests for the order-based baselines, the exact optimal scheduler, and the
+// scheduler registry.
+#include <gtest/gtest.h>
+
+#include "core/generators.hpp"
+#include "lb/bounds.hpp"
+#include "sched/baseline.hpp"
+#include "sched/greedy.hpp"
+#include "sched/registry.hpp"
+#include "test_util.hpp"
+#include "graph/topologies/clique.hpp"
+#include "graph/topologies/line.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+namespace {
+
+Instance tiny_instance(const Graph& g, std::uint64_t seed, std::size_t w,
+                       std::size_t k) {
+  Rng rng(seed);
+  return generate_uniform(
+      g, {.num_objects = w, .objects_per_txn = k,
+          .placement = ObjectPlacement::kRandomNode},
+      rng);
+}
+
+TEST(OrderScheduler, FeasibleInAllVariants) {
+  const Clique c(8);
+  const DenseMetric m(c.graph);
+  const Instance inst = tiny_instance(c.graph, 3, 4, 2);
+  for (bool randomize : {false, true}) {
+    for (bool serial : {false, true}) {
+      OrderScheduler sched({randomize, serial, 11});
+      test::run_and_check(sched, inst, m);
+    }
+  }
+}
+
+TEST(OrderScheduler, SerialIsNeverFasterThanPipelined) {
+  const Line line(10);
+  const DenseMetric m(line.graph);
+  const Instance inst = tiny_instance(line.graph, 5, 4, 2);
+  OrderScheduler pipelined({false, false, 1});
+  OrderScheduler serial({false, true, 1});
+  const Schedule a = test::run_and_check(pipelined, inst, m);
+  const Schedule b = test::run_and_check(serial, inst, m);
+  EXPECT_LE(a.makespan(), b.makespan());
+}
+
+TEST(OrderScheduler, Names) {
+  EXPECT_EQ(OrderScheduler({false, false, 1}).name(), "id-order");
+  EXPECT_EQ(OrderScheduler({true, false, 1}).name(), "random-order");
+  EXPECT_EQ(OrderScheduler({false, true, 1}).name(), "id-order-serial");
+}
+
+TEST(ExactScheduler, MatchesBruteForceIntuition) {
+  // Two transactions fighting over one object on a line: optimal serves the
+  // nearer one first.
+  const Line line(6);
+  InstanceBuilder b(line.graph, 1);
+  b.add_transaction(1, {0});
+  b.add_transaction(5, {0});
+  b.set_object_home(0, 0);
+  const Instance inst = b.build();
+  const DenseMetric m(line.graph);
+  ExactScheduler exact;
+  const Schedule s = test::run_and_check(exact, inst, m);
+  // o0: 0 -> 1 (T0 at step 1) -> 5 (T1 at step 5).
+  EXPECT_EQ(s.makespan(), 5);
+  EXPECT_EQ(exact.best_makespan(), 5);
+}
+
+TEST(ExactScheduler, RefusesLargeInstances) {
+  const Clique c(12);
+  const DenseMetric m(c.graph);
+  const Instance inst = tiny_instance(c.graph, 9, 3, 1);
+  ExactScheduler exact;
+  EXPECT_THROW(exact.run(inst, m), Error);
+}
+
+TEST(ExactScheduler, LowerBoundsEveryHeuristic) {
+  // On tiny instances the exact optimum must be <= every other scheduler's
+  // makespan, and >= the certified instance lower bound.
+  const Clique c(6);
+  const DenseMetric m(c.graph);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance inst = tiny_instance(c.graph, seed, 3, 2);
+    ExactScheduler exact;
+    const Schedule best = test::run_and_check(exact, inst, m);
+    const InstanceBounds lb = compute_bounds(inst, m);
+    EXPECT_GE(best.makespan(), lb.makespan_lb) << "seed " << seed;
+    for (const char* name : {"greedy-paper", "greedy-ff", "greedy-compact",
+                             "id-order", "random-order", "serial"}) {
+      auto sched = make_scheduler(name, seed);
+      const Schedule s = test::run_and_check(*sched, inst, m);
+      EXPECT_LE(best.makespan(), s.makespan())
+          << name << " beat exact on seed " << seed << '\n'
+          << inst.describe();
+    }
+  }
+}
+
+TEST(Registry, KnowsAllNamesAndRejectsUnknown) {
+  for (const auto& name : scheduler_names()) {
+    EXPECT_NE(make_scheduler(name), nullptr) << name;
+  }
+  EXPECT_THROW(make_scheduler("does-not-exist"), Error);
+}
+
+TEST(Registry, SchedulersReportTheirNames) {
+  EXPECT_EQ(make_scheduler("greedy-ff")->name(), "greedy-ff");
+  EXPECT_EQ(make_scheduler("serial")->name(), "id-order-serial");
+  EXPECT_EQ(make_scheduler("exact")->name(), "exact");
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,169 @@
+// Tests for the bounded-capacity execution simulator.
+#include <gtest/gtest.h>
+
+#include "core/generators.hpp"
+#include "core/precedence.hpp"
+#include "graph/metric.hpp"
+#include "graph/topologies/grid.hpp"
+#include "graph/topologies/line.hpp"
+#include "graph/topologies/star.hpp"
+#include "sched/greedy.hpp"
+#include "sim/capacity_sim.hpp"
+#include "sim/congestion.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+namespace {
+
+/// Star fan-out fixture: three objects start at the tip of ray 0 and are
+/// each wanted at the tip of a different ray; all paths share ray 0's two
+/// edges.
+Instance star_fanout(const Star& star) {
+  InstanceBuilder b(star.graph, 3);
+  for (ObjectId o = 0; o < 3; ++o) {
+    b.set_object_home(o, star.node_at(0, 2));
+    b.add_transaction(star.node_at(o + 1, 2), {o});
+  }
+  return b.build();
+}
+
+TEST(CapacitySim, UnboundedMatchesEarliestTimes) {
+  // With capacity 0 (unbounded), the realized makespan equals the
+  // precedence solver's earliest-commit makespan for the same orders.
+  const Grid g(6);
+  const DenseMetric m(g.graph);
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance inst = generate_uniform(
+        g.graph, {.num_objects = 6, .objects_per_txn = 2}, rng);
+    GreedyOptions o;
+    o.rule = ColoringRule::kFirstFit;
+    GreedyScheduler sched(o);
+    const Schedule s = sched.run(inst, m);
+    const Schedule earliest = compact(inst, m, s);
+    const CapacitySimResult r =
+        simulate_with_capacity(inst, m, s, {.capacity = 0});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.makespan, earliest.makespan());
+    EXPECT_EQ(r.total_queue_wait, 0);
+  }
+}
+
+TEST(CapacitySim, CapacityOneSerializesSharedEdges) {
+  const Star star(4, 2);
+  const Instance inst = star_fanout(star);
+  const DenseMetric m(star.graph);
+  const Schedule s = Schedule::from_commit_times(inst, {4, 4, 4});
+  // Unbounded: all three objects travel in parallel, distance 4 each.
+  const CapacitySimResult unbounded =
+      simulate_with_capacity(inst, m, s, {.capacity = 0});
+  ASSERT_TRUE(unbounded.ok);
+  EXPECT_EQ(unbounded.makespan, 4);
+  // Capacity 1: the shared first edge admits one object per traversal, so
+  // the last object finishes 2 steps later.
+  const CapacitySimResult tight =
+      simulate_with_capacity(inst, m, s, {.capacity = 1});
+  ASSERT_TRUE(tight.ok);
+  EXPECT_EQ(tight.makespan, 6);
+  EXPECT_GT(tight.total_queue_wait, 0);
+  EXPECT_EQ(tight.max_queue_length, 2u);
+}
+
+TEST(CapacitySim, MakespanMonotoneInCapacity) {
+  const Grid g(7);
+  const DenseMetric m(g.graph);
+  Rng rng(5);
+  const Instance inst = generate_uniform(
+      g.graph, {.num_objects = 10, .objects_per_txn = 2}, rng);
+  GreedyScheduler sched;
+  const Schedule s = sched.run(inst, m);
+  Time prev = kInfiniteWeight;
+  for (std::size_t cap : {1u, 2u, 4u, 0u}) {  // 0 = unbounded, last
+    const CapacitySimResult r =
+        simulate_with_capacity(inst, m, s, {.capacity = cap});
+    ASSERT_TRUE(r.ok) << "capacity " << cap;
+    EXPECT_LE(r.makespan, prev) << "capacity " << cap;
+    prev = r.makespan;
+  }
+}
+
+TEST(CapacitySim, StretchBoundedByPeakCongestion) {
+  // Realized makespan under capacity 1 is at most (unbounded makespan) ×
+  // (1 + peak congestion): every queueing delay is caused by at most
+  // peak-1 objects ahead on a link.
+  const Line line(24);
+  const DenseMetric m(line.graph);
+  Rng rng(7);
+  const Instance inst = generate_uniform(
+      line.graph, {.num_objects = 6, .objects_per_txn = 2}, rng);
+  GreedyOptions o;
+  o.rule = ColoringRule::kFirstFit;
+  GreedyScheduler sched(o);
+  const Schedule s = sched.run(inst, m);
+  const CongestionReport cong = analyze_congestion(inst, m, s);
+  const CapacitySimResult unbounded =
+      simulate_with_capacity(inst, m, s, {.capacity = 0});
+  const CapacitySimResult tight =
+      simulate_with_capacity(inst, m, s, {.capacity = 1});
+  ASSERT_TRUE(unbounded.ok);
+  ASSERT_TRUE(tight.ok);
+  EXPECT_LE(tight.makespan,
+            unbounded.makespan *
+                static_cast<Time>(cong.peak_load + 1));
+}
+
+TEST(CapacitySim, RejectsCorruptOrders) {
+  const Line line(4);
+  InstanceBuilder b(line.graph, 1);
+  b.add_transaction(0, {0});
+  b.add_transaction(3, {0});
+  const Instance inst = b.build();
+  const DenseMetric m(line.graph);
+  Schedule s = Schedule::from_commit_times(inst, {1, 4});
+  s.object_order[0] = {0};  // dropped a requester
+  EXPECT_THROW(simulate_with_capacity(inst, m, s), Error);
+}
+
+TEST(CapacitySim, MaxStepsGuard) {
+  const Line line(8);
+  InstanceBuilder b(line.graph, 1);
+  b.add_transaction(0, {0});
+  b.add_transaction(7, {0});
+  b.set_object_home(0, 0);
+  const Instance inst = b.build();
+  const DenseMetric m(line.graph);
+  const Schedule s = Schedule::from_commit_times(inst, {1, 8});
+  const CapacitySimResult r =
+      simulate_with_capacity(inst, m, s, {.capacity = 1, .max_steps = 3});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("max_steps"), std::string::npos);
+}
+
+TEST(CapacitySim, EmptyInstance) {
+  const Line line(3);
+  InstanceBuilder b(line.graph, 1);
+  const Instance inst = b.build();
+  const DenseMetric m(line.graph);
+  Schedule s;
+  s.object_order.resize(1);
+  const CapacitySimResult r = simulate_with_capacity(inst, m, s);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.makespan, 0);
+}
+
+TEST(CapacitySim, ObjectlessTransactionsCommitAtOne) {
+  const Line line(3);
+  InstanceBuilder b(line.graph, 1);
+  b.add_transaction(1, {});
+  const Instance inst = b.build();
+  const DenseMetric m(line.graph);
+  Schedule s;
+  s.commit_time = {1};
+  s.object_order.resize(1);
+  const CapacitySimResult r = simulate_with_capacity(inst, m, s);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.makespan, 1);
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,165 @@
+// Tests for the §6 Cluster scheduler (Theorem 4, Algorithm 1).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/generators.hpp"
+#include "lb/bounds.hpp"
+#include "sched/cluster.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+namespace {
+
+TEST(ClusterScheduler, RejectsForeignGraphs) {
+  const ClusterGraph a(2, 3, 4), b(2, 3, 4);
+  Rng rng(1);
+  const Instance inst = generate_cluster_local(a, 6, 2, rng);
+  const DenseMetric m(b.graph);
+  ClusterScheduler sched(b);
+  EXPECT_THROW(sched.run(inst, m), Error);
+}
+
+TEST(ClusterScheduler, AutoPicksGreedyForLocalWorkloads) {
+  const ClusterGraph cg(4, 5, 8);
+  Rng rng(2);
+  const Instance inst = generate_cluster_local(cg, 20, 2, rng);
+  const DenseMetric m(cg.graph);
+  ClusterScheduler sched(cg);
+  test::run_and_check(sched, inst, m);
+  EXPECT_EQ(sched.last_stats().sigma, 1u);
+  EXPECT_FALSE(sched.last_stats().used_randomized);
+}
+
+TEST(ClusterScheduler, LocalWorkloadsRunInParallelAcrossClusters) {
+  // With per-cluster objects, greedy runs clusters independently: makespan
+  // stays O(k·ℓ) with no γ term.
+  const ClusterGraph cg(6, 4, 50);
+  Rng rng(3);
+  const Instance inst = generate_cluster_local(cg, 24, 2, rng);
+  const DenseMetric m(cg.graph);
+  ClusterScheduler sched(cg);
+  const Schedule s = test::run_and_check(sched, inst, m);
+  const auto k = static_cast<Time>(inst.max_objects_per_txn());
+  const auto ell = static_cast<Time>(inst.max_requesters());
+  EXPECT_LE(s.makespan(), k * ell + 2);  // no dependence on γ = 50
+}
+
+TEST(ClusterScheduler, RandomizedFeasibleAndStatspopulated) {
+  const ClusterGraph cg(4, 4, 6);
+  Rng rng(4);
+  const Instance inst = generate_cluster_spread(cg, 12, 2, 3, rng);
+  const DenseMetric m(cg.graph);
+  ClusterScheduler sched(cg, {.approach = ClusterApproach::kRandomized,
+                              .seed = 7});
+  test::run_and_check(sched, inst, m);
+  const ClusterRunStats& st = sched.last_stats();
+  EXPECT_TRUE(st.used_randomized);
+  EXPECT_GE(st.phases, 1u);
+  EXPECT_GE(st.total_rounds, 1u);
+  EXPECT_GE(st.sigma, 1u);
+}
+
+class ClusterSchedulerSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(ClusterSchedulerSweep, BothApproachesFeasible) {
+  const auto [alpha, beta, sigma, seed] = GetParam();
+  const ClusterGraph cg(static_cast<std::size_t>(alpha),
+                        static_cast<std::size_t>(beta),
+                        static_cast<Weight>(beta) + 3);
+  Rng rng(static_cast<std::uint64_t>(seed) * 4049 + 17);
+  const Instance inst = generate_cluster_spread(
+      cg, 3 * static_cast<std::size_t>(alpha), 2,
+      std::min<std::size_t>(static_cast<std::size_t>(sigma),
+                            static_cast<std::size_t>(alpha)),
+      rng);
+  const DenseMetric m(cg.graph);
+  Time greedy_mk = 0, random_mk = 0;
+  for (ClusterApproach ap :
+       {ClusterApproach::kGreedy, ClusterApproach::kRandomized,
+        ClusterApproach::kAuto, ClusterApproach::kBest}) {
+    ClusterScheduler sched(cg, {.approach = ap, .seed = 11});
+    const Schedule s = test::run_and_check(sched, inst, m);
+    const InstanceBounds lb = compute_bounds(inst, m);
+    EXPECT_GE(s.makespan(), lb.makespan_lb);
+    if (ap == ClusterApproach::kGreedy) greedy_mk = s.makespan();
+    if (ap == ClusterApproach::kRandomized) random_mk = s.makespan();
+    if (ap == ClusterApproach::kBest) {
+      // kBest is never worse than both explicit approaches (same seed).
+      EXPECT_LE(s.makespan(), std::max(greedy_mk, random_mk));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ClusterSchedulerSweep,
+                         ::testing::Combine(::testing::Values(2, 4),
+                                            ::testing::Values(3, 6),
+                                            ::testing::Values(1, 2, 4),
+                                            ::testing::Range(0, 2)));
+
+TEST(ClusterScheduler, GreedyBoundKSigmaBetaGamma) {
+  // Lemma 6: Approach 1 finishes within O(k·σ·β·γ).
+  const ClusterGraph cg(3, 4, 6);
+  Rng rng(6);
+  const Instance inst = generate_cluster_spread(cg, 9, 2, 2, rng);
+  const DenseMetric m(cg.graph);
+  ClusterScheduler sched(cg, {.approach = ClusterApproach::kGreedy});
+  const Schedule s = test::run_and_check(sched, inst, m);
+  const auto k = static_cast<Time>(inst.max_objects_per_txn());
+  const std::size_t sigma = max_cluster_spread(cg, inst);
+  const Time cap = 2 * k * static_cast<Time>(sigma) *
+                       static_cast<Time>(cg.beta) * (cg.gamma + 2) +
+                   cg.gamma + 3;
+  EXPECT_LE(s.makespan(), cap);
+}
+
+TEST(ClusterScheduler, RandomizedIsDeterministicPerSeed) {
+  const ClusterGraph cg(3, 3, 5);
+  Rng rng(7);
+  const Instance inst = generate_cluster_spread(cg, 9, 2, 2, rng);
+  const DenseMetric m(cg.graph);
+  ClusterScheduler s1(cg, {.approach = ClusterApproach::kRandomized, .seed = 42});
+  ClusterScheduler s2(cg, {.approach = ClusterApproach::kRandomized, .seed = 42});
+  const Schedule a = s1.run(inst, m);
+  const Schedule b = s2.run(inst, m);
+  EXPECT_EQ(a.commit_time, b.commit_time);
+}
+
+TEST(ClusterScheduler, ForcingGuaranteesTermination) {
+  // force_after=1 derandomizes aggressively; the schedule must stay valid.
+  const ClusterGraph cg(4, 3, 5);
+  Rng rng(8);
+  const Instance inst = generate_cluster_spread(cg, 8, 3, 3, rng);
+  const DenseMetric m(cg.graph);
+  ClusterScheduler sched(cg, {.approach = ClusterApproach::kRandomized,
+                              .force_after = 1,
+                              .seed = 5});
+  test::run_and_check(sched, inst, m);
+}
+
+TEST(ClusterScheduler, SingleClusterDegeneratesToClique) {
+  const ClusterGraph cg(1, 6, 3);
+  Rng rng(9);
+  const Instance inst = generate_cluster_local(cg, 6, 2, rng);
+  const DenseMetric m(cg.graph);
+  for (ClusterApproach ap :
+       {ClusterApproach::kGreedy, ClusterApproach::kRandomized}) {
+    ClusterScheduler sched(cg, {.approach = ap});
+    test::run_and_check(sched, inst, m);
+  }
+}
+
+TEST(ClusterScheduler, NameByApproach) {
+  const ClusterGraph cg(2, 2, 2);
+  EXPECT_EQ(ClusterScheduler(cg, {.approach = ClusterApproach::kGreedy}).name(),
+            "cluster-greedy");
+  EXPECT_EQ(
+      ClusterScheduler(cg, {.approach = ClusterApproach::kRandomized}).name(),
+      "cluster-randomized");
+  EXPECT_EQ(ClusterScheduler(cg).name(), "cluster-auto");
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,141 @@
+// Unit tests for the CSR graph and single-source shortest paths.
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+#include "graph/shortest_paths.hpp"
+#include "graph/topologies/clique.hpp"
+#include "graph/topologies/grid.hpp"
+#include "graph/topologies/line.hpp"
+#include "util/error.hpp"
+
+namespace dtm {
+namespace {
+
+Graph triangle_with_tail() {
+  // 0-1 (1), 1-2 (2), 0-2 (4), 2-3 (1)
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 2);
+  b.add_edge(0, 2, 4);
+  b.add_edge(2, 3, 1);
+  return b.build();
+}
+
+TEST(GraphBuilder, CountsNodesAndEdges) {
+  const Graph g = triangle_with_tail();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+}
+
+TEST(GraphBuilder, NeighborsSortedWithWeights) {
+  const Graph g = triangle_with_tail();
+  const auto n2 = g.neighbors(2);
+  ASSERT_EQ(n2.size(), 3u);
+  EXPECT_EQ(n2[0].to, 0u);
+  EXPECT_EQ(n2[0].weight, 4);
+  EXPECT_EQ(n2[1].to, 1u);
+  EXPECT_EQ(n2[2].to, 3u);
+}
+
+TEST(GraphBuilder, RejectsBadEdges) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), Error);
+  EXPECT_THROW(b.add_edge(1, 1), Error);
+  EXPECT_THROW(b.add_edge(0, 1, 0), Error);
+  EXPECT_THROW(b.add_edge(0, 1, -2), Error);
+}
+
+TEST(GraphBuilder, RejectsEmptyGraph) {
+  EXPECT_THROW(GraphBuilder(0), Error);
+}
+
+TEST(Graph, UnitWeightFlag) {
+  EXPECT_TRUE(Clique(4).graph.unit_weights());
+  EXPECT_FALSE(triangle_with_tail().unit_weights());
+  EXPECT_EQ(triangle_with_tail().max_weight(), 4);
+}
+
+TEST(Graph, ConnectedDetection) {
+  EXPECT_TRUE(triangle_with_tail().connected());
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  EXPECT_FALSE(b.build().connected());
+}
+
+TEST(Graph, SingleNodeIsConnected) {
+  GraphBuilder b(1);
+  EXPECT_TRUE(b.build().connected());
+}
+
+TEST(Dijkstra, WeightedDistances) {
+  const Graph g = triangle_with_tail();
+  const auto t = dijkstra(g, 0);
+  EXPECT_EQ(t.dist[0], 0);
+  EXPECT_EQ(t.dist[1], 1);
+  EXPECT_EQ(t.dist[2], 3);  // 0-1-2 beats the weight-4 direct edge
+  EXPECT_EQ(t.dist[3], 4);
+}
+
+TEST(Dijkstra, PathReconstruction) {
+  const Graph g = triangle_with_tail();
+  const auto t = dijkstra(g, 0);
+  const auto p = t.path_to(3);
+  EXPECT_EQ(p, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(Dijkstra, UnreachableIsInfinite) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  const auto t = dijkstra(g, 0);
+  EXPECT_EQ(t.dist[2], kInfiniteWeight);
+  EXPECT_THROW(t.path_to(2), Error);
+}
+
+TEST(Bfs, MatchesDijkstraOnUnitGraphs) {
+  const Grid grid(5, 7);
+  for (NodeId s : {NodeId{0}, NodeId{17}, NodeId{34}}) {
+    const auto b = bfs(grid.graph, s);
+    const auto d = dijkstra(grid.graph, s);
+    EXPECT_EQ(b.dist, d.dist);
+  }
+}
+
+TEST(Bfs, RejectsWeightedGraph) {
+  EXPECT_THROW(bfs(triangle_with_tail(), 0), Error);
+}
+
+TEST(SingleSource, DispatchesByWeights) {
+  const Line line(10);
+  EXPECT_EQ(single_source(line.graph, 0).dist[9], 9);
+  EXPECT_EQ(single_source(triangle_with_tail(), 0).dist[2], 3);
+}
+
+TEST(Distance, PairQueries) {
+  const Graph g = triangle_with_tail();
+  EXPECT_EQ(distance(g, 0, 0), 0);
+  EXPECT_EQ(distance(g, 0, 2), 3);
+  EXPECT_EQ(distance(g, 3, 0), 4);
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(Clique(6).graph), 1);
+  EXPECT_EQ(diameter(Line(10).graph), 9);
+  EXPECT_EQ(diameter(Grid(4, 4).graph), 6);
+  EXPECT_EQ(diameter(triangle_with_tail()), 4);
+}
+
+TEST(Diameter, RequiresConnected) {
+  GraphBuilder b(2);
+  EXPECT_THROW(diameter(b.build()), Error);
+}
+
+TEST(ShortestPathTree, PathToSelfIsTrivial) {
+  const Graph g = triangle_with_tail();
+  const auto t = dijkstra(g, 1);
+  EXPECT_EQ(t.path_to(1), (std::vector<NodeId>{1}));
+}
+
+}  // namespace
+}  // namespace dtm

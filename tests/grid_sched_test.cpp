@@ -1,0 +1,128 @@
+// Tests for the §5 Grid scheduler (Theorem 3: O(k log m) w.h.p. on random
+// k-subset workloads).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/generators.hpp"
+#include "lb/bounds.hpp"
+#include "sched/grid.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+namespace {
+
+TEST(GridScheduler, RequiresSquareGrid) {
+  const Grid rect(3, 5);
+  EXPECT_THROW(GridScheduler{rect}, Error);
+}
+
+TEST(GridScheduler, RejectsForeignGraphs) {
+  const Grid a(4), b(4);
+  Rng rng(1);
+  const Instance inst =
+      generate_uniform(a.graph, {.num_objects = 3, .objects_per_txn = 1}, rng);
+  const DenseMetric m(b.graph);
+  GridScheduler sched(b);
+  EXPECT_THROW(sched.run(inst, m), Error);
+}
+
+TEST(GridScheduler, SubgridSideFollowsFormula) {
+  const Grid g(16);
+  Rng rng(2);
+  const Instance inst =
+      generate_uniform(g.graph, {.num_objects = 8, .objects_per_txn = 2}, rng);
+  const DenseMetric m(g.graph);
+  GridScheduler sched(g);
+  test::run_and_check(sched, inst, m);
+  const double xi = 27.0 * 8.0 * std::log(16.0) / 2.0;
+  const auto expect =
+      std::min<std::size_t>(16, static_cast<std::size_t>(
+                                    std::ceil(std::sqrt(xi))));
+  EXPECT_EQ(sched.last_subgrid_side(), expect);
+}
+
+TEST(GridScheduler, ForcedSubgridSideRespected) {
+  const Grid g(8);
+  Rng rng(3);
+  const Instance inst =
+      generate_uniform(g.graph, {.num_objects = 4, .objects_per_txn = 2}, rng);
+  const DenseMetric m(g.graph);
+  for (std::size_t side : {1u, 2u, 4u, 8u}) {
+    GridScheduler sched(g, {.forced_subgrid_side = side});
+    test::run_and_check(sched, inst, m);
+    EXPECT_EQ(sched.last_subgrid_side(), side);
+  }
+}
+
+class GridSchedulerSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(GridSchedulerSweep, FeasibleAndWithinTheoremBound) {
+  const auto [n, w, k, seed] = GetParam();
+  const Grid g(static_cast<std::size_t>(n));
+  Rng rng(static_cast<std::uint64_t>(seed) * 7001 + 3);
+  const Instance inst = generate_uniform(
+      g.graph,
+      {.num_objects = static_cast<std::size_t>(w),
+       .objects_per_txn = static_cast<std::size_t>(k)},
+      rng);
+  const DenseMetric m(g.graph);
+  GridScheduler sched(g);
+  const Schedule s = test::run_and_check(sched, inst, m);
+
+  const InstanceBounds lb = compute_bounds(inst, m);
+  ASSERT_GE(lb.makespan_lb, 1);
+  const double ratio = static_cast<double>(s.makespan()) /
+                       static_cast<double>(lb.makespan_lb);
+  // Theorem 3: O(k log m) w.h.p. The constant is generous but finite; this
+  // guards against order-of-magnitude regressions.
+  const double mval = static_cast<double>(std::max(n, w));
+  const double cap = 40.0 * static_cast<double>(k) * std::log(mval) + 30.0;
+  EXPECT_LE(ratio, cap) << "n=" << n << " w=" << w << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GridSchedulerSweep,
+    ::testing::Combine(::testing::Values(6, 10, 14), ::testing::Values(4, 16),
+                       ::testing::Values(1, 2, 3), ::testing::Range(0, 2)));
+
+TEST(GridScheduler, FirstFitRuleAlsoFeasible) {
+  const Grid g(9);
+  Rng rng(4);
+  const Instance inst =
+      generate_uniform(g.graph, {.num_objects = 6, .objects_per_txn = 2}, rng);
+  const DenseMetric m(g.graph);
+  GridScheduler paper(g, {.rule = ColoringRule::kPaperPigeonhole});
+  GridScheduler ff(g, {.rule = ColoringRule::kFirstFit});
+  const Schedule a = test::run_and_check(paper, inst, m);
+  const Schedule b = test::run_and_check(ff, inst, m);
+  EXPECT_LE(b.makespan(), a.makespan());
+}
+
+TEST(GridScheduler, SparseTransactionsFeasible) {
+  const Grid g(8);
+  Rng rng(5);
+  const Instance inst = generate_uniform(
+      g.graph,
+      {.num_objects = 5, .objects_per_txn = 2, .txn_density = 0.4}, rng);
+  const DenseMetric m(g.graph);
+  GridScheduler sched(g);
+  test::run_and_check(sched, inst, m);
+}
+
+TEST(GridScheduler, SingleNodeGrid) {
+  const Grid g(1);
+  InstanceBuilder b(g.graph, 1);
+  b.add_transaction(0, {0});
+  const Instance inst = b.build();
+  const DenseMetric m(g.graph);
+  GridScheduler sched(g);
+  const Schedule s = test::run_and_check(sched, inst, m);
+  EXPECT_EQ(s.makespan(), 1);
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,195 @@
+// Tests for Instance/InstanceBuilder and the workload generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/generators.hpp"
+#include "core/instance.hpp"
+#include "graph/topologies/clique.hpp"
+#include "graph/topologies/cluster.hpp"
+#include "graph/topologies/grid.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+namespace {
+
+TEST(InstanceBuilder, BasicAssembly) {
+  const Clique c(4);
+  InstanceBuilder b(c.graph, 3);
+  const TxnId t0 = b.add_transaction(0, {2, 0});
+  const TxnId t1 = b.add_transaction(2, {0});
+  b.set_object_home(0, 1);
+  const Instance inst = b.build();
+
+  EXPECT_EQ(inst.num_transactions(), 2u);
+  EXPECT_EQ(inst.num_objects(), 3u);
+  EXPECT_EQ(inst.txn(t0).home, 0u);
+  // Objects are stored sorted.
+  EXPECT_EQ(inst.txn(t0).objects, (std::vector<ObjectId>{0, 2}));
+  EXPECT_EQ(inst.object_home(0), 1u);
+  EXPECT_EQ(inst.object_home(1), 0u);  // default
+  EXPECT_EQ(inst.requesters(0), (std::vector<TxnId>{t0, t1}));
+  EXPECT_TRUE(inst.requesters(1).empty());
+  EXPECT_EQ(inst.max_requesters(), 2u);
+  EXPECT_EQ(inst.max_objects_per_txn(), 2u);
+  EXPECT_EQ(inst.txn_at(0), t0);
+  EXPECT_EQ(inst.txn_at(1), kInvalidTxn);
+  EXPECT_EQ(inst.txn_at(2), t1);
+}
+
+TEST(InstanceBuilder, RejectsSecondTransactionOnNode) {
+  const Clique c(3);
+  InstanceBuilder b(c.graph, 1);
+  b.add_transaction(1, {0});
+  EXPECT_THROW(b.add_transaction(1, {0}), Error);
+}
+
+TEST(InstanceBuilder, RejectsBadIds) {
+  const Clique c(3);
+  InstanceBuilder b(c.graph, 2);
+  EXPECT_THROW(b.add_transaction(5, {0}), Error);
+  EXPECT_THROW(b.add_transaction(0, {2}), Error);
+  EXPECT_THROW(b.add_transaction(0, {1, 1}), Error);
+  EXPECT_THROW(b.set_object_home(2, 0), Error);
+  EXPECT_THROW(b.set_object_home(0, 9), Error);
+}
+
+TEST(Instance, DescribeMentionsEveryTransaction) {
+  const Clique c(3);
+  InstanceBuilder b(c.graph, 2);
+  b.add_transaction(0, {0, 1});
+  b.add_transaction(2, {1});
+  const std::string d = b.build().describe();
+  EXPECT_NE(d.find("T0"), std::string::npos);
+  EXPECT_NE(d.find("T1"), std::string::npos);
+  EXPECT_NE(d.find("o1"), std::string::npos);
+}
+
+// ------------------------------------------------------------ generators
+
+TEST(GenerateUniform, EveryTxnHasExactlyKDistinctObjects) {
+  const Grid g(6);
+  Rng rng(5);
+  const Instance inst =
+      generate_uniform(g.graph, {.num_objects = 10, .objects_per_txn = 3}, rng);
+  EXPECT_EQ(inst.num_transactions(), 36u);
+  for (const Transaction& t : inst.transactions()) {
+    EXPECT_EQ(t.objects.size(), 3u);
+    std::set<ObjectId> uniq(t.objects.begin(), t.objects.end());
+    EXPECT_EQ(uniq.size(), 3u);
+  }
+}
+
+TEST(GenerateUniform, PlacementAtRequester) {
+  const Grid g(5);
+  Rng rng(6);
+  const Instance inst =
+      generate_uniform(g.graph, {.num_objects = 6, .objects_per_txn = 2}, rng);
+  for (ObjectId o = 0; o < inst.num_objects(); ++o) {
+    if (inst.requesters(o).empty()) continue;
+    bool at_requester = false;
+    for (TxnId t : inst.requesters(o)) {
+      at_requester |= inst.txn(t).home == inst.object_home(o);
+    }
+    EXPECT_TRUE(at_requester) << "o" << o;
+  }
+}
+
+TEST(GenerateUniform, DensityControlsTransactionCount) {
+  const Grid g(10);
+  Rng rng(7);
+  const Instance inst = generate_uniform(
+      g.graph,
+      {.num_objects = 5, .objects_per_txn = 1, .txn_density = 0.3}, rng);
+  EXPECT_LT(inst.num_transactions(), 60u);
+  EXPECT_GT(inst.num_transactions(), 10u);
+}
+
+TEST(GenerateUniform, RejectsBadParameters) {
+  const Grid g(3);
+  Rng rng(8);
+  EXPECT_THROW(
+      generate_uniform(g.graph, {.num_objects = 2, .objects_per_txn = 3}, rng),
+      Error);
+  EXPECT_THROW(generate_uniform(g.graph,
+                                {.num_objects = 2,
+                                 .objects_per_txn = 1,
+                                 .txn_density = 0.0},
+                                rng),
+               Error);
+}
+
+TEST(GenerateUniform, DeterministicForSeed) {
+  const Grid g(5);
+  Rng r1(99), r2(99);
+  const Instance a =
+      generate_uniform(g.graph, {.num_objects = 7, .objects_per_txn = 2}, r1);
+  const Instance b =
+      generate_uniform(g.graph, {.num_objects = 7, .objects_per_txn = 2}, r2);
+  ASSERT_EQ(a.num_transactions(), b.num_transactions());
+  for (TxnId t = 0; t < a.num_transactions(); ++t) {
+    EXPECT_EQ(a.txn(t).objects, b.txn(t).objects);
+  }
+  for (ObjectId o = 0; o < a.num_objects(); ++o) {
+    EXPECT_EQ(a.object_home(o), b.object_home(o));
+  }
+}
+
+TEST(GenerateClusterLocal, ObjectsStayInOneCluster) {
+  const ClusterGraph cg(4, 6, 8);
+  Rng rng(10);
+  const Instance inst = generate_cluster_local(cg, 16, 2, rng);
+  EXPECT_EQ(max_cluster_spread(cg, inst), 1u);
+  EXPECT_EQ(inst.num_transactions(), cg.num_nodes());
+}
+
+TEST(GenerateClusterLocal, RejectsTooSmallPools) {
+  const ClusterGraph cg(4, 3, 5);
+  Rng rng(11);
+  EXPECT_THROW(generate_cluster_local(cg, 4, 2, rng), Error);
+}
+
+TEST(GenerateClusterSpread, RealizedSigmaNearRequest) {
+  const ClusterGraph cg(6, 4, 7);
+  Rng rng(12);
+  const Instance inst = generate_cluster_spread(cg, 24, 2, 3, rng);
+  const std::size_t sigma = max_cluster_spread(cg, inst);
+  EXPECT_GE(sigma, 1u);
+  EXPECT_LE(sigma, 6u);
+  for (const Transaction& t : inst.transactions()) {
+    EXPECT_EQ(t.objects.size(), 2u);
+  }
+}
+
+TEST(GenerateClusterSpread, SigmaOneIsLocal) {
+  const ClusterGraph cg(4, 3, 6);
+  Rng rng(13);
+  const Instance inst = generate_cluster_spread(cg, 40, 2, 1, rng);
+  // With sigma=1 each object is offered to exactly one cluster (top-ups can
+  // nudge a few objects wider, but most stay local).
+  EXPECT_LE(max_cluster_spread(cg, inst), 2u);
+}
+
+TEST(GenerateHotspot, ObjectZeroEverywhere) {
+  const Clique c(9);
+  Rng rng(14);
+  const Instance inst = generate_hotspot(c.graph, 5, 3, rng);
+  EXPECT_EQ(inst.requesters(0).size(), 9u);
+  for (const Transaction& t : inst.transactions()) {
+    EXPECT_EQ(t.objects.size(), 3u);
+    EXPECT_EQ(t.objects.front(), 0u);  // sorted, so hot object is first
+  }
+}
+
+TEST(GenerateHotspot, KOneIsPureContention) {
+  const Clique c(5);
+  Rng rng(15);
+  const Instance inst = generate_hotspot(c.graph, 3, 1, rng);
+  for (const Transaction& t : inst.transactions()) {
+    EXPECT_EQ(t.objects, (std::vector<ObjectId>{0}));
+  }
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,171 @@
+// End-to-end integration: generate → schedule → validate → simulate →
+// bound → ratio, across every topology/scheduler pairing the paper studies,
+// plus determinism and §3.1 diameter-scaling checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/generators.hpp"
+#include "core/metrics.hpp"
+#include "lb/bounds.hpp"
+#include "lb/lb_instances.hpp"
+#include "sched/cluster.hpp"
+#include "sched/greedy.hpp"
+#include "sched/grid.hpp"
+#include "sched/line.hpp"
+#include "sched/star.hpp"
+#include "test_util.hpp"
+#include "graph/topologies/butterfly.hpp"
+#include "graph/topologies/clique.hpp"
+#include "graph/topologies/hypercube.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+namespace {
+
+struct PipelineResult {
+  Time makespan;
+  Time lower_bound;
+  double ratio;
+};
+
+PipelineResult pipeline(Scheduler& sched, const Instance& inst,
+                        const Metric& m) {
+  const Schedule s = test::run_and_check(sched, inst, m);
+  const InstanceBounds lb = compute_bounds(inst, m);
+  PipelineResult r{};
+  r.makespan = s.makespan();
+  r.lower_bound = std::max<Time>(lb.makespan_lb, 1);
+  r.ratio = static_cast<double>(r.makespan) / static_cast<double>(r.lower_bound);
+  const ScheduleMetrics sm = compute_metrics(inst, m, s);
+  EXPECT_GE(sm.communication, 0);
+  EXPECT_EQ(sm.makespan, r.makespan);
+  return r;
+}
+
+TEST(Integration, CliquePipeline) {
+  const Clique c(24);
+  const DenseMetric m(c.graph);
+  Rng rng(1001);
+  const Instance inst =
+      generate_uniform(c.graph, {.num_objects = 8, .objects_per_txn = 2}, rng);
+  GreedyScheduler sched;
+  const PipelineResult r = pipeline(sched, inst, m);
+  EXPECT_GE(r.makespan, r.lower_bound);
+  EXPECT_LE(r.ratio, 2.0 * 2 + 3.0);  // Theorem 1, generous constant
+}
+
+TEST(Integration, HypercubeRatioScalesWithLogN) {
+  // §3.1: hypercube greedy is O(k log n); ratio grows at most ~log n
+  // relative to the clique's O(k).
+  Rng rng(1002);
+  const Hypercube h(6);  // 64 nodes, diameter 6
+  const Instance inst =
+      generate_uniform(h.graph, {.num_objects = 8, .objects_per_txn = 2}, rng);
+  const DenseMetric m(h.graph);
+  GreedyScheduler sched;
+  const PipelineResult r = pipeline(sched, inst, m);
+  const double cap = 2.0 * 2 * 6 + 8.0;  // ~ 2k·log n + slack
+  EXPECT_LE(r.ratio, cap);
+}
+
+TEST(Integration, ButterflyPipeline) {
+  Rng rng(1003);
+  const Butterfly b(3);
+  const Instance inst =
+      generate_uniform(b.graph, {.num_objects = 6, .objects_per_txn = 2}, rng);
+  const DenseMetric m(b.graph);
+  GreedyScheduler sched;
+  const PipelineResult r = pipeline(sched, inst, m);
+  EXPECT_GE(r.makespan, r.lower_bound);
+}
+
+TEST(Integration, LowerBoundInstanceSchedulable) {
+  // The §8 adversarial instance is still a valid problem: greedy schedules
+  // it, and the makespan exceeds the max object-walk bound (the gap is what
+  // Theorem 6 is about).
+  Rng rng(1004);
+  const LowerBoundInstance li = make_lb_grid(4, rng);
+  const DenseMetric m(li.graph());
+  GreedyScheduler sched;
+  const Schedule s = test::run_and_check(sched, li.instance, m);
+  const InstanceBounds lb = compute_bounds(li.instance, m);
+  EXPECT_GE(s.makespan(), lb.makespan_lb);
+}
+
+TEST(Integration, LowerBoundTreeInstanceSchedulable) {
+  Rng rng(1005);
+  const LowerBoundInstance li = make_lb_tree(4, rng);
+  const DenseMetric m(li.graph());
+  GreedyScheduler sched;
+  test::run_and_check(sched, li.instance, m);
+}
+
+TEST(Integration, SchedulersAreDeterministicPerSeed) {
+  const Clique c(10);
+  const DenseMetric m(c.graph);
+  Rng g1(2024), g2(2024);
+  const Instance i1 =
+      generate_uniform(c.graph, {.num_objects = 5, .objects_per_txn = 2}, g1);
+  const Instance i2 =
+      generate_uniform(c.graph, {.num_objects = 5, .objects_per_txn = 2}, g2);
+  GreedyScheduler s1, s2;
+  EXPECT_EQ(s1.run(i1, m).commit_time, s2.run(i2, m).commit_time);
+}
+
+TEST(Integration, MakespanVsCommunicationTradeoff) {
+  // Busch et al. [PODC 2015]: short makespans can force extra total
+  // communication. Sanity-check both metrics are computed consistently:
+  // the serial baseline can have lower communication but longer makespan
+  // than greedy. (No strict inequality is required — just consistency.)
+  const Hypercube h(4);
+  const DenseMetric m(h.graph);
+  Rng rng(1006);
+  const Instance inst =
+      generate_uniform(h.graph, {.num_objects = 4, .objects_per_txn = 2}, rng);
+  GreedyScheduler greedy;
+  const Schedule a = test::run_and_check(greedy, inst, m);
+  const ScheduleMetrics ma = compute_metrics(inst, m, a);
+  EXPECT_GT(ma.communication, 0);
+  EXPECT_GE(ma.communication, ma.max_object_travel);
+}
+
+TEST(Integration, FullTopologySuiteSmoke) {
+  // One pass over every specialized scheduler on its home topology.
+  Rng rng(1007);
+  {
+    const Line line(24);
+    const Instance inst = generate_uniform(
+        line.graph, {.num_objects = 6, .objects_per_txn = 2}, rng);
+    const DenseMetric m(line.graph);
+    LineScheduler sched(line);
+    pipeline(sched, inst, m);
+  }
+  {
+    const Grid grid(7);
+    const Instance inst = generate_uniform(
+        grid.graph, {.num_objects = 6, .objects_per_txn = 2}, rng);
+    const DenseMetric m(grid.graph);
+    GridScheduler sched(grid);
+    pipeline(sched, inst, m);
+  }
+  {
+    const ClusterGraph cg(3, 5, 7);
+    const Instance inst = generate_cluster_spread(cg, 9, 2, 2, rng);
+    const DenseMetric m(cg.graph);
+    ClusterScheduler sched(cg);
+    pipeline(sched, inst, m);
+  }
+  {
+    const Star star(4, 7);
+    const Instance inst = generate_uniform(
+        star.graph, {.num_objects = 6, .objects_per_txn = 2}, rng);
+    const DenseMetric m(star.graph);
+    StarScheduler sched(star);
+    pipeline(sched, inst, m);
+  }
+}
+
+}  // namespace
+}  // namespace dtm

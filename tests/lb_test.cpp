@@ -1,0 +1,285 @@
+// Tests for the TSP machinery, per-object walk bounds, instance lower
+// bounds, and the §8 adversarial constructions.
+#include <gtest/gtest.h>
+
+#include "core/generators.hpp"
+#include "lb/bounds.hpp"
+#include "lb/lb_instances.hpp"
+#include "lb/object_walk.hpp"
+#include "lb/tsp.hpp"
+#include "sched/baseline.hpp"
+#include "graph/topologies/grid.hpp"
+#include "graph/topologies/line.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+namespace {
+
+// -------------------------------------------------------------------- tsp
+
+TEST(Tsp, TerminalDistancesSymmetric) {
+  const Grid g(4);
+  const DenseMetric m(g.graph);
+  const TerminalDistances td(m, {0, 5, 15, 12});
+  EXPECT_EQ(td.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(td.at(i, i), 0);
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(td.at(i, j), td.at(j, i));
+    }
+  }
+}
+
+TEST(Tsp, HeldKarpOnLineVisitsInOrder) {
+  const Line line(10);
+  const DenseMetric m(line.graph);
+  // Start at 5, visit {1, 8}: best walk 5->8->1 or 5->1->8 = 3+7=10 or 4+7=11.
+  const TerminalDistances td(m, {5, 1, 8});
+  EXPECT_EQ(held_karp_path(td), 10);
+}
+
+TEST(Tsp, HeldKarpSingleAndPair) {
+  const Grid g(4);
+  const DenseMetric m(g.graph);
+  EXPECT_EQ(held_karp_path(TerminalDistances(m, {3})), 0);
+  EXPECT_EQ(held_karp_path(TerminalDistances(m, {0, 15})),
+            m.distance(0, 15));
+}
+
+TEST(Tsp, HeldKarpRejectsHugeSets) {
+  const Line line(25);
+  const DenseMetric m(line.graph);
+  std::vector<NodeId> terms(19);
+  for (NodeId i = 0; i < 19; ++i) terms[i] = i;
+  EXPECT_THROW(held_karp_path(TerminalDistances(m, terms)), Error);
+}
+
+TEST(Tsp, MstWeightKnownValues) {
+  const Line line(10);
+  const DenseMetric m(line.graph);
+  // Terminals 0, 4, 9 on a line: MST = 4 + 5.
+  EXPECT_EQ(mst_weight(TerminalDistances(m, {0, 4, 9})), 9);
+  EXPECT_EQ(mst_weight(TerminalDistances(m, {3})), 0);
+}
+
+TEST(Tsp, NearestNeighborCoversAllTerminals) {
+  const Grid g(5);
+  const DenseMetric m(g.graph);
+  const TerminalDistances td(m, {0, 7, 24, 13, 20});
+  Weight len = 0;
+  const auto order = nearest_neighbor_two_opt(td, &len);
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order.front(), 0u);  // walk starts at terminal 0
+  std::vector<char> seen(5, 0);
+  for (std::size_t i : order) seen[i] = 1;
+  for (char c : seen) EXPECT_TRUE(c);
+  EXPECT_GT(len, 0);
+}
+
+TEST(Tsp, HeuristicUpperBoundsExact) {
+  Rng rng(42);
+  const Grid g(6);
+  const DenseMetric m(g.graph);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<NodeId> terms;
+    for (std::size_t idx : rng.sample_indices(36, 7)) {
+      terms.push_back(static_cast<NodeId>(idx));
+    }
+    const TerminalDistances td(m, terms);
+    const Weight exact = held_karp_path(td);
+    Weight heur = 0;
+    nearest_neighbor_two_opt(td, &heur);
+    EXPECT_GE(heur, exact);
+    EXPECT_GE(exact, mst_weight(td) / 2);
+  }
+}
+
+// ------------------------------------------------------------ walk bounds
+
+TEST(WalkBounds, ExactForSmallSets) {
+  const Grid g(5);
+  const DenseMetric m(g.graph);
+  const WalkBounds wb = walk_bounds(m, 0, {24, 4});
+  EXPECT_TRUE(wb.exact);
+  EXPECT_EQ(wb.lower, wb.upper);
+  // Best: 0 -> 4 (dist 4) -> 24 (dist 4) = 8; the reverse costs 8 + 8.
+  EXPECT_EQ(wb.lower, 8);
+}
+
+TEST(WalkBounds, EmptyAndSelfTargets) {
+  const Grid g(4);
+  const DenseMetric m(g.graph);
+  EXPECT_EQ(walk_bounds(m, 3, {}).upper, 0);
+  EXPECT_EQ(walk_bounds(m, 3, {3, 3}).upper, 0);
+}
+
+TEST(WalkBounds, LowerNeverExceedsUpperOnLargeSets) {
+  Rng rng(7);
+  const Grid g(8);
+  const DenseMetric m(g.graph);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<NodeId> targets;
+    for (std::size_t idx : rng.sample_indices(64, 20)) {
+      targets.push_back(static_cast<NodeId>(idx));
+    }
+    const WalkBounds wb = walk_bounds(m, targets[0], targets, /*exact=*/8);
+    EXPECT_FALSE(wb.exact);
+    EXPECT_LE(wb.lower, wb.upper);
+    EXPECT_GE(wb.lower, static_cast<Weight>(19));  // >= #targets-1
+  }
+}
+
+TEST(WalkBounds, DuplicatesIgnored) {
+  const Line line(8);
+  const DenseMetric m(line.graph);
+  const WalkBounds a = walk_bounds(m, 0, {3, 3, 7, 7});
+  const WalkBounds b = walk_bounds(m, 0, {3, 7});
+  EXPECT_EQ(a.upper, b.upper);
+}
+
+TEST(LineWalk, ClosedFormMatchesHeldKarp) {
+  Rng rng(19);
+  const Line line(30);
+  const DenseMetric m(line.graph);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t count = 1 + rng.index(6);
+    std::vector<NodeId> targets;
+    for (std::size_t idx : rng.sample_indices(30, count)) {
+      targets.push_back(static_cast<NodeId>(idx));
+    }
+    const NodeId start = static_cast<NodeId>(rng.index(30));
+    std::vector<NodeId> terms = {start};
+    for (NodeId t : targets) {
+      if (t != start) terms.push_back(t);
+    }
+    const Weight closed = line_walk_length(start, targets);
+    const Weight exact = held_karp_path(TerminalDistances(m, terms));
+    EXPECT_EQ(closed, exact) << "start=" << start;
+  }
+}
+
+TEST(LineWalk, KnownCases) {
+  EXPECT_EQ(line_walk_length(5, {5}), 0);
+  EXPECT_EQ(line_walk_length(5, {2, 8}), 9);   // 3 + 6 (go left first)
+  EXPECT_EQ(line_walk_length(0, {3, 9}), 9);   // sweep right
+  EXPECT_EQ(line_walk_length(9, {0, 4}), 9);   // sweep left
+  EXPECT_EQ(line_walk_length(4, {}), 0);
+}
+
+// --------------------------------------------------------- instance bounds
+
+TEST(InstanceBounds, LowerBoundsEveryFeasibleSchedule) {
+  // Strong soundness property: on tiny instances, the exact optimum is
+  // >= the certified lower bound.
+  const Grid g(3);
+  const DenseMetric m(g.graph);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const Instance inst = generate_uniform(
+        g.graph,
+        {.num_objects = 3, .objects_per_txn = 2, .txn_density = 0.7}, rng);
+    if (inst.num_transactions() > 8 || inst.num_transactions() == 0) continue;
+    ExactScheduler exact;
+    const Schedule s = exact.run(inst, m);
+    const InstanceBounds lb = compute_bounds(inst, m);
+    EXPECT_LE(lb.makespan_lb, s.makespan()) << inst.describe();
+  }
+}
+
+TEST(InstanceBounds, RequesterCountDominatesOnClique) {
+  // ℓ requesters of a single object force makespan >= ℓ.
+  const Grid g(3);
+  InstanceBuilder b(g.graph, 1);
+  for (NodeId v = 0; v < 6; ++v) b.add_transaction(v, {0});
+  b.set_object_home(0, 0);
+  const Instance inst = b.build();
+  const DenseMetric m(g.graph);
+  const InstanceBounds lb = compute_bounds(inst, m);
+  EXPECT_GE(lb.makespan_lb, 6);
+  EXPECT_EQ(lb.critical_object, 0u);
+}
+
+TEST(InstanceBounds, EmptyInstance) {
+  const Grid g(2);
+  InstanceBuilder b(g.graph, 2);
+  const Instance inst = b.build();
+  const DenseMetric m(g.graph);
+  const InstanceBounds lb = compute_bounds(inst, m);
+  EXPECT_EQ(lb.makespan_lb, 0);
+  EXPECT_EQ(lb.critical_object, kInvalidObject);
+}
+
+// ------------------------------------------------------- §8 constructions
+
+TEST(LbInstances, GridStructure) {
+  Rng rng(33);
+  const LowerBoundInstance li = make_lb_grid(4, rng);
+  ASSERT_NE(li.grid, nullptr);
+  EXPECT_EQ(li.instance.num_objects(), 8u);  // 2s
+  EXPECT_EQ(li.instance.num_transactions(), li.grid->num_nodes());
+  // Every transaction uses exactly 2 objects: its block's A object plus a B.
+  for (const Transaction& t : li.instance.transactions()) {
+    ASSERT_EQ(t.objects.size(), 2u);
+    const std::size_t block = li.grid->block_of(t.home);
+    EXPECT_EQ(t.objects[0], li.a_object(block));
+    EXPECT_GE(t.objects[1], 4u);  // a B object
+  }
+  // a_i requested by the whole block.
+  for (std::size_t blk = 0; blk < 4; ++blk) {
+    EXPECT_EQ(li.instance.requesters(li.a_object(blk)).size(),
+              li.grid->rows * li.grid->sqrt_s);
+  }
+  // All objects start inside H_1.
+  for (ObjectId o = 0; o < li.instance.num_objects(); ++o) {
+    EXPECT_EQ(li.grid->block_of(li.instance.object_home(o)), 0u);
+  }
+}
+
+TEST(LbInstances, BHomesPreferRequesters) {
+  Rng rng(34);
+  const LowerBoundInstance li = make_lb_grid(9, rng);
+  for (std::size_t j = 0; j < 9; ++j) {
+    const ObjectId o = li.b_object(j);
+    const NodeId home = li.instance.object_home(o);
+    // If any H_1 transaction requests b_j, the home must be one of them.
+    bool h1_requester_exists = false;
+    bool home_is_requester = false;
+    for (TxnId t : li.instance.requesters(o)) {
+      if (li.grid->block_of(li.instance.txn(t).home) == 0) {
+        h1_requester_exists = true;
+        home_is_requester |= li.instance.txn(t).home == home;
+      }
+    }
+    if (h1_requester_exists) {
+      EXPECT_TRUE(home_is_requester) << "b_" << j;
+    } else {
+      EXPECT_EQ(home, li.grid->block_top_left(0));
+    }
+  }
+}
+
+TEST(LbInstances, TreeStructureMirrorsGrid) {
+  Rng rng(35);
+  const LowerBoundInstance li = make_lb_tree(4, rng);
+  ASSERT_NE(li.tree, nullptr);
+  EXPECT_EQ(li.instance.num_objects(), 8u);
+  EXPECT_EQ(li.instance.num_transactions(), li.tree->num_nodes());
+  EXPECT_EQ(li.graph().num_edges(), li.tree->num_nodes() - 1);
+}
+
+TEST(LbInstances, TourLengthWithinPaperBound) {
+  // Lemma 10: max B-object tour length <= 5s² (w.h.p.); A-objects' walks are
+  // within a block plus the approach from H_1.
+  Rng rng(36);
+  const std::size_t s = 9;
+  const LowerBoundInstance li = make_lb_grid(s, rng);
+  const LazyMetric m(li.graph());
+  const InstanceBounds bounds = compute_bounds(li.instance, m);
+  const auto cap = static_cast<Weight>(5 * s * s);
+  for (ObjectId o = 0; o < li.instance.num_objects(); ++o) {
+    EXPECT_LE(bounds.walk_upper[o], 2 * cap) << "o" << o;
+  }
+}
+
+}  // namespace
+}  // namespace dtm

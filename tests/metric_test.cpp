@@ -1,0 +1,133 @@
+// Tests for the APSP matrix and the Dense/Lazy metric oracles, including a
+// parameterized consistency sweep across topologies.
+#include <gtest/gtest.h>
+
+#include "graph/apsp.hpp"
+#include "graph/metric.hpp"
+#include "graph/shortest_paths.hpp"
+#include "graph/topologies/butterfly.hpp"
+#include "graph/topologies/clique.hpp"
+#include "graph/topologies/cluster.hpp"
+#include "graph/topologies/grid.hpp"
+#include "graph/topologies/hypercube.hpp"
+#include "graph/topologies/line.hpp"
+#include "graph/topologies/star.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dtm {
+namespace {
+
+TEST(Apsp, MatchesSingleSource) {
+  const Grid grid(4, 5);
+  const DistanceMatrix m = compute_apsp(grid.graph);
+  for (NodeId u = 0; u < grid.graph.num_nodes(); ++u) {
+    const auto t = single_source(grid.graph, u);
+    for (NodeId v = 0; v < grid.graph.num_nodes(); ++v) {
+      EXPECT_EQ(m.at(u, v), t.dist[v]);
+    }
+  }
+}
+
+TEST(Apsp, MaxFiniteIsDiameter) {
+  const Grid grid(6, 6);
+  EXPECT_EQ(compute_apsp(grid.graph).max_finite(), diameter(grid.graph));
+}
+
+TEST(DenseMetric, PathsAreValidShortestPaths) {
+  const ClusterGraph cg(3, 4, 7);
+  const DenseMetric m(cg.graph);
+  for (NodeId u = 0; u < cg.graph.num_nodes(); u += 3) {
+    for (NodeId v = 0; v < cg.graph.num_nodes(); v += 2) {
+      const auto p = m.path(u, v);
+      ASSERT_GE(p.size(), 1u);
+      EXPECT_EQ(p.front(), u);
+      EXPECT_EQ(p.back(), v);
+      // Sum of hop weights equals the claimed distance; hops are edges.
+      Weight total = 0;
+      for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+        Weight hop = kInfiniteWeight;
+        for (const Arc& a : cg.graph.neighbors(p[i])) {
+          if (a.to == p[i + 1]) hop = std::min(hop, a.weight);
+        }
+        ASSERT_LT(hop, kInfiniteWeight)
+            << "non-edge " << p[i] << "->" << p[i + 1];
+        total += hop;
+      }
+      EXPECT_EQ(total, m.distance(u, v));
+    }
+  }
+}
+
+TEST(LazyMetric, CachesSources) {
+  const Grid grid(5, 5);
+  const LazyMetric m(grid.graph);
+  EXPECT_EQ(m.cached_sources(), 0u);
+  (void)m.distance(3, 7);
+  EXPECT_EQ(m.cached_sources(), 1u);
+  // Query with the cached endpoint second: no new tree needed.
+  (void)m.distance(9, 3);
+  EXPECT_EQ(m.cached_sources(), 1u);
+}
+
+TEST(LazyMetric, PathEndpointsAndLength) {
+  const Star star(4, 6);
+  const LazyMetric m(star.graph);
+  const NodeId u = star.node_at(0, 5), v = star.node_at(2, 3);
+  const auto p = m.path(u, v);
+  EXPECT_EQ(p.front(), u);
+  EXPECT_EQ(p.back(), v);
+  EXPECT_EQ(static_cast<Weight>(p.size() - 1), m.distance(u, v));  // unit
+}
+
+TEST(MakeMetric, PicksDenseForSmallLazyForLarge) {
+  const Grid small(4, 4);
+  EXPECT_NE(dynamic_cast<DenseMetric*>(make_metric(small.graph).get()),
+            nullptr);
+  const Grid large(70, 70);  // 4900 > default 4096 limit
+  EXPECT_NE(dynamic_cast<LazyMetric*>(make_metric(large.graph).get()),
+            nullptr);
+}
+
+// Parameterized consistency: Dense and Lazy agree everywhere, and the
+// closed-form topology distances match the graph metric.
+class MetricConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricConsistency, DenseEqualsLazy) {
+  const int which = GetParam();
+  Graph g;
+  switch (which) {
+    case 0: g = Clique(9).graph; break;
+    case 1: g = Line(17).graph; break;
+    case 2: g = Grid(5, 6).graph; break;
+    case 3: g = ClusterGraph(3, 5, 8).graph; break;
+    case 4: g = Hypercube(4).graph; break;
+    case 5: g = Butterfly(3).graph; break;
+    default: g = Star(5, 4).graph; break;
+  }
+  const DenseMetric dense(g);
+  const LazyMetric lazy(g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(dense.distance(u, v), lazy.distance(u, v))
+          << "pair " << u << "," << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, MetricConsistency,
+                         ::testing::Range(0, 7));
+
+TEST(ParallelApsp, PoolMatchesSequential) {
+  const Hypercube h(5);
+  ThreadPool pool(4);
+  const DistanceMatrix seq = compute_apsp(h.graph);
+  const DistanceMatrix par = compute_apsp(h.graph, &pool);
+  for (NodeId u = 0; u < h.graph.num_nodes(); ++u) {
+    for (NodeId v = 0; v < h.graph.num_nodes(); ++v) {
+      EXPECT_EQ(seq.at(u, v), par.at(u, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtm

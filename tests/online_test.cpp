@@ -1,0 +1,168 @@
+// Tests for the online extension: arrival generators, online validation,
+// and the FIFO / batch online schedulers.
+#include <gtest/gtest.h>
+
+#include "core/generators.hpp"
+#include "core/online.hpp"
+#include "graph/metric.hpp"
+#include "graph/topologies/clique.hpp"
+#include "graph/topologies/grid.hpp"
+#include "sched/greedy.hpp"
+#include "sched/online.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+namespace {
+
+Instance grid_instance(const Grid& g, std::uint64_t seed) {
+  Rng rng(seed);
+  return generate_uniform(g.graph, {.num_objects = 6, .objects_per_txn = 2},
+                          rng);
+}
+
+TEST(Arrivals, UniformWithinHorizon) {
+  Rng rng(1);
+  const ArrivalTimes a = generate_arrivals(100, 50, rng);
+  ASSERT_EQ(a.size(), 100u);
+  for (Time t : a) {
+    EXPECT_GE(t, 0);
+    EXPECT_LE(t, 50);
+  }
+}
+
+TEST(Arrivals, BurstyLandsOnBurstSteps) {
+  Rng rng(2);
+  const ArrivalTimes a = generate_bursty_arrivals(60, 30, 4, rng);
+  for (Time t : a) {
+    EXPECT_TRUE(t == 0 || t == 10 || t == 20 || t == 30) << t;
+  }
+  const ArrivalTimes single = generate_bursty_arrivals(10, 99, 1, rng);
+  for (Time t : single) EXPECT_EQ(t, 0);
+}
+
+TEST(ValidateOnline, CatchesEarlyCommits) {
+  const Clique c(4);
+  InstanceBuilder b(c.graph, 1);
+  b.add_transaction(0, {0});
+  b.set_object_home(0, 0);
+  const Instance inst = b.build();
+  const DenseMetric m(c.graph);
+  const Schedule s = Schedule::from_commit_times(inst, {3});
+  EXPECT_TRUE(validate_online(inst, m, {2}, s).ok);
+  EXPECT_FALSE(validate_online(inst, m, {5}, s).ok);
+  EXPECT_FALSE(validate_online(inst, m, {}, s).ok);  // size mismatch
+}
+
+TEST(OnlineFifo, FeasibleAndRespectsArrivals) {
+  const Grid g(6);
+  const DenseMetric m(g.graph);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance inst = grid_instance(g, seed);
+    Rng rng(seed + 100);
+    const ArrivalTimes arrival =
+        generate_arrivals(inst.num_transactions(), 40, rng);
+    OnlineFifoScheduler sched;
+    const Schedule s = sched.run_online(inst, m, arrival);
+    const auto vr = validate_online(inst, m, arrival, s);
+    EXPECT_TRUE(vr.ok) << vr.summary();
+    EXPECT_TRUE(simulate(inst, m, s).ok);
+  }
+}
+
+TEST(OnlineFifo, ZeroArrivalsEqualsIdOrderDispatch) {
+  const Grid g(5);
+  const DenseMetric m(g.graph);
+  const Instance inst = grid_instance(g, 9);
+  OnlineFifoScheduler sched;
+  const Schedule s = sched.run(inst, m);  // all released at 0
+  EXPECT_TRUE(validate(inst, m, s).ok);
+  // Chains follow id order under simultaneous release.
+  for (ObjectId o = 0; o < inst.num_objects(); ++o) {
+    EXPECT_EQ(s.object_order[o], inst.requesters(o));
+  }
+}
+
+TEST(OnlineBatch, FeasibleAcrossWindows) {
+  const Grid g(6);
+  const DenseMetric m(g.graph);
+  for (Time window : {1, 4, 16, 64}) {
+    const Instance inst = grid_instance(g, 3);
+    Rng rng(33);
+    const ArrivalTimes arrival =
+        generate_arrivals(inst.num_transactions(), 50, rng);
+    OnlineBatchScheduler sched({.window = window});
+    const Schedule s = sched.run_online(inst, m, arrival);
+    const auto vr = validate_online(inst, m, arrival, s);
+    EXPECT_TRUE(vr.ok) << "window=" << window << ": " << vr.summary();
+    EXPECT_TRUE(simulate(inst, m, s).ok);
+    EXPECT_GE(sched.last_batches(), 1u);
+  }
+}
+
+TEST(OnlineBatch, LargerWindowsFewerBatches) {
+  const Grid g(6);
+  const DenseMetric m(g.graph);
+  const Instance inst = grid_instance(g, 4);
+  Rng rng(44);
+  const ArrivalTimes arrival =
+      generate_arrivals(inst.num_transactions(), 60, rng);
+  std::size_t prev = static_cast<std::size_t>(-1);
+  for (Time window : {2, 8, 32, 128}) {
+    OnlineBatchScheduler sched({.window = window});
+    (void)sched.run_online(inst, m, arrival);
+    EXPECT_LE(sched.last_batches(), prev);
+    prev = sched.last_batches();
+  }
+  EXPECT_EQ(prev, 1u);  // window 128 > horizon swallows everything
+}
+
+TEST(OnlineBatch, RejectsBadWindow) {
+  EXPECT_THROW(OnlineBatchScheduler({.window = 0}), Error);
+}
+
+TEST(Online, CompetitiveAgainstOfflineGreedy) {
+  // With all arrivals at 0, the batch scheduler with one window is the
+  // offline greedy up to the window close offset; FIFO stays within a
+  // moderate factor on these workloads.
+  const Clique c(16);
+  const DenseMetric m(c.graph);
+  Rng rng(7);
+  const Instance inst =
+      generate_uniform(c.graph, {.num_objects = 6, .objects_per_txn = 2}, rng);
+  GreedyOptions gopts;
+  gopts.rule = ColoringRule::kFirstFit;
+  GreedyScheduler offline(gopts);
+  OnlineFifoScheduler fifo;
+  const Time off = offline.run(inst, m).makespan();
+  const Time on = fifo.run(inst, m).makespan();
+  EXPECT_LE(on, 4 * off + 4);
+}
+
+TEST(Online, BatchArrivalRespectMeansLateCommits) {
+  // A transaction released at step 100 cannot commit before 100 even if
+  // everything else is idle.
+  const Clique c(3);
+  InstanceBuilder b(c.graph, 1);
+  b.add_transaction(0, {0});
+  b.add_transaction(1, {0});
+  b.set_object_home(0, 0);
+  const Instance inst = b.build();
+  const DenseMetric m(c.graph);
+  const ArrivalTimes arrival = {0, 100};
+  for (int which = 0; which < 2; ++which) {
+    std::unique_ptr<OnlineScheduler> sched;
+    if (which == 0) {
+      sched = std::make_unique<OnlineFifoScheduler>();
+    } else {
+      sched = std::make_unique<OnlineBatchScheduler>(OnlineBatchOptions{});
+    }
+    const Schedule s = sched->run_online(inst, m, arrival);
+    EXPECT_TRUE(validate_online(inst, m, arrival, s).ok) << sched->name();
+    EXPECT_GE(s.commit_time[1], 100) << sched->name();
+    EXPECT_LT(s.commit_time[0], 100) << sched->name();
+  }
+}
+
+}  // namespace
+}  // namespace dtm

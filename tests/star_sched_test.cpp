@@ -1,0 +1,147 @@
+// Tests for the §7 Star scheduler (Theorem 5).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/generators.hpp"
+#include "lb/bounds.hpp"
+#include "sched/star.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+namespace {
+
+Instance star_instance(const Star& star, std::uint64_t seed, std::size_t w,
+                       std::size_t k) {
+  Rng rng(seed);
+  return generate_uniform(star.graph,
+                          {.num_objects = w, .objects_per_txn = k}, rng);
+}
+
+TEST(StarScheduler, RejectsForeignGraphs) {
+  const Star a(3, 4), b(3, 4);
+  const Instance inst = star_instance(a, 1, 4, 2);
+  const DenseMetric m(b.graph);
+  StarScheduler sched(b);
+  EXPECT_THROW(sched.run(inst, m), Error);
+}
+
+TEST(StarScheduler, CenterTransactionRunsFirst) {
+  const Star star(3, 4);
+  InstanceBuilder b(star.graph, 1);
+  b.add_transaction(star.center(), {0});
+  b.add_transaction(star.node_at(0, 2), {0});
+  b.add_transaction(star.node_at(1, 3), {0});
+  b.set_object_home(0, star.center());
+  const Instance inst = b.build();
+  const DenseMetric m(star.graph);
+  StarScheduler sched(star);
+  const Schedule s = test::run_and_check(sched, inst, m);
+  const TxnId center_txn = inst.txn_at(star.center());
+  for (TxnId t = 0; t < inst.num_transactions(); ++t) {
+    if (t != center_txn) {
+      EXPECT_LT(s.commit_time[center_txn], s.commit_time[t]);
+    }
+  }
+}
+
+TEST(StarScheduler, PeriodsProcessSegmentsInwardOut) {
+  // Transactions only on segment 1 (pos 1): one period suffices and the
+  // makespan stays small.
+  const Star star(5, 8);
+  InstanceBuilder b(star.graph, 5);
+  for (std::size_t r = 0; r < 5; ++r) {
+    b.add_transaction(star.node_at(r, 1), {static_cast<ObjectId>(r)});
+    b.set_object_home(static_cast<ObjectId>(r), star.node_at(r, 1));
+  }
+  const Instance inst = b.build();
+  const DenseMetric m(star.graph);
+  StarScheduler sched(star);
+  const Schedule s = test::run_and_check(sched, inst, m);
+  EXPECT_LE(s.makespan(), 2);
+  EXPECT_EQ(sched.last_stats().periods, 3u);  // ⌈log2 8⌉
+}
+
+class StarSchedulerSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(StarSchedulerSweep, AllStrategiesFeasible) {
+  const auto [alpha, beta, k, seed] = GetParam();
+  const Star star(static_cast<std::size_t>(alpha),
+                  static_cast<std::size_t>(beta));
+  const Instance inst = star_instance(
+      star, static_cast<std::uint64_t>(seed) * 1223 + 29, 6,
+      static_cast<std::size_t>(k));
+  const DenseMetric m(star.graph);
+  Time greedy_mk = 0, random_mk = 0;
+  for (StarStrategy strat :
+       {StarStrategy::kGreedy, StarStrategy::kRandomized, StarStrategy::kAuto,
+        StarStrategy::kBest}) {
+    StarScheduler sched(star, {.strategy = strat, .seed = 3});
+    const Schedule s = test::run_and_check(sched, inst, m);
+    const InstanceBounds lb = compute_bounds(inst, m);
+    EXPECT_GE(s.makespan(), lb.makespan_lb);
+    if (strat == StarStrategy::kGreedy) greedy_mk = s.makespan();
+    if (strat == StarStrategy::kRandomized) random_mk = s.makespan();
+    if (strat == StarStrategy::kBest) {
+      EXPECT_EQ(s.makespan(), std::min(greedy_mk, random_mk));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StarSchedulerSweep,
+                         ::testing::Combine(::testing::Values(2, 5),
+                                            ::testing::Values(3, 9),
+                                            ::testing::Values(1, 2),
+                                            ::testing::Range(0, 2)));
+
+TEST(StarScheduler, RandomizedStatsPopulated) {
+  const Star star(4, 8);
+  const Instance inst = star_instance(star, 77, 5, 2);
+  const DenseMetric m(star.graph);
+  StarScheduler sched(star, {.strategy = StarStrategy::kRandomized, .seed = 2});
+  test::run_and_check(sched, inst, m);
+  const StarRunStats& st = sched.last_stats();
+  EXPECT_EQ(st.periods, star.num_segments());
+  EXPECT_GE(st.total_rounds, st.randomized_periods);
+}
+
+TEST(StarScheduler, DeterministicPerSeed) {
+  const Star star(3, 6);
+  const Instance inst = star_instance(star, 55, 4, 2);
+  const DenseMetric m(star.graph);
+  StarScheduler s1(star, {.strategy = StarStrategy::kRandomized, .seed = 9});
+  StarScheduler s2(star, {.strategy = StarStrategy::kRandomized, .seed = 9});
+  EXPECT_EQ(s1.run(inst, m).commit_time, s2.run(inst, m).commit_time);
+}
+
+TEST(StarScheduler, ForcedRoundsKeepFeasibility) {
+  const Star star(4, 6);
+  const Instance inst = star_instance(star, 88, 4, 3);
+  const DenseMetric m(star.graph);
+  StarScheduler sched(star, {.strategy = StarStrategy::kRandomized,
+                             .force_after = 1,
+                             .seed = 4});
+  test::run_and_check(sched, inst, m);
+}
+
+TEST(StarScheduler, SingleRayIsALine) {
+  const Star star(1, 7);
+  const Instance inst = star_instance(star, 66, 3, 1);
+  const DenseMetric m(star.graph);
+  StarScheduler sched(star);
+  test::run_and_check(sched, inst, m);
+}
+
+TEST(StarScheduler, BetaOneIsAHub) {
+  const Star star(6, 1);
+  const Instance inst = star_instance(star, 44, 3, 2);
+  const DenseMetric m(star.graph);
+  StarScheduler sched(star);
+  const Schedule s = test::run_and_check(sched, inst, m);
+  EXPECT_GE(s.makespan(), 1);
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,338 @@
+// Structural tests for every topology builder, including parameterized
+// checks that the closed-form distance helpers agree with graph search.
+#include <gtest/gtest.h>
+
+#include "graph/metric.hpp"
+#include "graph/shortest_paths.hpp"
+#include "graph/topologies/block_grid.hpp"
+#include "graph/topologies/block_tree.hpp"
+#include "graph/topologies/butterfly.hpp"
+#include "graph/topologies/clique.hpp"
+#include "graph/topologies/cluster.hpp"
+#include "graph/topologies/grid.hpp"
+#include "graph/topologies/hypercube.hpp"
+#include "graph/topologies/line.hpp"
+#include "graph/topologies/star.hpp"
+#include "graph/topologies/topology.hpp"
+
+namespace dtm {
+namespace {
+
+TEST(TopologyKind, Names) {
+  EXPECT_STREQ(to_string(TopologyKind::kClique), "clique");
+  EXPECT_STREQ(to_string(TopologyKind::kBlockTree), "block_tree");
+  EXPECT_STREQ(to_string(TopologyKind::kButterfly), "butterfly");
+}
+
+// --------------------------------------------------------------- clique
+
+TEST(CliqueTopo, EdgeCountAndDegrees) {
+  const Clique c(7);
+  EXPECT_EQ(c.graph.num_nodes(), 7u);
+  EXPECT_EQ(c.graph.num_edges(), 21u);
+  for (NodeId v = 0; v < 7; ++v) EXPECT_EQ(c.graph.degree(v), 6u);
+  EXPECT_EQ(diameter(c.graph), 1);
+}
+
+TEST(CliqueTopo, SingleNode) {
+  const Clique c(1);
+  EXPECT_EQ(c.graph.num_nodes(), 1u);
+  EXPECT_EQ(c.graph.num_edges(), 0u);
+}
+
+// ----------------------------------------------------------------- line
+
+TEST(LineTopo, PathStructure) {
+  const Line l(12);
+  EXPECT_EQ(l.graph.num_edges(), 11u);
+  EXPECT_EQ(l.graph.degree(0), 1u);
+  EXPECT_EQ(l.graph.degree(5), 2u);
+  EXPECT_EQ(l.graph.degree(11), 1u);
+}
+
+TEST(LineTopo, ClosedFormDistance) {
+  const Line l(20);
+  const DenseMetric m(l.graph);
+  for (NodeId u = 0; u < 20; u += 3) {
+    for (NodeId v = 0; v < 20; v += 4) {
+      EXPECT_EQ(Line::line_distance(u, v), m.distance(u, v));
+    }
+  }
+}
+
+// ----------------------------------------------------------------- grid
+
+TEST(GridTopo, CoordinatesRoundTrip) {
+  const Grid g(4, 6);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) {
+      const NodeId v = g.node_at(r, c);
+      EXPECT_EQ(g.row_of(v), r);
+      EXPECT_EQ(g.col_of(v), c);
+    }
+  }
+}
+
+TEST(GridTopo, DegreesAndEdges) {
+  const Grid g(3, 3);
+  EXPECT_EQ(g.graph.num_edges(), 12u);
+  EXPECT_EQ(g.graph.degree(g.node_at(0, 0)), 2u);  // corner
+  EXPECT_EQ(g.graph.degree(g.node_at(0, 1)), 3u);  // border
+  EXPECT_EQ(g.graph.degree(g.node_at(1, 1)), 4u);  // interior
+}
+
+TEST(GridTopo, ManhattanDistanceMatchesGraph) {
+  const Grid g(5, 7);
+  const DenseMetric m(g.graph);
+  for (NodeId u = 0; u < g.graph.num_nodes(); u += 4) {
+    for (NodeId v = 0; v < g.graph.num_nodes(); v += 5) {
+      EXPECT_EQ(g.grid_distance(u, v), m.distance(u, v));
+    }
+  }
+}
+
+// -------------------------------------------------------------- cluster
+
+TEST(ClusterTopo, StructureAndBridges) {
+  const ClusterGraph cg(4, 5, 9);
+  EXPECT_EQ(cg.graph.num_nodes(), 20u);
+  // Each cluster: C(5,2)=10 edges; bridges: C(4,2)=6.
+  EXPECT_EQ(cg.graph.num_edges(), 4 * 10 + 6u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_TRUE(cg.is_bridge(cg.bridge_of(c)));
+    EXPECT_EQ(cg.cluster_of(cg.bridge_of(c)), c);
+  }
+}
+
+TEST(ClusterTopo, ClosedFormDistanceMatchesGraph) {
+  const ClusterGraph cg(3, 4, 6);
+  const DenseMetric m(cg.graph);
+  for (NodeId u = 0; u < cg.graph.num_nodes(); ++u) {
+    for (NodeId v = 0; v < cg.graph.num_nodes(); ++v) {
+      EXPECT_EQ(cg.cluster_distance(u, v), m.distance(u, v))
+          << "pair " << u << "," << v;
+    }
+  }
+}
+
+TEST(ClusterTopo, SingleNodeClusters) {
+  const ClusterGraph cg(3, 1, 2);
+  EXPECT_EQ(cg.graph.num_nodes(), 3u);
+  EXPECT_EQ(cg.graph.num_edges(), 3u);  // bridge triangle only
+  EXPECT_EQ(cg.cluster_distance(0, 1), 2);
+}
+
+// ------------------------------------------------------------ hypercube
+
+TEST(HypercubeTopo, StructureAndDistance) {
+  const Hypercube h(4);
+  EXPECT_EQ(h.graph.num_nodes(), 16u);
+  EXPECT_EQ(h.graph.num_edges(), 32u);  // n*d/2
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(h.graph.degree(v), 4u);
+  const DenseMetric m(h.graph);
+  for (NodeId u = 0; u < 16; ++u) {
+    for (NodeId v = 0; v < 16; ++v) {
+      EXPECT_EQ(Hypercube::cube_distance(u, v), m.distance(u, v));
+    }
+  }
+  EXPECT_EQ(diameter(h.graph), 4);
+}
+
+// ------------------------------------------------------------ butterfly
+
+TEST(ButterflyTopo, Structure) {
+  const Butterfly b(3);
+  EXPECT_EQ(b.num_nodes(), 4u * 8u);
+  EXPECT_EQ(b.graph.num_nodes(), 32u);
+  EXPECT_EQ(b.graph.num_edges(), 3u * 8u * 2u);
+  // End levels have degree 2; middle levels degree 4.
+  EXPECT_EQ(b.graph.degree(b.node_at(0, 0)), 2u);
+  EXPECT_EQ(b.graph.degree(b.node_at(1, 0)), 4u);
+  EXPECT_EQ(b.graph.degree(b.node_at(3, 5)), 2u);
+}
+
+TEST(ButterflyTopo, DiameterIsThetaLogN) {
+  const Butterfly b(3);
+  EXPECT_TRUE(b.graph.connected());
+  const Weight d = diameter(b.graph);
+  EXPECT_GE(d, 3);
+  EXPECT_LE(d, 2 * 3);
+}
+
+TEST(ButterflyTopo, CoordinateRoundTrip) {
+  const Butterfly b(4);
+  for (std::size_t l = 0; l < b.levels(); ++l) {
+    for (std::size_t r = 0; r < b.rows(); r += 3) {
+      const NodeId v = b.node_at(l, r);
+      EXPECT_EQ(b.level_of(v), l);
+      EXPECT_EQ(b.row_of(v), r);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- star
+
+TEST(StarTopo, StructureAndDistance) {
+  const Star s(6, 5);
+  EXPECT_EQ(s.num_nodes(), 31u);
+  EXPECT_EQ(s.graph.num_edges(), 30u);  // a tree
+  EXPECT_TRUE(s.graph.connected());
+  const DenseMetric m(s.graph);
+  for (NodeId u = 0; u < s.num_nodes(); ++u) {
+    for (NodeId v = 0; v < s.num_nodes(); ++v) {
+      EXPECT_EQ(s.star_distance(u, v), m.distance(u, v));
+    }
+  }
+}
+
+TEST(StarTopo, SegmentsCoverPositionsExactlyOnce) {
+  for (std::size_t beta : {1u, 2u, 5u, 8u, 13u}) {
+    const Star s(3, beta);
+    std::vector<int> covered(beta + 1, 0);
+    for (std::size_t seg = 1; seg <= s.num_segments(); ++seg) {
+      const auto [first, last] = s.segment_range(seg);
+      for (std::size_t p = first; p <= last; ++p) {
+        ASSERT_LE(p, beta);
+        covered[p]++;
+        EXPECT_EQ(s.segment_of_pos(p), seg);
+      }
+    }
+    for (std::size_t p = 1; p <= beta; ++p) {
+      EXPECT_EQ(covered[p], 1) << "beta=" << beta << " pos=" << p;
+    }
+  }
+}
+
+TEST(StarTopo, SegmentLengthsGrowExponentially) {
+  const Star s(2, 16);
+  EXPECT_EQ(s.num_segments(), 4u);
+  EXPECT_EQ(s.segment_range(1), (std::pair<std::size_t, std::size_t>{1, 1}));
+  EXPECT_EQ(s.segment_range(2), (std::pair<std::size_t, std::size_t>{2, 3}));
+  EXPECT_EQ(s.segment_range(3), (std::pair<std::size_t, std::size_t>{4, 7}));
+  // The final segment absorbs the tail up to β (here one extra node).
+  EXPECT_EQ(s.segment_range(4), (std::pair<std::size_t, std::size_t>{8, 16}));
+}
+
+// ----------------------------------------------------------- block grid
+
+TEST(BlockGridTopo, LayoutAndWeights) {
+  const BlockGrid g(4);  // sqrt_s = 2, 4 rows, 8 cols
+  EXPECT_EQ(g.rows, 4u);
+  EXPECT_EQ(g.cols, 8u);
+  EXPECT_EQ(g.num_nodes(), 32u);
+  EXPECT_EQ(g.block_of(g.node_at(0, 1)), 0u);
+  EXPECT_EQ(g.block_of(g.node_at(0, 2)), 1u);
+  // Boundary horizontal edges weigh s; interior ones weigh 1.
+  Weight cross = 0, inner = 0;
+  for (const Arc& a : g.graph.neighbors(g.node_at(2, 1))) {
+    if (a.to == g.node_at(2, 2)) cross = a.weight;
+    if (a.to == g.node_at(2, 0)) inner = a.weight;
+  }
+  EXPECT_EQ(cross, 4);
+  EXPECT_EQ(inner, 1);
+}
+
+TEST(BlockGridTopo, InterBlockDistanceAtLeastS) {
+  const BlockGrid g(4);
+  const DenseMetric m(g.graph);
+  for (NodeId u : g.block_nodes(0)) {
+    for (NodeId v : g.block_nodes(1)) {
+      EXPECT_GE(m.distance(u, v), 4);
+    }
+  }
+}
+
+TEST(BlockGridTopo, RejectsNonSquareS) {
+  EXPECT_THROW(BlockGrid(5), Error);
+}
+
+TEST(BlockGridTopo, BlockNodesPartitionGraph) {
+  const BlockGrid g(9);
+  std::vector<int> seen(g.num_nodes(), 0);
+  for (std::size_t b = 0; b < g.s; ++b) {
+    for (NodeId v : g.block_nodes(b)) {
+      EXPECT_EQ(g.block_of(v), b);
+      seen[v]++;
+    }
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+// ----------------------------------------------------------- block tree
+
+TEST(BlockTreeTopo, IsATree) {
+  const BlockTree t(9);
+  EXPECT_TRUE(t.graph.connected());
+  EXPECT_EQ(t.graph.num_edges(), t.num_nodes() - 1);
+}
+
+TEST(BlockTreeTopo, InterBlockEdgesWeighS) {
+  const BlockTree t(4);
+  // The single inter-block edge between blocks 0 and 1 joins the topmost
+  // row and has weight s = 4.
+  bool found = false;
+  for (const Arc& a : t.graph.neighbors(t.node_at(0, 1))) {
+    if (a.to == t.node_at(0, 2)) {
+      EXPECT_EQ(a.weight, 4);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // No other row crosses the block boundary.
+  for (std::size_t r = 1; r < t.rows; ++r) {
+    for (const Arc& a : t.graph.neighbors(t.node_at(r, 1))) {
+      EXPECT_NE(a.to, t.node_at(r, 2));
+    }
+  }
+}
+
+TEST(BlockTreeTopo, InterBlockDistanceAtLeastS) {
+  const BlockTree t(4);
+  const DenseMetric m(t.graph);
+  for (NodeId u : t.block_nodes(0)) {
+    for (NodeId v : t.block_nodes(1)) {
+      EXPECT_GE(m.distance(u, v), 4);
+    }
+  }
+}
+
+// Parameterized: every topology is connected, has the right node count and
+// only positive weights.
+struct TopoCase {
+  const char* name;
+  std::size_t expected_nodes;
+  Graph graph;
+};
+
+class AllTopologies : public ::testing::TestWithParam<int> {
+ protected:
+  static TopoCase build(int which) {
+    switch (which) {
+      case 0: return {"clique", 8, Clique(8).graph};
+      case 1: return {"line", 15, Line(15).graph};
+      case 2: return {"grid", 30, Grid(5, 6).graph};
+      case 3: return {"cluster", 12, ClusterGraph(3, 4, 5).graph};
+      case 4: return {"hypercube", 32, Hypercube(5).graph};
+      case 5: return {"butterfly", 12, Butterfly(2).graph};
+      case 6: return {"star", 13, Star(4, 3).graph};
+      case 7: return {"block_grid", 32, BlockGrid(4).graph};
+      default: return {"block_tree", 32, BlockTree(4).graph};
+    }
+  }
+};
+
+TEST_P(AllTopologies, ConnectedWithExpectedSize) {
+  const TopoCase c = build(GetParam());
+  EXPECT_EQ(c.graph.num_nodes(), c.expected_nodes) << c.name;
+  EXPECT_TRUE(c.graph.connected()) << c.name;
+  for (NodeId v = 0; v < c.graph.num_nodes(); ++v) {
+    for (const Arc& a : c.graph.neighbors(v)) {
+      EXPECT_GT(a.weight, 0) << c.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllTopologies, ::testing::Range(0, 9));
+
+}  // namespace
+}  // namespace dtm

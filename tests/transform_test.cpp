@@ -1,0 +1,120 @@
+// Tests for graph transformations (jitter, subgraph, synchronicity).
+#include <gtest/gtest.h>
+
+#include "graph/metric.hpp"
+#include "graph/shortest_paths.hpp"
+#include "graph/topologies/clique.hpp"
+#include "graph/topologies/grid.hpp"
+#include "graph/transform.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+namespace {
+
+TEST(JitterWeights, FactorOneIsIdentity) {
+  const Grid g(4);
+  Rng rng(1);
+  const Graph j = jitter_weights(g.graph, 1, rng);
+  ASSERT_EQ(j.num_edges(), g.graph.num_edges());
+  for (NodeId u = 0; u < j.num_nodes(); ++u) {
+    const auto a = g.graph.neighbors(u);
+    const auto b = j.neighbors(u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]);
+    }
+  }
+}
+
+TEST(JitterWeights, WeightsStayInRange) {
+  const Clique c(10);
+  Rng rng(2);
+  const Graph j = jitter_weights(c.graph, 5, rng);
+  Weight lo = kInfiniteWeight, hi = 0;
+  for (NodeId u = 0; u < j.num_nodes(); ++u) {
+    for (const Arc& a : j.neighbors(u)) {
+      lo = std::min(lo, a.weight);
+      hi = std::max(hi, a.weight);
+    }
+  }
+  EXPECT_GE(lo, 1);
+  EXPECT_LE(hi, 5);
+  EXPECT_GT(hi, 1);  // with 45 edges, some weight > 1 w.o.p. for this seed
+}
+
+TEST(JitterWeights, PreservesStructure) {
+  const Grid g(5);
+  Rng rng(3);
+  const Graph j = jitter_weights(g.graph, 4, rng);
+  EXPECT_EQ(j.num_nodes(), g.graph.num_nodes());
+  EXPECT_EQ(j.num_edges(), g.graph.num_edges());
+  EXPECT_TRUE(j.connected());
+  // Distances only grow (every weight >= original).
+  const DenseMetric base(g.graph);
+  const DenseMetric jit(j);
+  for (NodeId u = 0; u < j.num_nodes(); u += 3) {
+    for (NodeId v = 0; v < j.num_nodes(); v += 4) {
+      EXPECT_GE(jit.distance(u, v), base.distance(u, v));
+    }
+  }
+}
+
+TEST(JitterWeights, RejectsBadFactor) {
+  const Grid g(3);
+  Rng rng(4);
+  EXPECT_THROW(jitter_weights(g.graph, 0, rng), Error);
+}
+
+TEST(SynchronicityFactor, KnownValues) {
+  const Grid g(4);
+  EXPECT_DOUBLE_EQ(synchronicity_factor(g.graph), 1.0);
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 2, 10);
+  EXPECT_DOUBLE_EQ(synchronicity_factor(b.build()), 5.0);
+  GraphBuilder empty(2);
+  EXPECT_DOUBLE_EQ(synchronicity_factor(empty.build()), 1.0);
+}
+
+TEST(Subgraph, InducedEdgesOnly) {
+  const Grid g(3);  // 3x3
+  std::vector<NodeId> mapping;
+  const std::vector<NodeId> corner = {g.node_at(0, 0), g.node_at(0, 1),
+                                      g.node_at(1, 0), g.node_at(2, 2)};
+  const Graph sub = subgraph(g.graph, corner, &mapping);
+  EXPECT_EQ(sub.num_nodes(), 4u);
+  // Only (0,0)-(0,1) and (0,0)-(1,0) survive; (2,2) is isolated.
+  EXPECT_EQ(sub.num_edges(), 2u);
+  EXPECT_EQ(mapping[g.node_at(0, 0)], 0u);
+  EXPECT_EQ(mapping[g.node_at(2, 2)], 3u);
+  EXPECT_EQ(mapping[g.node_at(1, 1)], kInvalidNode);
+}
+
+TEST(Subgraph, PreservesWeights) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 7);
+  b.add_edge(1, 2, 3);
+  const Graph g = b.build();
+  const Graph sub = subgraph(g, {0, 1});
+  ASSERT_EQ(sub.num_edges(), 1u);
+  EXPECT_EQ(sub.neighbors(0)[0].weight, 7);
+}
+
+TEST(Subgraph, RejectsDuplicatesAndOutOfRange) {
+  const Grid g(3);
+  EXPECT_THROW(subgraph(g.graph, {0, 0}), Error);
+  EXPECT_THROW(subgraph(g.graph, {100}), Error);
+  EXPECT_THROW(subgraph(g.graph, {}), Error);
+}
+
+TEST(Subgraph, WholeGraphRoundTrip) {
+  const Grid g(4);
+  std::vector<NodeId> all(g.graph.num_nodes());
+  for (NodeId v = 0; v < all.size(); ++v) all[v] = v;
+  const Graph sub = subgraph(g.graph, all);
+  EXPECT_EQ(sub.num_edges(), g.graph.num_edges());
+  EXPECT_EQ(diameter(sub), diameter(g.graph));
+}
+
+}  // namespace
+}  // namespace dtm

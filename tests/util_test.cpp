@@ -1,0 +1,357 @@
+// Unit tests for src/util: Rng, Stats, chernoff, Table, CsvWriter,
+// ThreadPool, parallel_for, error macros.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/parallel_for.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dtm {
+namespace {
+
+// ---------------------------------------------------------------- error
+
+TEST(Error, AssertThrowsWithLocation) {
+  try {
+    DTM_ASSERT(1 == 2);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, RequireFormatsMessage) {
+  try {
+    DTM_REQUIRE(false, "value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+TEST(Error, PassingChecksDoNotThrow) {
+  EXPECT_NO_THROW(DTM_ASSERT(true));
+  EXPECT_NO_THROW(DTM_REQUIRE(true, "fine"));
+  EXPECT_NO_THROW(DTM_ASSERT_MSG(true, "fine"));
+}
+
+// ------------------------------------------------------------------ rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformRespectsRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, UniformRejectsEmptyRange) {
+  Rng r(7);
+  EXPECT_THROW(r.uniform(3, 2), Error);
+}
+
+TEST(Rng, IndexCoversAllValues) {
+  Rng r(11);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.index(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, SampleIndicesAreDistinctSortedAndInRange) {
+  Rng r(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto s = r.sample_indices(20, 7);
+    ASSERT_EQ(s.size(), 7u);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      EXPECT_LT(s[i], 20u);
+      if (i) {
+        EXPECT_LT(s[i - 1], s[i]);
+      }
+    }
+  }
+}
+
+TEST(Rng, SampleIndicesFullSet) {
+  Rng r(17);
+  const auto s = r.sample_indices(6, 6);
+  ASSERT_EQ(s.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Rng, SampleIndicesRejectsOversample) {
+  Rng r(1);
+  EXPECT_THROW(r.sample_indices(3, 4), Error);
+}
+
+TEST(Rng, SampleIndicesUniformity) {
+  // Each index of [0,10) should appear in a 3-sample about 30% of the time.
+  Rng r(23);
+  std::vector<int> hits(10, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (auto i : r.sample_indices(10, 3)) hits[i]++;
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / trials, 0.3, 0.02);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  auto copy = v;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, sorted);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(31);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng r(37);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, MeanMinMax) {
+  Stats s;
+  for (double x : {3.0, 1.0, 2.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(Stats, EmptyThrows) {
+  Stats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), Error);
+  EXPECT_THROW(s.min(), Error);
+  EXPECT_THROW(s.percentile(50), Error);
+}
+
+TEST(Stats, StddevMatchesHandComputation) {
+  Stats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  // Sample stddev of this classic set is sqrt(32/7).
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, StddevOfSingleSampleIsZero) {
+  Stats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  Stats s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+}
+
+TEST(Stats, PercentileAfterLaterAdds) {
+  Stats s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);
+  s.add(3.0);  // cache must invalidate
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(Chernoff, BoundsDecreaseWithMu) {
+  EXPECT_GT(chernoff::upper_tail_bound(10, 0.5),
+            chernoff::upper_tail_bound(100, 0.5));
+  EXPECT_GT(chernoff::lower_tail_bound(10, 0.5),
+            chernoff::lower_tail_bound(100, 0.5));
+}
+
+TEST(Chernoff, MatchesFormula) {
+  EXPECT_NEAR(chernoff::upper_tail_bound(27.0, 2.0 / 3.0),
+              std::exp(-(4.0 / 9.0) * 27.0 / 3.0), 1e-12);
+  EXPECT_NEAR(chernoff::lower_tail_bound(27.0, 2.0 / 3.0),
+              std::exp(-(4.0 / 9.0) * 27.0 / 2.0), 1e-12);
+}
+
+TEST(Chernoff, RejectsBadDelta) {
+  EXPECT_THROW(chernoff::upper_tail_bound(10, 0.0), Error);
+  EXPECT_THROW(chernoff::upper_tail_bound(10, 1.0), Error);
+  EXPECT_THROW(chernoff::lower_tail_bound(-1, 0.5), Error);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row("x", 1);
+  t.add_row("longer", 23456);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("| longer"), std::string::npos);
+  EXPECT_NE(out.find("23456"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FormatsDoublesCompactly) {
+  EXPECT_EQ(Table::format_cell(3.0), "3");
+  EXPECT_EQ(Table::format_cell(3.14159), "3.142");
+  EXPECT_EQ(Table::format_cell(true), "yes");
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row(1), Error);
+  EXPECT_THROW(t.add_row(1, 2, 3), Error);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row(1, 2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+// ------------------------------------------------------------------ csv
+
+TEST(Csv, WritesHeaderAndRows) {
+  const auto path = std::filesystem::temp_directory_path() / "dtm_csv_test.csv";
+  {
+    CsvWriter w(path.string(), {"x", "y"});
+    w.write_row({"1", "2"});
+    w.write_row({"a,b", "q\"q"});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "x,y\n1,2\n\"a,b\",\"q\"\"q\"\n");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, RejectsWrongArity) {
+  const auto path = std::filesystem::temp_directory_path() / "dtm_csv_test2.csv";
+  CsvWriter w(path.string(), {"x"});
+  EXPECT_THROW(w.write_row({"1", "2"}), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, EscapeRules) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("q\"q"), "\"q\"\"q\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+// ---------------------------------------------------------- thread pool
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw Error("boom"); });
+  EXPECT_THROW(pool.wait(), Error);
+  // The pool stays usable after an error was reported.
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, DefaultsToHardwareThreads) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, HandlesZeroAndOne) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> one{0};
+  parallel_for(pool, 1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    one.fetch_add(1);
+  });
+  EXPECT_EQ(one.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 10,
+                            [&](std::size_t i) {
+                              if (i == 5) throw Error("body failed");
+                            }),
+               Error);
+}
+
+}  // namespace
+}  // namespace dtm
