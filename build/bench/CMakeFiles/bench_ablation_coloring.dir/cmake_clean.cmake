@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_coloring.dir/bench_ablation_coloring.cpp.o"
+  "CMakeFiles/bench_ablation_coloring.dir/bench_ablation_coloring.cpp.o.d"
+  "bench_ablation_coloring"
+  "bench_ablation_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clique.dir/bench_clique.cpp.o"
+  "CMakeFiles/bench_clique.dir/bench_clique.cpp.o.d"
+  "bench_clique"
+  "bench_clique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_controlflow.dir/bench_controlflow.cpp.o"
+  "CMakeFiles/bench_controlflow.dir/bench_controlflow.cpp.o.d"
+  "bench_controlflow"
+  "bench_controlflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_controlflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_line.dir/bench_line.cpp.o"
+  "CMakeFiles/bench_line.dir/bench_line.cpp.o.d"
+  "bench_line"
+  "bench_line.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lowerbound_grid.dir/bench_lowerbound_grid.cpp.o"
+  "CMakeFiles/bench_lowerbound_grid.dir/bench_lowerbound_grid.cpp.o.d"
+  "bench_lowerbound_grid"
+  "bench_lowerbound_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lowerbound_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lowerbound_tree.dir/bench_lowerbound_tree.cpp.o"
+  "CMakeFiles/bench_lowerbound_tree.dir/bench_lowerbound_tree.cpp.o.d"
+  "bench_lowerbound_tree"
+  "bench_lowerbound_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lowerbound_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_star.dir/bench_star.cpp.o"
+  "CMakeFiles/bench_star.dir/bench_star.cpp.o.d"
+  "bench_star"
+  "bench_star.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_synchronicity.dir/bench_synchronicity.cpp.o"
+  "CMakeFiles/bench_synchronicity.dir/bench_synchronicity.cpp.o.d"
+  "bench_synchronicity"
+  "bench_synchronicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synchronicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

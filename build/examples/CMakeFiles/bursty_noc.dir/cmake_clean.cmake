@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursty_noc.dir/bursty_noc.cpp.o"
+  "CMakeFiles/bursty_noc.dir/bursty_noc.cpp.o.d"
+  "bursty_noc"
+  "bursty_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursty_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

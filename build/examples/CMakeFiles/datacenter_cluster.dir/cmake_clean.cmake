@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_cluster.dir/datacenter_cluster.cpp.o"
+  "CMakeFiles/datacenter_cluster.dir/datacenter_cluster.cpp.o.d"
+  "datacenter_cluster"
+  "datacenter_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtm_cli.dir/dtm_cli.cpp.o"
+  "CMakeFiles/dtm_cli.dir/dtm_cli.cpp.o.d"
+  "dtm_cli"
+  "dtm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_grid.dir/noc_grid.cpp.o"
+  "CMakeFiles/noc_grid.dir/noc_grid.cpp.o.d"
+  "noc_grid"
+  "noc_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rack_line.dir/rack_line.cpp.o"
+  "CMakeFiles/rack_line.dir/rack_line.cpp.o.d"
+  "rack_line"
+  "rack_line.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rack_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

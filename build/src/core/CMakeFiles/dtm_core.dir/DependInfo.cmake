@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/generators.cpp" "src/core/CMakeFiles/dtm_core.dir/generators.cpp.o" "gcc" "src/core/CMakeFiles/dtm_core.dir/generators.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/core/CMakeFiles/dtm_core.dir/instance.cpp.o" "gcc" "src/core/CMakeFiles/dtm_core.dir/instance.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "src/core/CMakeFiles/dtm_core.dir/io.cpp.o" "gcc" "src/core/CMakeFiles/dtm_core.dir/io.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/dtm_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/dtm_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/dtm_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/dtm_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/precedence.cpp" "src/core/CMakeFiles/dtm_core.dir/precedence.cpp.o" "gcc" "src/core/CMakeFiles/dtm_core.dir/precedence.cpp.o.d"
+  "/root/repo/src/core/rw.cpp" "src/core/CMakeFiles/dtm_core.dir/rw.cpp.o" "gcc" "src/core/CMakeFiles/dtm_core.dir/rw.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/dtm_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/dtm_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/dtm_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/dtm_core.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dtm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dtm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtm_core.dir/generators.cpp.o"
+  "CMakeFiles/dtm_core.dir/generators.cpp.o.d"
+  "CMakeFiles/dtm_core.dir/instance.cpp.o"
+  "CMakeFiles/dtm_core.dir/instance.cpp.o.d"
+  "CMakeFiles/dtm_core.dir/io.cpp.o"
+  "CMakeFiles/dtm_core.dir/io.cpp.o.d"
+  "CMakeFiles/dtm_core.dir/metrics.cpp.o"
+  "CMakeFiles/dtm_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/dtm_core.dir/online.cpp.o"
+  "CMakeFiles/dtm_core.dir/online.cpp.o.d"
+  "CMakeFiles/dtm_core.dir/precedence.cpp.o"
+  "CMakeFiles/dtm_core.dir/precedence.cpp.o.d"
+  "CMakeFiles/dtm_core.dir/rw.cpp.o"
+  "CMakeFiles/dtm_core.dir/rw.cpp.o.d"
+  "CMakeFiles/dtm_core.dir/schedule.cpp.o"
+  "CMakeFiles/dtm_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/dtm_core.dir/validate.cpp.o"
+  "CMakeFiles/dtm_core.dir/validate.cpp.o.d"
+  "libdtm_core.a"
+  "libdtm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

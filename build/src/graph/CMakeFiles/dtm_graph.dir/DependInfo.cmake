@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/apsp.cpp" "src/graph/CMakeFiles/dtm_graph.dir/apsp.cpp.o" "gcc" "src/graph/CMakeFiles/dtm_graph.dir/apsp.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/dtm_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/dtm_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/metric.cpp" "src/graph/CMakeFiles/dtm_graph.dir/metric.cpp.o" "gcc" "src/graph/CMakeFiles/dtm_graph.dir/metric.cpp.o.d"
+  "/root/repo/src/graph/shortest_paths.cpp" "src/graph/CMakeFiles/dtm_graph.dir/shortest_paths.cpp.o" "gcc" "src/graph/CMakeFiles/dtm_graph.dir/shortest_paths.cpp.o.d"
+  "/root/repo/src/graph/topologies/block_grid.cpp" "src/graph/CMakeFiles/dtm_graph.dir/topologies/block_grid.cpp.o" "gcc" "src/graph/CMakeFiles/dtm_graph.dir/topologies/block_grid.cpp.o.d"
+  "/root/repo/src/graph/topologies/block_tree.cpp" "src/graph/CMakeFiles/dtm_graph.dir/topologies/block_tree.cpp.o" "gcc" "src/graph/CMakeFiles/dtm_graph.dir/topologies/block_tree.cpp.o.d"
+  "/root/repo/src/graph/topologies/butterfly.cpp" "src/graph/CMakeFiles/dtm_graph.dir/topologies/butterfly.cpp.o" "gcc" "src/graph/CMakeFiles/dtm_graph.dir/topologies/butterfly.cpp.o.d"
+  "/root/repo/src/graph/topologies/clique.cpp" "src/graph/CMakeFiles/dtm_graph.dir/topologies/clique.cpp.o" "gcc" "src/graph/CMakeFiles/dtm_graph.dir/topologies/clique.cpp.o.d"
+  "/root/repo/src/graph/topologies/cluster.cpp" "src/graph/CMakeFiles/dtm_graph.dir/topologies/cluster.cpp.o" "gcc" "src/graph/CMakeFiles/dtm_graph.dir/topologies/cluster.cpp.o.d"
+  "/root/repo/src/graph/topologies/grid.cpp" "src/graph/CMakeFiles/dtm_graph.dir/topologies/grid.cpp.o" "gcc" "src/graph/CMakeFiles/dtm_graph.dir/topologies/grid.cpp.o.d"
+  "/root/repo/src/graph/topologies/hypercube.cpp" "src/graph/CMakeFiles/dtm_graph.dir/topologies/hypercube.cpp.o" "gcc" "src/graph/CMakeFiles/dtm_graph.dir/topologies/hypercube.cpp.o.d"
+  "/root/repo/src/graph/topologies/line.cpp" "src/graph/CMakeFiles/dtm_graph.dir/topologies/line.cpp.o" "gcc" "src/graph/CMakeFiles/dtm_graph.dir/topologies/line.cpp.o.d"
+  "/root/repo/src/graph/topologies/star.cpp" "src/graph/CMakeFiles/dtm_graph.dir/topologies/star.cpp.o" "gcc" "src/graph/CMakeFiles/dtm_graph.dir/topologies/star.cpp.o.d"
+  "/root/repo/src/graph/topologies/topology.cpp" "src/graph/CMakeFiles/dtm_graph.dir/topologies/topology.cpp.o" "gcc" "src/graph/CMakeFiles/dtm_graph.dir/topologies/topology.cpp.o.d"
+  "/root/repo/src/graph/transform.cpp" "src/graph/CMakeFiles/dtm_graph.dir/transform.cpp.o" "gcc" "src/graph/CMakeFiles/dtm_graph.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dtm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtm_graph.dir/apsp.cpp.o"
+  "CMakeFiles/dtm_graph.dir/apsp.cpp.o.d"
+  "CMakeFiles/dtm_graph.dir/graph.cpp.o"
+  "CMakeFiles/dtm_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/dtm_graph.dir/metric.cpp.o"
+  "CMakeFiles/dtm_graph.dir/metric.cpp.o.d"
+  "CMakeFiles/dtm_graph.dir/shortest_paths.cpp.o"
+  "CMakeFiles/dtm_graph.dir/shortest_paths.cpp.o.d"
+  "CMakeFiles/dtm_graph.dir/topologies/block_grid.cpp.o"
+  "CMakeFiles/dtm_graph.dir/topologies/block_grid.cpp.o.d"
+  "CMakeFiles/dtm_graph.dir/topologies/block_tree.cpp.o"
+  "CMakeFiles/dtm_graph.dir/topologies/block_tree.cpp.o.d"
+  "CMakeFiles/dtm_graph.dir/topologies/butterfly.cpp.o"
+  "CMakeFiles/dtm_graph.dir/topologies/butterfly.cpp.o.d"
+  "CMakeFiles/dtm_graph.dir/topologies/clique.cpp.o"
+  "CMakeFiles/dtm_graph.dir/topologies/clique.cpp.o.d"
+  "CMakeFiles/dtm_graph.dir/topologies/cluster.cpp.o"
+  "CMakeFiles/dtm_graph.dir/topologies/cluster.cpp.o.d"
+  "CMakeFiles/dtm_graph.dir/topologies/grid.cpp.o"
+  "CMakeFiles/dtm_graph.dir/topologies/grid.cpp.o.d"
+  "CMakeFiles/dtm_graph.dir/topologies/hypercube.cpp.o"
+  "CMakeFiles/dtm_graph.dir/topologies/hypercube.cpp.o.d"
+  "CMakeFiles/dtm_graph.dir/topologies/line.cpp.o"
+  "CMakeFiles/dtm_graph.dir/topologies/line.cpp.o.d"
+  "CMakeFiles/dtm_graph.dir/topologies/star.cpp.o"
+  "CMakeFiles/dtm_graph.dir/topologies/star.cpp.o.d"
+  "CMakeFiles/dtm_graph.dir/topologies/topology.cpp.o"
+  "CMakeFiles/dtm_graph.dir/topologies/topology.cpp.o.d"
+  "CMakeFiles/dtm_graph.dir/transform.cpp.o"
+  "CMakeFiles/dtm_graph.dir/transform.cpp.o.d"
+  "libdtm_graph.a"
+  "libdtm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

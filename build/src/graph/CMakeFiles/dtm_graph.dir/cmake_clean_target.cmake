@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdtm_graph.a"
+)

@@ -1,0 +1,3 @@
+src/graph/CMakeFiles/dtm_graph.dir/topologies/topology.cpp.o: \
+ /root/repo/src/graph/topologies/topology.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/graph/topologies/topology.hpp

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtm_lb.dir/bounds.cpp.o"
+  "CMakeFiles/dtm_lb.dir/bounds.cpp.o.d"
+  "CMakeFiles/dtm_lb.dir/lb_instances.cpp.o"
+  "CMakeFiles/dtm_lb.dir/lb_instances.cpp.o.d"
+  "CMakeFiles/dtm_lb.dir/object_walk.cpp.o"
+  "CMakeFiles/dtm_lb.dir/object_walk.cpp.o.d"
+  "CMakeFiles/dtm_lb.dir/tsp.cpp.o"
+  "CMakeFiles/dtm_lb.dir/tsp.cpp.o.d"
+  "libdtm_lb.a"
+  "libdtm_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtm_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/baseline.cpp" "src/sched/CMakeFiles/dtm_sched.dir/baseline.cpp.o" "gcc" "src/sched/CMakeFiles/dtm_sched.dir/baseline.cpp.o.d"
+  "/root/repo/src/sched/cluster.cpp" "src/sched/CMakeFiles/dtm_sched.dir/cluster.cpp.o" "gcc" "src/sched/CMakeFiles/dtm_sched.dir/cluster.cpp.o.d"
+  "/root/repo/src/sched/control_flow.cpp" "src/sched/CMakeFiles/dtm_sched.dir/control_flow.cpp.o" "gcc" "src/sched/CMakeFiles/dtm_sched.dir/control_flow.cpp.o.d"
+  "/root/repo/src/sched/dependency_graph.cpp" "src/sched/CMakeFiles/dtm_sched.dir/dependency_graph.cpp.o" "gcc" "src/sched/CMakeFiles/dtm_sched.dir/dependency_graph.cpp.o.d"
+  "/root/repo/src/sched/greedy.cpp" "src/sched/CMakeFiles/dtm_sched.dir/greedy.cpp.o" "gcc" "src/sched/CMakeFiles/dtm_sched.dir/greedy.cpp.o.d"
+  "/root/repo/src/sched/grid.cpp" "src/sched/CMakeFiles/dtm_sched.dir/grid.cpp.o" "gcc" "src/sched/CMakeFiles/dtm_sched.dir/grid.cpp.o.d"
+  "/root/repo/src/sched/line.cpp" "src/sched/CMakeFiles/dtm_sched.dir/line.cpp.o" "gcc" "src/sched/CMakeFiles/dtm_sched.dir/line.cpp.o.d"
+  "/root/repo/src/sched/online.cpp" "src/sched/CMakeFiles/dtm_sched.dir/online.cpp.o" "gcc" "src/sched/CMakeFiles/dtm_sched.dir/online.cpp.o.d"
+  "/root/repo/src/sched/registry.cpp" "src/sched/CMakeFiles/dtm_sched.dir/registry.cpp.o" "gcc" "src/sched/CMakeFiles/dtm_sched.dir/registry.cpp.o.d"
+  "/root/repo/src/sched/rw_greedy.cpp" "src/sched/CMakeFiles/dtm_sched.dir/rw_greedy.cpp.o" "gcc" "src/sched/CMakeFiles/dtm_sched.dir/rw_greedy.cpp.o.d"
+  "/root/repo/src/sched/star.cpp" "src/sched/CMakeFiles/dtm_sched.dir/star.cpp.o" "gcc" "src/sched/CMakeFiles/dtm_sched.dir/star.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dtm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dtm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/dtm_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dtm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

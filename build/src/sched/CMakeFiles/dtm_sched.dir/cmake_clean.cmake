@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtm_sched.dir/baseline.cpp.o"
+  "CMakeFiles/dtm_sched.dir/baseline.cpp.o.d"
+  "CMakeFiles/dtm_sched.dir/cluster.cpp.o"
+  "CMakeFiles/dtm_sched.dir/cluster.cpp.o.d"
+  "CMakeFiles/dtm_sched.dir/control_flow.cpp.o"
+  "CMakeFiles/dtm_sched.dir/control_flow.cpp.o.d"
+  "CMakeFiles/dtm_sched.dir/dependency_graph.cpp.o"
+  "CMakeFiles/dtm_sched.dir/dependency_graph.cpp.o.d"
+  "CMakeFiles/dtm_sched.dir/greedy.cpp.o"
+  "CMakeFiles/dtm_sched.dir/greedy.cpp.o.d"
+  "CMakeFiles/dtm_sched.dir/grid.cpp.o"
+  "CMakeFiles/dtm_sched.dir/grid.cpp.o.d"
+  "CMakeFiles/dtm_sched.dir/line.cpp.o"
+  "CMakeFiles/dtm_sched.dir/line.cpp.o.d"
+  "CMakeFiles/dtm_sched.dir/online.cpp.o"
+  "CMakeFiles/dtm_sched.dir/online.cpp.o.d"
+  "CMakeFiles/dtm_sched.dir/registry.cpp.o"
+  "CMakeFiles/dtm_sched.dir/registry.cpp.o.d"
+  "CMakeFiles/dtm_sched.dir/rw_greedy.cpp.o"
+  "CMakeFiles/dtm_sched.dir/rw_greedy.cpp.o.d"
+  "CMakeFiles/dtm_sched.dir/star.cpp.o"
+  "CMakeFiles/dtm_sched.dir/star.cpp.o.d"
+  "libdtm_sched.a"
+  "libdtm_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtm_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

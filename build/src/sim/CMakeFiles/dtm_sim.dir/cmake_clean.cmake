@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtm_sim.dir/capacity_sim.cpp.o"
+  "CMakeFiles/dtm_sim.dir/capacity_sim.cpp.o.d"
+  "CMakeFiles/dtm_sim.dir/congestion.cpp.o"
+  "CMakeFiles/dtm_sim.dir/congestion.cpp.o.d"
+  "CMakeFiles/dtm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dtm_sim.dir/simulator.cpp.o.d"
+  "libdtm_sim.a"
+  "libdtm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

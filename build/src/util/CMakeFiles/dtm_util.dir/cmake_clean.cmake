@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtm_util.dir/args.cpp.o"
+  "CMakeFiles/dtm_util.dir/args.cpp.o.d"
+  "CMakeFiles/dtm_util.dir/csv.cpp.o"
+  "CMakeFiles/dtm_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dtm_util.dir/stats.cpp.o"
+  "CMakeFiles/dtm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dtm_util.dir/table.cpp.o"
+  "CMakeFiles/dtm_util.dir/table.cpp.o.d"
+  "CMakeFiles/dtm_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/dtm_util.dir/thread_pool.cpp.o.d"
+  "libdtm_util.a"
+  "libdtm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/args_io_test.dir/args_io_test.cpp.o"
+  "CMakeFiles/args_io_test.dir/args_io_test.cpp.o.d"
+  "args_io_test"
+  "args_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/args_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

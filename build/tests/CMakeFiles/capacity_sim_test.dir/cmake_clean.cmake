@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_sim_test.dir/capacity_sim_test.cpp.o"
+  "CMakeFiles/capacity_sim_test.dir/capacity_sim_test.cpp.o.d"
+  "capacity_sim_test"
+  "capacity_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_sched_test.dir/cluster_sched_test.cpp.o"
+  "CMakeFiles/cluster_sched_test.dir/cluster_sched_test.cpp.o.d"
+  "cluster_sched_test"
+  "cluster_sched_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

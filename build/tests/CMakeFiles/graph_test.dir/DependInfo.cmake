@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/graph_test.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dtm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dtm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/dtm_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dtm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dtm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dtm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

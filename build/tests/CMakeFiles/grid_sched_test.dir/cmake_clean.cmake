@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_sched_test.dir/grid_sched_test.cpp.o"
+  "CMakeFiles/grid_sched_test.dir/grid_sched_test.cpp.o.d"
+  "grid_sched_test"
+  "grid_sched_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

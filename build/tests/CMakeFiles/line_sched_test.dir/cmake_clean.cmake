@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_sched_test.dir/line_sched_test.cpp.o"
+  "CMakeFiles/line_sched_test.dir/line_sched_test.cpp.o.d"
+  "line_sched_test"
+  "line_sched_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_test.dir/rw_test.cpp.o"
+  "CMakeFiles/rw_test.dir/rw_test.cpp.o.d"
+  "rw_test"
+  "rw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_sched_test.dir/star_sched_test.cpp.o"
+  "CMakeFiles/star_sched_test.dir/star_sched_test.cpp.o.d"
+  "star_sched_test"
+  "star_sched_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
