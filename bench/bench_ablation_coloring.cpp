@@ -86,7 +86,7 @@ void print_series() {
            },
            table);
   }
-  table.print(std::cout);
+  benchutil::emit_table("main", table);
 }
 
 void BM_ColoringRule(benchmark::State& state) {
@@ -110,7 +110,9 @@ BENCHMARK(BM_ColoringRule)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  dtm::benchutil::BenchMain bm("ablation_coloring", argc, argv);
   print_series();
+  bm.write_artifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

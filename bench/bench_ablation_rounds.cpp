@@ -8,6 +8,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/generators.hpp"
 #include "core/validate.hpp"
 #include "graph/metric.hpp"
@@ -57,7 +58,7 @@ void print_series() {
       }
     }
   }
-  table.print(std::cout);
+  benchutil::emit_table("main", table);
   std::cout << "\n(early termination is Las-Vegas-safe: feasibility never "
                "depends on the round budget)\n";
 }
@@ -82,7 +83,9 @@ BENCHMARK(BM_RandomizedRounds)->Arg(2)->Arg(4)->Arg(8)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  dtm::benchutil::BenchMain bm("ablation_rounds", argc, argv);
   print_series();
+  bm.write_artifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

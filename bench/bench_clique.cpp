@@ -50,7 +50,7 @@ void print_series() {
       }
     }
   }
-  table.print(std::cout);
+  benchutil::emit_table("main", table);
 }
 
 void BM_GreedyOnClique(benchmark::State& state) {
@@ -82,7 +82,9 @@ BENCHMARK(BM_GreedyOnClique)
 }  // namespace
 
 int main(int argc, char** argv) {
+  dtm::benchutil::BenchMain bm("clique", argc, argv);
   print_series();
+  bm.write_artifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

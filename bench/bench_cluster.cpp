@@ -64,7 +64,7 @@ void crossover_series() {
       }
     }
   }
-  table.print(std::cout);
+  benchutil::emit_table("crossover", table);
 }
 
 void locality_series() {
@@ -91,7 +91,7 @@ void locality_series() {
     table.add_row(alpha, beta, gamma, summary.lower_bound.mean(),
                   summary.makespan.mean(), summary.ratio.mean(), k + 2);
   }
-  table.print(std::cout);
+  benchutil::emit_table("locality", table);
 }
 
 void sigma_series() {
@@ -124,7 +124,7 @@ void sigma_series() {
                     summary.makespan.mean(), summary.ratio.mean());
     }
   }
-  table.print(std::cout);
+  benchutil::emit_table("sigma", table);
 }
 
 void BM_ClusterScheduler(benchmark::State& state) {
@@ -153,9 +153,11 @@ BENCHMARK(BM_ClusterScheduler)
 }  // namespace
 
 int main(int argc, char** argv) {
+  dtm::benchutil::BenchMain bm("cluster", argc, argv);
   crossover_series();
   locality_series();
   sigma_series();
+  bm.write_artifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,10 +1,14 @@
 // Shared helpers for the experiment benches (DESIGN.md §3).
 //
-// Every bench binary does two things:
+// Every bench binary does three things:
 //  1. prints the experiment's paper-style series (a Table of parameters ->
 //     lower bound, measured makespan, ratio, proven bound) over several
 //     seeded trials — these are the rows recorded in EXPERIMENTS.md;
-//  2. registers google-benchmark timings for the scheduler itself.
+//  2. registers google-benchmark timings for the scheduler itself;
+//  3. with --json-out[=PATH], writes a machine-readable BENCH_<name>.json
+//     artifact: the series rows plus the telemetry counters and phase-timer
+//     percentiles accumulated while the series ran (EXPERIMENTS.md
+//     documents the schema; tools/bench_compare diffs two artifacts).
 //
 // Schedules are validated on every trial; an infeasible schedule aborts the
 // bench (a benchmark of a wrong answer is meaningless).
@@ -12,16 +16,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/metrics.hpp"
 #include "core/validate.hpp"
 #include "lb/bounds.hpp"
 #include "sched/scheduler.hpp"
+#include "util/args.hpp"
+#include "util/json_writer.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/telemetry.hpp"
 
 namespace dtm::benchutil {
 
@@ -34,7 +43,8 @@ struct TrialSummary {
 
 /// Runs `trials` seeded repetitions: build instance -> schedule -> validate
 /// -> bound -> accumulate. `make_instance(seed)` returns a fresh instance;
-/// `make_scheduler(seed)` a fresh scheduler.
+/// `make_scheduler(seed)` a fresh scheduler. Each trial contributes one
+/// sample to the phase timers (schedulers/bounds add their own phases).
 inline TrialSummary run_trials(
     const Metric& metric,
     const std::function<Instance(std::uint64_t)>& make_instance,
@@ -43,11 +53,18 @@ inline TrialSummary run_trials(
     int trials, std::uint64_t seed0) {
   TrialSummary out;
   for (int t = 0; t < trials; ++t) {
+    telemetry::count("bench.trials");
     const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(t);
     const Instance inst = make_instance(seed);
     auto sched = make_scheduler(seed);
-    const Schedule s = sched->run(inst, metric);
-    const ValidationResult vr = validate(inst, metric, s);
+    const Schedule s = [&] {
+      ScopedPhaseTimer timer("phase.schedule");
+      return sched->run(inst, metric);
+    }();
+    const ValidationResult vr = [&] {
+      ScopedPhaseTimer timer("phase.validation");
+      return validate(inst, metric, s);
+    }();
     DTM_REQUIRE(vr.ok, "bench produced infeasible schedule: " << vr.summary());
     const InstanceBounds lb = compute_bounds(inst, metric);
     const auto mk = static_cast<double>(s.makespan());
@@ -66,5 +83,126 @@ inline void print_header(const std::string& experiment,
                          const std::string& claim) {
   std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
 }
+
+/// Series tables recorded for the JSON artifact (one per emit_table call).
+class BenchReport {
+ public:
+  static BenchReport& instance() {
+    static BenchReport r;
+    return r;
+  }
+
+  void add_table(const std::string& name, const Table& t) {
+    tables_.push_back({name, t.header(), t.data()});
+  }
+
+  /// Serializes series + telemetry snapshot as the BENCH_<name>.json schema
+  /// ("dtm-bench-v1", see EXPERIMENTS.md).
+  std::string to_json(const std::string& bench_name) const {
+    const TelemetrySnapshot snap = TelemetryRegistry::global().snapshot();
+    JsonWriter w;
+    w.begin_object();
+    w.key("schema").value("dtm-bench-v1");
+    w.key("bench").value(bench_name);
+    w.key("series").begin_array();
+    for (const auto& t : tables_) {
+      w.begin_object();
+      w.key("name").value(t.name);
+      w.key("header").begin_array();
+      for (const auto& h : t.header) w.value(h);
+      w.end_array();
+      w.key("rows").begin_array();
+      for (const auto& row : t.rows) {
+        w.begin_array();
+        for (const auto& cell : row) w.value(cell);
+        w.end_array();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.key("counters").begin_object();
+    for (const auto& [name, v] : snap.counters) {
+      if (v > 0) w.key(name).value(v);
+    }
+    w.end_object();
+    w.key("timers").begin_object();
+    for (const auto& [name, ts] : snap.timers) {
+      w.key(name).begin_object();
+      w.key("count").value(ts.count);
+      w.key("total_ns").value(ts.total_ns);
+      w.key("mean_ns").value(ts.mean_ns);
+      w.key("min_ns").value(ts.min_ns);
+      w.key("max_ns").value(ts.max_ns);
+      w.key("p50_ns").value(ts.p50_ns);
+      w.key("p90_ns").value(ts.p90_ns);
+      w.key("p99_ns").value(ts.p99_ns);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    return w.str();
+  }
+
+ private:
+  struct Recorded {
+    std::string name;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+  };
+  std::vector<Recorded> tables_;
+};
+
+/// Prints the table to stdout and records it as a named series for the
+/// JSON artifact.
+inline void emit_table(const std::string& name, const Table& t) {
+  t.print(std::cout);
+  BenchReport::instance().add_table(name, t);
+}
+
+/// Per-binary harness: parses --json-out[=PATH] through ArgParser and strips
+/// it from argv before google-benchmark sees the remaining flags. Call
+/// write_artifact() after the series ran (and before RunSpecifiedBenchmarks,
+/// so the artifact only reflects deterministic series work).
+class BenchMain {
+ public:
+  BenchMain(std::string bench_name, int& argc, char** argv)
+      : name_(std::move(bench_name)) {
+    const ArgParser args(argc, argv);
+    if (args.has("json-out")) {
+      json_path_ = args.get("json-out", "BENCH_" + name_ + ".json");
+    }
+    // Strip the flag (and its space-separated value) so that
+    // benchmark::Initialize does not reject it as unrecognized.
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string tok = argv[i];
+      if (tok == "--json-out" || tok.rfind("--json-out=", 0) == 0) {
+        if (tok == "--json-out" && i + 1 < argc &&
+            std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          ++i;  // skip the value token as well
+        }
+        continue;
+      }
+      argv[out++] = argv[i];
+    }
+    argc = out;
+  }
+
+  /// Writes BENCH_<name>.json when --json-out was given; no-op otherwise.
+  void write_artifact() const {
+    if (json_path_.empty()) return;
+    std::ofstream out(json_path_);
+    DTM_REQUIRE(out.good(), "cannot open --json-out file " << json_path_);
+    out << BenchReport::instance().to_json(name_) << '\n';
+    std::cout << "\nwrote " << json_path_ << "\n";
+  }
+
+  const std::string& json_path() const { return json_path_; }
+
+ private:
+  std::string name_;
+  std::string json_path_;  // empty = no artifact requested
+};
 
 }  // namespace dtm::benchutil

@@ -115,7 +115,7 @@ void print_series() {
             },
             table);
   }
-  table.print(std::cout);
+  benchutil::emit_table("main", table);
 }
 
 void capacity_series() {
@@ -182,7 +182,7 @@ void capacity_series() {
       return std::make_unique<GreedyScheduler>(o);
     });
   }
-  table.print(std::cout);
+  benchutil::emit_table("capacity", table);
 }
 
 void BM_CongestionAnalysis(benchmark::State& state) {
@@ -206,8 +206,10 @@ BENCHMARK(BM_CongestionAnalysis)->Arg(8)->Arg(16)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  dtm::benchutil::BenchMain bm("congestion", argc, argv);
   print_series();
   capacity_series();
+  bm.write_artifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

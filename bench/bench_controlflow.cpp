@@ -76,7 +76,7 @@ void print_series() {
     series("grid10", topo.graph, metric, 6, 2, false, table);
     series("grid10", topo.graph, metric, 6, 2, true, table);
   }
-  table.print(std::cout);
+  benchutil::emit_table("main", table);
 }
 
 void BM_ControlFlow(benchmark::State& state) {
@@ -95,7 +95,9 @@ BENCHMARK(BM_ControlFlow)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  dtm::benchutil::BenchMain bm("controlflow", argc, argv);
   print_series();
+  bm.write_artifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -55,7 +55,7 @@ void print_series() {
       }
     }
   }
-  table.print(std::cout);
+  benchutil::emit_table("main", table);
 }
 
 void BM_GridScheduler(benchmark::State& state) {
@@ -77,7 +77,9 @@ BENCHMARK(BM_GridScheduler)->Arg(8)->Arg(16)->Arg(24)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  dtm::benchutil::BenchMain bm("grid", argc, argv);
   print_series();
+  bm.write_artifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

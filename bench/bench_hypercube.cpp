@@ -58,7 +58,7 @@ void print_series() {
   for (std::size_t dim : {2u, 3u, 4u}) {
     series_for("butterfly", Butterfly(dim), 16, table);
   }
-  table.print(std::cout);
+  benchutil::emit_table("main", table);
 }
 
 void BM_GreedyOnHypercube(benchmark::State& state) {
@@ -80,7 +80,9 @@ BENCHMARK(BM_GreedyOnHypercube)->Arg(4)->Arg(6)->Arg(8)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  dtm::benchutil::BenchMain bm("hypercube", argc, argv);
   print_series();
+  bm.write_artifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

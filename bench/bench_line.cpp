@@ -54,7 +54,7 @@ void print_series() {
                     "O(k·ℓ·h_max)");
     }
   }
-  table.print(std::cout);
+  benchutil::emit_table("main", table);
 }
 
 void BM_LineScheduler(benchmark::State& state) {
@@ -76,7 +76,9 @@ BENCHMARK(BM_LineScheduler)->Arg(64)->Arg(256)->Arg(1024)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  dtm::benchutil::BenchMain bm("line", argc, argv);
   print_series();
+  bm.write_artifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -17,6 +17,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/validate.hpp"
 #include "graph/metric.hpp"
 #include "lb/bounds.hpp"
@@ -45,8 +46,14 @@ inline void lower_bound_series(const char* title, bool tree,
     opts.rule = ColoringRule::kFirstFit;
     opts.compact = true;
     GreedyScheduler sched(opts);
-    const Schedule sol = sched.run(li.instance, *metric);
-    const ValidationResult vr = validate(li.instance, *metric, sol);
+    const Schedule sol = [&] {
+      ScopedPhaseTimer timer("phase.schedule");
+      return sched.run(li.instance, *metric);
+    }();
+    const ValidationResult vr = [&] {
+      ScopedPhaseTimer timer("phase.validation");
+      return validate(li.instance, *metric, sol);
+    }();
     DTM_REQUIRE(vr.ok, "infeasible §8 schedule: " << vr.summary());
 
     const double tour = static_cast<double>(bounds.max_walk_upper());
@@ -57,7 +64,7 @@ inline void lower_bound_series(const char* title, bool tree,
     table.add_row(s, li.graph().num_nodes(), tour, tour / cap, floor_block,
                   mk, mk / std::max(tour, 1.0));
   }
-  table.print(std::cout);
+  emit_table("main", table);
 }
 
 }  // namespace dtm::benchutil

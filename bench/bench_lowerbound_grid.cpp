@@ -22,9 +22,11 @@ BENCHMARK(BM_BuildLbGridInstance)->Arg(4)->Arg(9)->Arg(16)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  dtm::benchutil::BenchMain bm("lowerbound_grid", argc, argv);
   dtm::benchutil::lower_bound_series(
       "E7 / Theorem 6 — §8.1 grid-of-blocks construction", /*tree=*/false,
       {4, 9, 16, 25, 36});
+  bm.write_artifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -22,9 +22,11 @@ BENCHMARK(BM_BuildLbTreeInstance)->Arg(4)->Arg(9)->Arg(16)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  dtm::benchutil::BenchMain bm("lowerbound_tree", argc, argv);
   dtm::benchutil::lower_bound_series(
       "E8 / §8.2 — tree-of-blocks construction", /*tree=*/true,
       {4, 9, 16, 25, 36});
+  bm.write_artifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

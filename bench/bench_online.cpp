@@ -111,7 +111,7 @@ void print_series() {
       }
     }
   }
-  table.print(std::cout);
+  benchutil::emit_table("main", table);
 }
 
 void BM_OnlineFifo(benchmark::State& state) {
@@ -134,7 +134,9 @@ BENCHMARK(BM_OnlineFifo)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  dtm::benchutil::BenchMain bm("online", argc, argv);
   print_series();
+  bm.write_artifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

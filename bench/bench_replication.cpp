@@ -25,6 +25,7 @@ void series(const char* topology, const Graph& g, const Metric& metric,
   for (double frac : {1.0, 0.5, 0.2, 0.05}) {
     Stats single_copy, sv, mv;
     for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      telemetry::count("bench.trials");
       Rng rng(seed * 61);
       const Instance inst =
           hotspot ? generate_hotspot(g, 8, 2, rng)
@@ -77,7 +78,7 @@ void print_series() {
     const DenseMetric metric(topo.graph);
     series("grid8", topo.graph, metric, false, table);
   }
-  table.print(std::cout);
+  benchutil::emit_table("main", table);
 }
 
 void BM_RwGreedy(benchmark::State& state) {
@@ -97,7 +98,9 @@ BENCHMARK(BM_RwGreedy)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  dtm::benchutil::BenchMain bm("replication", argc, argv);
   print_series();
+  bm.write_artifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -66,7 +66,7 @@ void print_series() {
       }
     }
   }
-  table.print(std::cout);
+  benchutil::emit_table("main", table);
 }
 
 void locality_series() {
@@ -107,7 +107,7 @@ void locality_series() {
                     serial_summary.ratio.mean());
     }
   }
-  table.print(std::cout);
+  benchutil::emit_table("locality", table);
 }
 
 void BM_StarScheduler(benchmark::State& state) {
@@ -129,8 +129,10 @@ BENCHMARK(BM_StarScheduler)->Arg(8)->Arg(32)->Arg(128)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  dtm::benchutil::BenchMain bm("star", argc, argv);
   print_series();
   locality_series();
+  bm.write_artifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

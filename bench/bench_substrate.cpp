@@ -1,8 +1,12 @@
 // E11 — substrate microbenchmarks: APSP (sequential vs thread pool),
 // single-source search, dependency-graph construction, greedy coloring,
 // the earliest-time precedence solver, and simulator throughput.
+//
+// The printed series reports *counted work* (telemetry counter deltas) per
+// substrate operation — the complement of the google-benchmark wall times.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/generators.hpp"
 #include "core/precedence.hpp"
 #include "graph/apsp.hpp"
@@ -147,6 +151,58 @@ void BM_Simulator(benchmark::State& state) {
 BENCHMARK(BM_Simulator)->Arg(6)->Arg(8)->Arg(10)->Unit(
     benchmark::kMicrosecond);
 
+/// Counted-work series: run each substrate op once on a fixed workload and
+/// report how much work the telemetry counters observed.
+void print_series() {
+  benchutil::print_header(
+      "E11 — substrate counted work",
+      "counter deltas per substrate operation (grid 32x32, hypercube dim 8; "
+      "see google-benchmark section for wall times)");
+  TelemetryRegistry& reg = TelemetryRegistry::global();
+  Table table({"operation", "counter", "delta"});
+  const auto delta = [&](const std::string& counter_name,
+                         const std::string& op,
+                         const std::function<void()>& body) {
+    const std::uint64_t before = reg.snapshot().counters[counter_name];
+    body();
+    const std::uint64_t after = reg.snapshot().counters[counter_name];
+    table.add_row(op, counter_name, after - before);
+  };
+
+  const Grid grid(32);
+  const Hypercube cube(8);
+  delta("apsp.dijkstra_runs", "compute_apsp(grid32)",
+        [&] { compute_apsp(grid.graph); });
+  const DenseMetric metric(cube.graph);
+  Rng rng(3);
+  const Instance inst = generate_uniform(
+      cube.graph, {.num_objects = 32, .objects_per_txn = 4}, rng);
+  delta("metric.distance_queries", "build_dependency_graph(cube8)",
+        [&] { (void)build_dependency_graph(inst, metric); });
+  std::vector<TxnId> all(inst.num_transactions());
+  for (TxnId t = 0; t < all.size(); ++t) all[t] = t;
+  delta("greedy.color_probes", "greedy_color(cube8)",
+        [&] { (void)greedy_color(inst, metric, all, ColoringRule::kFirstFit); });
+  GreedyOptions gopts;
+  gopts.rule = ColoringRule::kFirstFit;
+  GreedyScheduler sched(gopts);
+  const Schedule s = sched.run(inst, metric);
+  delta("sim.legs_moved", "simulate(cube8)",
+        [&] { (void)simulate(inst, metric, s); });
+  delta("metric.lazy_sssp_runs", "LazyMetric 8 sources (grid32)", [&] {
+    const LazyMetric lazy(grid.graph);
+    for (NodeId u = 0; u < 8; ++u) (void)lazy.distance(u, 100);
+  });
+  benchutil::emit_table("counted_work", table);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  dtm::benchutil::BenchMain bm("substrate", argc, argv);
+  print_series();
+  bm.write_artifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

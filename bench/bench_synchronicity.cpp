@@ -52,7 +52,7 @@ void print_series() {
                "ratio(max)"});
   series("clique48", Clique(48).graph, table);
   series("hypercube64", Hypercube(6).graph, table);
-  table.print(std::cout);
+  benchutil::emit_table("main", table);
 }
 
 void BM_JitteredGreedy(benchmark::State& state) {
@@ -74,7 +74,9 @@ BENCHMARK(BM_JitteredGreedy)->Arg(1)->Arg(8)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  dtm::benchutil::BenchMain bm("synchronicity", argc, argv);
   print_series();
+  bm.write_artifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

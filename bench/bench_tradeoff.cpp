@@ -80,7 +80,7 @@ void print_series() {
     const DenseMetric metric(topo.graph);
     series("hypercube128", topo.graph, metric, table);
   }
-  table.print(std::cout);
+  benchutil::emit_table("main", table);
 }
 
 void BM_MetricsComputation(benchmark::State& state) {
@@ -102,7 +102,9 @@ BENCHMARK(BM_MetricsComputation)->Arg(6)->Arg(8)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  dtm::benchutil::BenchMain bm("tradeoff", argc, argv);
   print_series();
+  bm.write_artifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -43,6 +43,7 @@
 #include "util/csv.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/telemetry.hpp"
 
 namespace {
 
@@ -251,6 +252,20 @@ int run(const ArgParser& args) {
   }
   table.print(std::cout);
 
+  if (args.has("telemetry")) {
+    // Bare --telemetry dumps to stdout; --telemetry FILE writes the file.
+    const std::string json = TelemetryRegistry::global().snapshot().to_json();
+    const std::string path = args.get("telemetry", "-");
+    if (path == "-") {
+      std::cout << "\ntelemetry:\n" << json << '\n';
+    } else {
+      std::ofstream out(path);
+      DTM_REQUIRE(out.good(), "cannot open --telemetry file " << path);
+      out << json << '\n';
+      std::cout << "wrote telemetry to " << path << '\n';
+    }
+  }
+
   const auto unknown = args.unknown_flags();
   if (!unknown.empty()) {
     std::cerr << "warning: unused flags:";
@@ -276,7 +291,7 @@ int main(int argc, char** argv) {
           "online-fifo|online-batch|greedy-paper|greedy-ff|greedy-compact|"
           "id-order|random-order|serial|exact]\n"
           "  [--seed S] [--trials T] [--window W] [--capacity C] "
-          "[--csv FILE]\n"
+          "[--csv FILE] [--telemetry [FILE]]\n"
           "  [--save-graph FILE] [--save-instance FILE] "
           "[--save-schedule FILE]\n";
       return 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/telemetry.hpp"
+
 namespace dtm {
 
 Time RwSchedule::makespan() const {
@@ -33,6 +35,8 @@ bool is_write(const WriteSets& writes, TxnId t, ObjectId o) {
 std::string check_rw(const Instance& inst, const WriteSets& writes,
                      const Metric& metric, const RwSchedule& s,
                      RwPolicy policy) {
+  ScopedPhaseTimer timer("phase.validation");
+  telemetry::count("rw.checks");
   if (s.commit_time.size() != inst.num_transactions()) {
     return "commit_time size mismatch";
   }

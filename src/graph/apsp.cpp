@@ -4,6 +4,7 @@
 
 #include "graph/shortest_paths.hpp"
 #include "util/parallel_for.hpp"
+#include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dtm {
@@ -23,6 +24,8 @@ Weight DistanceMatrix::max_finite() const {
 
 DistanceMatrix compute_apsp(const Graph& g, ThreadPool* pool) {
   const std::size_t n = g.num_nodes();
+  ScopedPhaseTimer timer("phase.apsp");
+  telemetry::count("apsp.dijkstra_runs", n);
   std::vector<Weight> flat(n * n, kInfiniteWeight);
   auto run_source = [&](std::size_t u) {
     const auto tree = single_source(g, static_cast<NodeId>(u));

@@ -2,16 +2,35 @@
 
 #include <algorithm>
 
+#include "util/telemetry.hpp"
+
 namespace dtm {
+
+namespace {
+
+// Handles are resolved once; add() is a single relaxed atomic (telemetry.hpp).
+TelemetryCounter& distance_queries() {
+  static TelemetryCounter& c = telemetry::counter("metric.distance_queries");
+  return c;
+}
+
+TelemetryCounter& path_queries() {
+  static TelemetryCounter& c = telemetry::counter("metric.path_queries");
+  return c;
+}
+
+}  // namespace
 
 DenseMetric::DenseMetric(const Graph& g, ThreadPool* pool)
     : Metric(g), matrix_(compute_apsp(g, pool)) {}
 
 Weight DenseMetric::distance(NodeId u, NodeId v) const {
+  distance_queries().add();
   return matrix_.at(u, v);
 }
 
 std::vector<NodeId> DenseMetric::path(NodeId u, NodeId v) const {
+  path_queries().add();
   DTM_REQUIRE(matrix_.at(u, v) < kInfiniteWeight,
               "path: " << v << " unreachable from " << u);
   // Walk from u to v: repeatedly step to a neighbor w of the current node c
@@ -39,12 +58,14 @@ std::vector<NodeId> DenseMetric::path(NodeId u, NodeId v) const {
 const ShortestPathTree& LazyMetric::tree(NodeId source) const {
   auto it = cache_.find(source);
   if (it == cache_.end()) {
+    telemetry::count("metric.lazy_sssp_runs");
     it = cache_.emplace(source, single_source(graph(), source)).first;
   }
   return it->second;
 }
 
 Weight LazyMetric::distance(NodeId u, NodeId v) const {
+  distance_queries().add();
   if (u == v) return 0;
   // Prefer whichever endpoint is already cached to keep the cache small.
   if (cache_.count(v) && !cache_.count(u)) std::swap(u, v);
@@ -52,6 +73,7 @@ Weight LazyMetric::distance(NodeId u, NodeId v) const {
 }
 
 std::vector<NodeId> LazyMetric::path(NodeId u, NodeId v) const {
+  path_queries().add();
   if (cache_.count(v) && !cache_.count(u)) {
     auto p = tree(v).path_to(u);
     std::reverse(p.begin(), p.end());

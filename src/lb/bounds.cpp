@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "lb/object_walk.hpp"
+#include "util/telemetry.hpp"
 
 namespace dtm {
 
@@ -20,6 +21,8 @@ Weight InstanceBounds::max_walk_upper() const {
 
 InstanceBounds compute_bounds(const Instance& inst, const Metric& metric,
                               std::size_t exact_limit) {
+  ScopedPhaseTimer timer("phase.bounds");
+  telemetry::count("lb.bounds_computed");
   InstanceBounds out;
   out.walk_lower.assign(inst.num_objects(), 0);
   out.walk_upper.assign(inst.num_objects(), 0);

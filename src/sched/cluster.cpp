@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/telemetry.hpp"
+
 namespace dtm {
 
 ClusterScheduler::ClusterScheduler(const ClusterGraph& topo,
@@ -22,6 +24,8 @@ std::string ClusterScheduler::name() const {
 Schedule ClusterScheduler::run(const Instance& inst, const Metric& metric) {
   DTM_REQUIRE(&inst.graph() == &topo_->graph,
               "ClusterScheduler: instance is not on this cluster graph");
+  ScopedPhaseTimer timer("phase.sched.cluster");
+  telemetry::count("sched.runs");
   stats_ = {};
 
   // σ = max over objects of the number of distinct clusters with requesters.

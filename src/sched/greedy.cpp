@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/precedence.hpp"
+#include "util/telemetry.hpp"
 
 namespace dtm {
 
@@ -78,18 +79,26 @@ Time first_fit_color(const DependencyGraph& h, const std::vector<Time>& color,
 ColoredSubset greedy_color(const Instance& inst, const Metric& metric,
                            std::span<const TxnId> txns, ColoringRule rule,
                            ColoringOrder order, Rng* rng) {
-  const DependencyGraph h = build_dependency_graph(inst, metric, txns);
+  const DependencyGraph h = [&] {
+    ScopedPhaseTimer timer("phase.decomposition");
+    return build_dependency_graph(inst, metric, txns);
+  }();
+  ScopedPhaseTimer timer("phase.coloring");
   ColoredSubset out;
   out.txns = h.txns;
   out.local_time.assign(h.size(), 0);
   const Weight hmax = std::max<Weight>(h.max_edge_weight, 1);
+  std::uint64_t probes = 0;  // neighbors examined while picking colors
   for (std::size_t u : coloring_sequence(h, order, rng)) {
+    probes += h.adjacency[u].size();
     const Time c = rule == ColoringRule::kPaperPigeonhole
                        ? pigeonhole_color(h, out.local_time, u, hmax)
                        : first_fit_color(h, out.local_time, u);
     out.local_time[u] = c;
     out.duration = std::max(out.duration, c);
   }
+  telemetry::count("greedy.color_probes", probes);
+  telemetry::count("greedy.colored_txns", h.size());
   return out;
 }
 
@@ -104,6 +113,8 @@ std::string GreedyScheduler::name() const {
 }
 
 Schedule GreedyScheduler::run(const Instance& inst, const Metric& metric) {
+  ScopedPhaseTimer timer("phase.sched.greedy");
+  telemetry::count("sched.runs");
   std::vector<TxnId> all(inst.num_transactions());
   std::iota(all.begin(), all.end(), 0);
   const ColoredSubset colored =
@@ -117,6 +128,7 @@ Schedule GreedyScheduler::run(const Instance& inst, const Metric& metric) {
 
   if (opts_.compact) {
     // Earliest times for the color-induced orders; subsumes positioning.
+    ScopedPhaseTimer timer("phase.compaction");
     return compact(inst, metric, s);
   }
 

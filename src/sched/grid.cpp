@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/telemetry.hpp"
+
 namespace dtm {
 
 GridScheduler::GridScheduler(const Grid& grid, GridSchedulerOptions opts)
@@ -15,6 +17,8 @@ GridScheduler::GridScheduler(const Grid& grid, GridSchedulerOptions opts)
 Schedule GridScheduler::run(const Instance& inst, const Metric& metric) {
   DTM_REQUIRE(&inst.graph() == &grid_->graph,
               "GridScheduler: instance is not on this grid");
+  ScopedPhaseTimer timer("phase.sched.grid");
+  telemetry::count("sched.runs");
   const std::size_t n = grid_->rows;
   const std::size_t w = inst.num_objects();
   const std::size_t k = std::max<std::size_t>(1, inst.max_objects_per_txn());

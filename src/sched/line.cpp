@@ -3,12 +3,15 @@
 #include <algorithm>
 
 #include "lb/object_walk.hpp"
+#include "util/telemetry.hpp"
 
 namespace dtm {
 
 Schedule LineScheduler::run(const Instance& inst, const Metric& metric) {
   DTM_REQUIRE(&inst.graph() == &line_->graph,
               "LineScheduler: instance is not on this line graph");
+  ScopedPhaseTimer timer("phase.sched.line");
+  telemetry::count("sched.runs");
   (void)metric;  // the line's geometry is closed-form
 
   // ℓ = longest shortest walk of any object over its requesters.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/telemetry.hpp"
+
 namespace dtm {
 
 Schedule OnlineFifoScheduler::run_online(const Instance& inst,
@@ -10,6 +12,8 @@ Schedule OnlineFifoScheduler::run_online(const Instance& inst,
                                          const ArrivalTimes& arrival) {
   DTM_REQUIRE(arrival.size() == inst.num_transactions(),
               "arrival vector size mismatch");
+  ScopedPhaseTimer timer("phase.sched.online_fifo");
+  telemetry::count("sched.runs");
   // Release order (ties by id — the model releases at discrete steps).
   std::vector<TxnId> order(inst.num_transactions());
   std::iota(order.begin(), order.end(), 0);
@@ -59,6 +63,8 @@ Schedule OnlineBatchScheduler::run_online(const Instance& inst,
                                           const ArrivalTimes& arrival) {
   DTM_REQUIRE(arrival.size() == inst.num_transactions(),
               "arrival vector size mismatch");
+  ScopedPhaseTimer timer("phase.sched.online_batch");
+  telemetry::count("sched.runs");
   const std::size_t w = inst.num_objects();
 
   // Group releases into windows [i·W, (i+1)·W); a window's batch is

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/telemetry.hpp"
+
 namespace dtm {
 
 StarScheduler::StarScheduler(const Star& topo, StarSchedulerOptions opts)
@@ -11,6 +13,8 @@ StarScheduler::StarScheduler(const Star& topo, StarSchedulerOptions opts)
 Schedule StarScheduler::run(const Instance& inst, const Metric& metric) {
   DTM_REQUIRE(&inst.graph() == &topo_->graph,
               "StarScheduler: instance is not on this star graph");
+  ScopedPhaseTimer timer("phase.sched.star");
+  telemetry::count("sched.runs");
   if (opts_.strategy == StarStrategy::kBest) {
     StarSchedulerOptions greedy_opts = opts_;
     greedy_opts.strategy = StarStrategy::kGreedy;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/telemetry.hpp"
+
 namespace dtm {
 
 namespace {
@@ -44,6 +46,8 @@ std::size_t peak_overlap(std::vector<Traversal>& ts) {
 
 CongestionReport analyze_congestion(const Instance& inst, const Metric& metric,
                                     const Schedule& s, std::size_t top_k) {
+  ScopedPhaseTimer timer("phase.congestion");
+  TelemetryCounter& traversals = telemetry::counter("congestion.traversals");
   CongestionReport report;
   std::unordered_map<std::uint64_t, PerEdge> edges;
 
@@ -62,6 +66,7 @@ CongestionReport analyze_congestion(const Instance& inst, const Metric& metric,
           const Weight hop = metric.distance(path[i], path[i + 1]);
           edges[edge_key(path[i], path[i + 1])].traversals.push_back(
               {clock + 1, clock + hop});
+          traversals.add();
           clock += hop;
           report.total_flow += hop;
         }

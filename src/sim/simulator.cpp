@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/telemetry.hpp"
+
 namespace dtm {
 
 namespace {
@@ -39,6 +41,9 @@ std::string SimResult::summary() const {
 
 SimResult simulate(const Instance& inst, const Metric& metric,
                    const Schedule& s, const SimOptions& opts) {
+  ScopedPhaseTimer phase_timer("phase.simulate");
+  TelemetryCounter& legs_moved = telemetry::counter("sim.legs_moved");
+  TelemetryCounter& commits = telemetry::counter("sim.commits");
   SimResult r;
   auto fail = [&](const std::string& msg) {
     r.ok = false;
@@ -82,6 +87,7 @@ SimResult simulate(const Instance& inst, const Metric& metric,
       obj[o].depart_time = 0;
       obj[o].leg_distance = metric.distance(obj[o].at, target);
       r.object_travel += obj[o].leg_distance;
+      legs_moved.add();
       record_leg(0, o, obj[o].at, target);
     }
   }
@@ -140,6 +146,7 @@ SimResult simulate(const Instance& inst, const Metric& metric,
     if (opts.record_events) {
       r.events.push_back({now, SimEvent::Kind::kCommit, kInvalidObject, t, home});
     }
+    commits.add();
     r.makespan = std::max(r.makespan, now);
     for (ObjectId o : inst.txn(t).objects) {
       ObjectState& st = obj[o];
@@ -150,6 +157,7 @@ SimResult simulate(const Instance& inst, const Metric& metric,
         st.depart_time = now;
         st.leg_distance = metric.distance(st.at, target);
         r.object_travel += st.leg_distance;
+        legs_moved.add();
         record_leg(now, o, st.at, target);
         if (st.leg_distance == 0) {
           st.in_transit = false;
@@ -160,6 +168,7 @@ SimResult simulate(const Instance& inst, const Metric& metric,
   }
 
   if (opts.record_events) {
+    telemetry::count("sim.events_recorded", r.events.size());
     std::stable_sort(r.events.begin(), r.events.end(),
                      [](const SimEvent& a, const SimEvent& b) {
                        return a.time < b.time;

@@ -10,27 +10,33 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
-      positional_.push_back(arg);
+      tokens_.emplace_back(arg, "");
       continue;
     }
     const std::string body = arg.substr(2);
     const auto eq = body.find('=');
     if (eq != std::string::npos) {
-      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      values_[body.substr(0, eq)] = {body.substr(eq + 1), 0, Bind::kNoToken};
       continue;
     }
-    // `--name value` when the next token is not itself a flag.
+    // `--name token`: bind the token tentatively; get() vs has() decides
+    // later whether it is the value or a positional (see header).
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[body] = argv[++i];
+      values_[body] = {argv[i + 1], tokens_.size(), Bind::kAttached};
+      tokens_.emplace_back(argv[i + 1], body);
+      ++i;
     } else {
-      values_[body] = "";
+      values_[body] = {"", 0, Bind::kNoToken};
     }
   }
 }
 
 bool ArgParser::has(const std::string& name) const {
   queried_[name] = true;
-  return values_.count(name) > 0;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  if (it->second.bind == Bind::kAttached) it->second.bind = Bind::kReleased;
+  return true;
 }
 
 std::string ArgParser::get(const std::string& name,
@@ -38,14 +44,25 @@ std::string ArgParser::get(const std::string& name,
   queried_[name] = true;
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  DTM_REQUIRE(!it->second.empty(), "flag --" << name << " needs a value");
-  return it->second;
+  const Entry& e = it->second;
+  if (e.bind == Bind::kAttached || e.bind == Bind::kReleased ||
+      e.bind == Bind::kConsumed) {
+    e.bind = Bind::kConsumed;
+    return e.value;
+  }
+  if (e.value.empty()) {
+    DTM_REQUIRE(!fallback.empty(), "flag --" << name << " needs a value");
+    return fallback;
+  }
+  return e.value;
 }
 
 std::int64_t ArgParser::get_int(const std::string& name,
                                 std::int64_t fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
   const std::string v = get(name, "");
-  if (v.empty() && values_.count(name) == 0) return fallback;
   char* end = nullptr;
   const std::int64_t out = std::strtoll(v.c_str(), &end, 10);
   DTM_REQUIRE(end != nullptr && *end == '\0' && !v.empty(),
@@ -58,6 +75,19 @@ std::vector<std::string> ArgParser::unknown_flags() const {
   for (const auto& [name, value] : values_) {
     (void)value;
     if (!queried_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> ArgParser::positional() const {
+  std::vector<std::string> out;
+  for (const auto& [token, owner] : tokens_) {
+    if (owner.empty()) {
+      out.push_back(token);
+      continue;
+    }
+    const Bind bind = values_.at(owner).bind;
+    if (bind == Bind::kReleased) out.push_back(token);
   }
   return out;
 }

@@ -1,5 +1,12 @@
 // Minimal command-line flag parser for the CLI and example binaries.
 // Accepts `--name value`, `--name=value`, and bare boolean `--name`.
+//
+// A token following a bare `--name` is ambiguous: it may be the flag's value
+// or a positional argument. The parser resolves this lazily from how the
+// program queries the flag: get()/get_int() consume the token as the value,
+// while a flag only ever probed with has() releases the token back to the
+// positional list (`--verbose input.txt` keeps input.txt positional). Query
+// flags before calling positional().
 #pragma once
 
 #include <cstdint>
@@ -13,26 +20,45 @@ class ArgParser {
  public:
   ArgParser(int argc, const char* const* argv);
 
-  /// True if --name was present (with or without a value).
+  /// True if --name was present (with or without a value). Marks a
+  /// trailing space-separated token as positional unless a get() claims it.
   bool has(const std::string& name) const;
 
-  /// Value of --name, or `fallback` when absent. Throws dtm::Error when
-  /// the flag was given without a value.
+  /// Value of --name, or `fallback` when absent. A flag present without a
+  /// value yields `fallback` when `fallback` is non-empty and throws
+  /// dtm::Error otherwise.
   std::string get(const std::string& name, const std::string& fallback) const;
 
-  /// Integer value of --name; throws on non-numeric values.
+  /// Integer value of --name (negative values accepted); throws on
+  /// non-numeric values and on a present-but-valueless flag.
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
 
   /// Flags that were passed but never queried via has/get/get_int — used
   /// to reject typos: call after all lookups.
   std::vector<std::string> unknown_flags() const;
 
-  /// Positional (non-flag) arguments in order.
-  const std::vector<std::string>& positional() const { return positional_; }
+  /// Positional (non-flag) arguments in order, excluding tokens consumed as
+  /// flag values. Call after all flag lookups.
+  std::vector<std::string> positional() const;
 
  private:
-  std::map<std::string, std::string> values_;  // "" = present, no value
-  std::vector<std::string> positional_;
+  // How a flag's trailing space-separated token is bound (see file comment).
+  enum class Bind {
+    kNoToken,    // value came from `--name=value` or the flag was bare
+    kAttached,   // token tentatively bound, flag not yet queried
+    kReleased,   // has()-only flag: token is positional
+    kConsumed,   // get() claimed the token as the value
+  };
+  struct Entry {
+    std::string value;
+    std::size_t token_index = 0;  // index into tokens_ when bound
+    mutable Bind bind = Bind::kNoToken;
+  };
+
+  std::map<std::string, Entry> values_;
+  // All non-flag tokens in order; second = owning flag name ("" = plain
+  // positional).
+  std::vector<std::pair<std::string, std::string>> tokens_;
   mutable std::map<std::string, bool> queried_;
 };
 

@@ -31,7 +31,9 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
 }
 
 std::string CsvWriter::escape(const std::string& cell) {
-  bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  // RFC 4180: quote on comma, quote, LF, or CR (bare \r inside an unquoted
+  // cell would split the record on readers that accept CR line endings).
+  bool needs_quote = cell.find_first_of(",\"\n\r") != std::string::npos;
   if (!needs_quote) return cell;
   std::string out = "\"";
   for (char ch : cell) {

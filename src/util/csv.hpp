@@ -9,7 +9,7 @@
 namespace dtm {
 
 /// Streams rows to a CSV file; quoting is applied only when needed
-/// (cell contains a comma, a quote, or a newline).
+/// (cell contains a comma, a quote, a newline, or a carriage return).
 class CsvWriter {
  public:
   /// Opens (truncates) `path` and writes the header row.

@@ -1,0 +1,149 @@
+#include "util/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace dtm {
+
+void JsonWriter::before_element() {
+  DTM_REQUIRE(!done_, "JsonWriter: document already complete");
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  DTM_REQUIRE(stack_.empty() || stack_.back().kind == '[',
+              "JsonWriter: value inside an object needs a key() first");
+  if (!stack_.empty() && stack_.back().any) out_ << ',';
+}
+
+void JsonWriter::after_element() {
+  if (stack_.empty()) {
+    done_ = true;
+  } else {
+    stack_.back().any = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_element();
+  stack_.push_back({'{', false});
+  out_ << '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  DTM_REQUIRE(!stack_.empty() && stack_.back().kind == '{' && !pending_key_,
+              "JsonWriter: unbalanced end_object");
+  stack_.pop_back();
+  out_ << '}';
+  after_element();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_element();
+  stack_.push_back({'[', false});
+  out_ << '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  DTM_REQUIRE(!stack_.empty() && stack_.back().kind == '[' && !pending_key_,
+              "JsonWriter: unbalanced end_array");
+  stack_.pop_back();
+  out_ << ']';
+  after_element();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  DTM_REQUIRE(!stack_.empty() && stack_.back().kind == '{' && !pending_key_,
+              "JsonWriter: key() only valid directly inside an object");
+  if (stack_.back().any) out_ << ',';
+  out_ << '"' << escape(name) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_element();
+  out_ << '"' << escape(v) << '"';
+  after_element();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_element();
+  if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    out_ << buf;
+  } else {
+    out_ << "null";  // JSON has no NaN/Inf literals
+  }
+  after_element();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_element();
+  out_ << v;
+  after_element();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_element();
+  out_ << v;
+  after_element();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_element();
+  out_ << (v ? "true" : "false");
+  after_element();
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_element();
+  out_ << "null";
+  after_element();
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  DTM_REQUIRE(done_ && stack_.empty(),
+              "JsonWriter: document is incomplete (unclosed object/array?)");
+  return out_.str();
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += static_cast<char>(ch);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace dtm

@@ -1,0 +1,60 @@
+// Minimal streaming JSON writer (no third-party deps). Produces compact,
+// standards-conforming output; used for the BENCH_*.json artifacts and the
+// telemetry snapshots. Write order is enforced with DTM_REQUIRE: keys only
+// inside objects, values only inside arrays or after a key.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dtm {
+
+/// Builds one JSON document in memory.
+///
+///   JsonWriter w;
+///   w.begin_object().key("n").value(64).key("tags").begin_array()
+///    .value("a").value("b").end_array().end_object();
+///   std::string doc = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits `"name":`; must be inside an object and followed by a value or
+  /// begin_object/begin_array.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// The finished document; requires every begin_* to have been closed.
+  std::string str() const;
+
+  /// JSON string escaping (quotes, backslash, control characters).
+  static std::string escape(const std::string& s);
+
+ private:
+  void before_element();  // comma/context bookkeeping shared by all emitters
+  void after_element();
+
+  struct Frame {
+    char kind;  // '{' or '['
+    bool any = false;
+  };
+  std::ostringstream out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+  bool done_ = false;
+};
+
+}  // namespace dtm

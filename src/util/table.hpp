@@ -31,6 +31,10 @@ class Table {
 
   std::size_t rows() const { return rows_.size(); }
 
+  /// Raw cells, for machine-readable exports (BENCH_*.json series).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
   /// Render with a header rule and right-aligned numeric-looking cells.
   void print(std::ostream& os) const;
 

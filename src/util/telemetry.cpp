@@ -1,0 +1,106 @@
+#include "util/telemetry.hpp"
+
+#include <algorithm>
+
+#include "util/json_writer.hpp"
+
+namespace dtm {
+
+namespace {
+
+double percentile_of_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+TelemetryRegistry& TelemetryRegistry::global() {
+  static TelemetryRegistry reg;
+  return reg;
+}
+
+TelemetryCounter& TelemetryRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(name, std::unique_ptr<TelemetryCounter>(
+                                new TelemetryCounter(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+void TelemetryRegistry::record_timer(const std::string& name,
+                                     std::uint64_t ns) {
+  if (!enabled()) return;
+  std::lock_guard lock(mu_);
+  timer_samples_[name].push_back(static_cast<double>(ns));
+}
+
+TelemetrySnapshot TelemetryRegistry::snapshot() const {
+  TelemetrySnapshot snap;
+  std::lock_guard lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    snap.counters[name] = c->value();
+  }
+  for (const auto& [name, samples] : timer_samples_) {
+    if (samples.empty()) continue;
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    TimerStats ts;
+    ts.count = samples.size();
+    for (double s : samples) ts.total_ns += s;
+    ts.mean_ns = ts.total_ns / static_cast<double>(samples.size());
+    ts.min_ns = sorted.front();
+    ts.max_ns = sorted.back();
+    ts.p50_ns = percentile_of_sorted(sorted, 50);
+    ts.p90_ns = percentile_of_sorted(sorted, 90);
+    ts.p99_ns = percentile_of_sorted(sorted, 99);
+    snap.timers[name] = ts;
+  }
+  return snap;
+}
+
+void TelemetryRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) {
+    (void)name;
+    c->value_.store(0, std::memory_order_relaxed);
+  }
+  timer_samples_.clear();
+}
+
+std::string TelemetrySnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : counters) {
+    w.key(name).value(v);
+  }
+  w.end_object();
+  w.key("timers").begin_object();
+  for (const auto& [name, ts] : timers) {
+    w.key(name).begin_object();
+    w.key("count").value(ts.count);
+    w.key("total_ns").value(ts.total_ns);
+    w.key("mean_ns").value(ts.mean_ns);
+    w.key("min_ns").value(ts.min_ns);
+    w.key("max_ns").value(ts.max_ns);
+    w.key("p50_ns").value(ts.p50_ns);
+    w.key("p90_ns").value(ts.p90_ns);
+    w.key("p99_ns").value(ts.p99_ns);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace dtm

@@ -1,6 +1,8 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cstdio>
 
 namespace dtm {
 
@@ -21,6 +23,25 @@ ThreadPool::~ThreadPool() {
   }
   work_available_.notify_all();
   for (auto& t : workers_) t.join();
+  // Contract (thread_pool.hpp): task errors must be collected via wait().
+  // An error still pending here is a caller bug; throwing from a destructor
+  // would std::terminate with no context, so log it (and assert in debug
+  // builds) instead of dropping it silently.
+  if (first_error_) {
+    try {
+      std::rethrow_exception(first_error_);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "ThreadPool: task exception was never collected by "
+                   "wait(): %s\n",
+                   e.what());
+    } catch (...) {
+      std::fprintf(stderr,
+                   "ThreadPool: non-std task exception was never collected "
+                   "by wait()\n");
+    }
+    assert(false && "ThreadPool destroyed with uncollected task exception");
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {

@@ -24,7 +24,11 @@ class ThreadPool {
   /// (at least 1).
   explicit ThreadPool(std::size_t threads = 0);
 
-  /// Drains remaining work, then joins all workers.
+  /// Drains remaining work, then joins all workers. Error contract: if a
+  /// task threw and no wait() call collected the exception before
+  /// destruction, the destructor logs the error to stderr (and asserts in
+  /// debug builds) — it cannot rethrow. Always call wait() after the last
+  /// submit() if task failures matter to you.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

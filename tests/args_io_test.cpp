@@ -34,7 +34,10 @@ TEST(Args, SpaceAndEqualsForms) {
 TEST(Args, BareFlagHasNoValue) {
   const ArgParser a = parse({"--flag"});
   EXPECT_TRUE(a.has("flag"));
-  EXPECT_THROW(a.get("flag", "x"), Error);
+  // A present-but-valueless flag falls back like an absent one; only an
+  // empty fallback (meaning "value required") throws.
+  EXPECT_EQ(a.get("flag", "x"), "x");
+  EXPECT_THROW(a.get("flag", ""), Error);
 }
 
 TEST(Args, PositionalArguments) {
@@ -42,6 +45,39 @@ TEST(Args, PositionalArguments) {
   ASSERT_EQ(a.positional().size(), 2u);
   EXPECT_EQ(a.positional()[0], "input.txt");
   EXPECT_EQ(a.positional()[1], "output.txt");
+}
+
+TEST(Args, ValuelessFlagKeepsPositional) {
+  // Regression: `--verbose input.txt` used to swallow input.txt as the
+  // value of --verbose. A flag only probed with has() releases the token.
+  const ArgParser a = parse({"--verbose", "input.txt"});
+  EXPECT_TRUE(a.has("verbose"));
+  ASSERT_EQ(a.positional().size(), 1u);
+  EXPECT_EQ(a.positional()[0], "input.txt");
+}
+
+TEST(Args, GetClaimsFollowingToken) {
+  const ArgParser a = parse({"--csv", "out.csv", "extra.txt"});
+  EXPECT_EQ(a.get("csv", ""), "out.csv");
+  ASSERT_EQ(a.positional().size(), 1u);
+  EXPECT_EQ(a.positional()[0], "extra.txt");
+}
+
+TEST(Args, GetAfterHasStillClaimsToken) {
+  // The dtm_cli pattern: if (has("csv")) get("csv", ...). The has() probe
+  // must not permanently strand the token in the positional list.
+  const ArgParser a = parse({"--csv", "out.csv"});
+  EXPECT_TRUE(a.has("csv"));
+  EXPECT_EQ(a.get("csv", ""), "out.csv");
+  EXPECT_TRUE(a.positional().empty());
+}
+
+TEST(Args, EmptyEqualsValueUsesFallback) {
+  // Regression: `--name=` (explicitly empty) with a non-empty fallback used
+  // to throw; it now falls back, and throws only when a value is required.
+  const ArgParser a = parse({"--name="});
+  EXPECT_EQ(a.get("name", "default"), "default");
+  EXPECT_THROW(a.get("name", ""), Error);
 }
 
 TEST(Args, RejectsNonNumeric) {
@@ -61,6 +97,13 @@ TEST(Args, NegativeIntegers) {
   const ArgParser a = parse({"--offset", "-5"});
   // "-5" does not start with "--", so it binds as the value.
   EXPECT_EQ(a.get_int("offset", 0), -5);
+}
+
+TEST(Args, NegativeIntegerAmongPositionals) {
+  const ArgParser a = parse({"--delta", "-3", "file.txt"});
+  EXPECT_EQ(a.get_int("delta", 0), -3);
+  ASSERT_EQ(a.positional().size(), 1u);
+  EXPECT_EQ(a.positional()[0], "file.txt");
 }
 
 // ---------------------------------------------------------------------- io

@@ -1,0 +1,208 @@
+// Unit tests for the telemetry layer (counters, phase timers, snapshots)
+// and the minimal JSON writer backing BENCH_*.json artifacts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/json_writer.hpp"
+#include "util/telemetry.hpp"
+
+namespace dtm {
+namespace {
+
+// ---------------------------------------------------------------- counters
+
+TEST(Telemetry, CountersAccumulate) {
+  TelemetryRegistry reg;
+  TelemetryCounter& c = reg.counter("metric.distance_queries");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(reg.snapshot().counters.at("metric.distance_queries"), 42u);
+}
+
+TEST(Telemetry, CounterHandlesAreStable) {
+  TelemetryRegistry reg;
+  TelemetryCounter& a = reg.counter("x");
+  TelemetryCounter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Telemetry, DisabledCounterIsNoOp) {
+  TelemetryRegistry reg;
+  TelemetryCounter& c = reg.counter("x");
+  c.add(5);
+  reg.set_enabled(false);
+  c.add(100);
+  EXPECT_EQ(c.value(), 5u) << "adds while disabled must not store";
+  reg.set_enabled(true);
+  c.add(1);
+  EXPECT_EQ(c.value(), 6u);
+}
+
+TEST(Telemetry, ResetZeroesCountersButKeepsHandles) {
+  TelemetryRegistry reg;
+  TelemetryCounter& c = reg.counter("x");
+  c.add(9);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);
+  EXPECT_EQ(reg.snapshot().counters.at("x"), 2u);
+}
+
+TEST(Telemetry, CountersAreThreadSafe) {
+  TelemetryRegistry reg;
+  TelemetryCounter& c = reg.counter("shared");
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(Telemetry, GlobalHelpersHitGlobalRegistry) {
+  TelemetryRegistry& g = TelemetryRegistry::global();
+  const std::uint64_t before =
+      g.counter("telemetry_test.global_probe").value();
+  telemetry::count("telemetry_test.global_probe", 3);
+  EXPECT_EQ(g.counter("telemetry_test.global_probe").value(), before + 3);
+}
+
+// ------------------------------------------------------------------ timers
+
+TEST(Telemetry, ScopedTimerRecordsSample) {
+  TelemetryRegistry reg;
+  { ScopedPhaseTimer timer("phase.test", reg); }
+  { ScopedPhaseTimer timer("phase.test", reg); }
+  const TelemetrySnapshot snap = reg.snapshot();
+  ASSERT_TRUE(snap.timers.count("phase.test"));
+  const TimerStats& ts = snap.timers.at("phase.test");
+  EXPECT_EQ(ts.count, 2u);
+  EXPECT_GE(ts.max_ns, ts.min_ns);
+  EXPECT_GE(ts.mean_ns, 0.0);
+  EXPECT_LE(ts.p50_ns, ts.p99_ns);
+}
+
+TEST(Telemetry, TimerStatsMatchKnownSamples) {
+  TelemetryRegistry reg;
+  for (std::uint64_t ns : {100u, 200u, 300u, 400u}) {
+    reg.record_timer("t", ns);
+  }
+  const TimerStats ts = reg.snapshot().timers.at("t");
+  EXPECT_EQ(ts.count, 4u);
+  EXPECT_DOUBLE_EQ(ts.total_ns, 1000.0);
+  EXPECT_DOUBLE_EQ(ts.mean_ns, 250.0);
+  EXPECT_DOUBLE_EQ(ts.min_ns, 100.0);
+  EXPECT_DOUBLE_EQ(ts.max_ns, 400.0);
+  EXPECT_DOUBLE_EQ(ts.p50_ns, 250.0);  // linear interpolation between ranks
+}
+
+TEST(Telemetry, DisabledTimerRecordsNothing) {
+  TelemetryRegistry reg;
+  reg.set_enabled(false);
+  { ScopedPhaseTimer timer("phase.test", reg); }
+  reg.record_timer("direct", 5);
+  EXPECT_TRUE(reg.snapshot().timers.empty());
+}
+
+TEST(Telemetry, EmptyTimersAreOmittedFromSnapshot) {
+  TelemetryRegistry reg;
+  reg.record_timer("t", 1);
+  reg.reset();
+  EXPECT_TRUE(reg.snapshot().timers.empty());
+}
+
+// ---------------------------------------------------------------- snapshot
+
+TEST(Telemetry, SnapshotJsonHasCountersAndTimers) {
+  TelemetryRegistry reg;
+  reg.counter("a.b").add(7);
+  reg.record_timer("phase.x", 1000);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"counters\":{\"a.b\":7}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"phase.x\":{\"count\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99_ns\":"), std::string::npos) << json;
+}
+
+// -------------------------------------------------------------- JsonWriter
+
+TEST(JsonWriter, WritesNestedDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("n").value(64);
+  w.key("ratio").value(4.5);
+  w.key("ok").value(true);
+  w.key("name").value("grid");
+  w.key("missing").null();
+  w.key("tags").begin_array().value("a").value("b").end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"n\":64,\"ratio\":4.5,\"ok\":true,\"name\":\"grid\","
+            "\"missing\":null,\"tags\":[\"a\",\"b\"]}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("q\"q"), "q\\\"q");
+  EXPECT_EQ(JsonWriter::escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonWriter::escape(std::string("ctl\x01", 4)), "ctl\\u0001");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(1.5);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null,1.5]");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("arr").begin_array().end_array();
+  w.key("obj").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"arr\":[],\"obj\":{}}");
+}
+
+TEST(JsonWriter, RejectsMisuse) {
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), Error);  // keys only inside objects
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), Error);  // object values need a key first
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), Error);  // unterminated document
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), Error);  // mismatched close
+  }
+}
+
+}  // namespace
+}  // namespace dtm

@@ -2,12 +2,15 @@
 // ThreadPool, parallel_for, error macros.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -284,6 +287,27 @@ TEST(Csv, EscapeRules) {
   EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
   EXPECT_EQ(CsvWriter::escape("q\"q"), "\"q\"\"q\"");
   EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+  // Regression: a bare CR must be quoted too (RFC 4180), or readers that
+  // accept CR line endings split the record mid-cell.
+  EXPECT_EQ(CsvWriter::escape("cr\rhere"), "\"cr\rhere\"");
+  EXPECT_EQ(CsvWriter::escape("crlf\r\n"), "\"crlf\r\n\"");
+}
+
+TEST(Csv, CarriageReturnRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "dtm_csv_test_cr.csv";
+  {
+    CsvWriter w(path.string(), {"x", "y"});
+    w.write_row({"a\rb", "plain"});
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  EXPECT_EQ(text, "x,y\n\"a\rb\",plain\n");
+  // The CR is inside quotes, so the file still has exactly 2 record breaks.
+  EXPECT_EQ(static_cast<int>(std::count(text.begin(), text.end(), '\n')), 2);
+  std::filesystem::remove(path);
 }
 
 // ---------------------------------------------------------- thread pool
@@ -322,6 +346,33 @@ TEST(ThreadPool, PropagatesTaskException) {
 TEST(ThreadPool, DefaultsToHardwareThreads) {
   ThreadPool pool;
   EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, UncollectedExceptionIsSurfacedAtDestruction) {
+  // Regression: destroying a pool without wait() used to drop the task
+  // exception silently. The destructor now logs it (and asserts in debug,
+  // hence the death-test branch). The sleep gives the worker time to run
+  // the throwing task before the pool is torn down; the destructor also
+  // joins, so the error is recorded either way.
+#ifdef NDEBUG
+  testing::internal::CaptureStderr();
+  {
+    ThreadPool pool(2);
+    pool.submit([] { throw Error("boom-uncollected"); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("never collected"), std::string::npos) << err;
+  EXPECT_NE(err.find("boom-uncollected"), std::string::npos) << err;
+#else
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.submit([] { throw Error("boom-uncollected"); });
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      },
+      "never collected");
+#endif
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {

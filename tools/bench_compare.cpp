@@ -1,0 +1,298 @@
+// bench_compare — diff two BENCH_*.json artifacts and flag regressions.
+//
+//   bench_compare BASELINE.json CANDIDATE.json [--threshold 25]
+//
+// Compares every counter (counted work: queries, probes, legs moved) and
+// every phase-timer mean between the two artifacts. A metric that grew by
+// more than --threshold percent is a regression; the tool prints a table of
+// all changes and exits 1 if any regression was found, 0 otherwise. Counters
+// are deterministic for seeded benches, so they diff exactly; timer means
+// are wall-clock and need a generous threshold.
+//
+// Contains a deliberately minimal recursive-descent JSON reader (objects,
+// arrays, strings, numbers, bools, null) — enough for the dtm-bench-v1
+// schema, no third-party deps.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/args.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using dtm::Error;
+
+// ----------------------------------------------------------- JSON reader
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  const JsonValue* find(const std::string& key) const {
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    DTM_REQUIRE(pos_ == text_.size(), "JSON: trailing garbage at " << pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    DTM_REQUIRE(pos_ < text_.size(), "JSON: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    DTM_REQUIRE(peek() == c, "JSON: expected '" << c << "' at " << pos_);
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect_literal(const std::string& lit) {
+    DTM_REQUIRE(text_.compare(pos_, lit.size(), lit) == 0,
+                "JSON: bad literal at " << pos_);
+    pos_ += lit.size();
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.str = parse_string();
+        return v;
+      }
+      case 't': {
+        expect_literal("true");
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        expect_literal("false");
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        return v;
+      }
+      case 'n': {
+        expect_literal("null");
+        return JsonValue{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (try_consume('}')) return v;
+    for (;;) {
+      const std::string key = (peek(), parse_string());
+      expect(':');
+      v.obj.emplace(key, parse_value());
+      if (try_consume('}')) return v;
+      expect(',');
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (try_consume(']')) return v;
+    for (;;) {
+      v.arr.push_back(parse_value());
+      if (try_consume(']')) return v;
+      expect(',');
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      DTM_REQUIRE(pos_ < text_.size(), "JSON: dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          DTM_REQUIRE(pos_ + 4 <= text_.size(), "JSON: short \\u escape");
+          const unsigned code =
+              static_cast<unsigned>(std::stoul(text_.substr(pos_, 4), nullptr, 16));
+          pos_ += 4;
+          // BENCH artifacts only escape ASCII control chars; reject the rest
+          // rather than mis-decoding surrogate pairs.
+          DTM_REQUIRE(code < 0x80, "JSON: non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: throw Error("JSON: bad escape character");
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    DTM_REQUIRE(pos_ > start, "JSON: expected a value at " << start);
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------- comparison
+
+JsonValue load_artifact(const std::string& path) {
+  std::ifstream in(path);
+  DTM_REQUIRE(in.good(), "cannot open " << path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  JsonValue doc = JsonReader(text).parse();
+  const JsonValue* schema = doc.find("schema");
+  DTM_REQUIRE(schema != nullptr && schema->str == "dtm-bench-v1",
+              path << ": not a dtm-bench-v1 artifact");
+  return doc;
+}
+
+/// Flat metric map: counters by name, timers by "<name>.mean_ns".
+std::map<std::string, double> metrics_of(const JsonValue& doc) {
+  std::map<std::string, double> out;
+  if (const JsonValue* counters = doc.find("counters")) {
+    for (const auto& [name, v] : counters->obj) {
+      out["counter/" + name] = v.number;
+    }
+  }
+  if (const JsonValue* timers = doc.find("timers")) {
+    for (const auto& [name, t] : timers->obj) {
+      if (const JsonValue* mean = t.find("mean_ns")) {
+        out["timer_mean_ns/" + name] = mean->number;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const dtm::ArgParser args(argc, argv);
+    const double threshold_pct =
+        static_cast<double>(args.get_int("threshold", 25));
+    const auto files = args.positional();
+    if (args.has("help") || files.size() != 2) {
+      std::cerr << "usage: bench_compare BASELINE.json CANDIDATE.json "
+                   "[--threshold PCT]\n";
+      return files.size() == 2 ? 0 : 2;
+    }
+    const JsonValue base = load_artifact(files[0]);
+    const JsonValue cand = load_artifact(files[1]);
+    const auto base_m = metrics_of(base);
+    const auto cand_m = metrics_of(cand);
+
+    dtm::Table table({"metric", "baseline", "candidate", "change %", "verdict"});
+    int regressions = 0;
+    for (const auto& [name, old_v] : base_m) {
+      const auto it = cand_m.find(name);
+      if (it == cand_m.end()) {
+        table.add_row(name, old_v, "-", "-", "removed");
+        continue;
+      }
+      const double new_v = it->second;
+      if (old_v <= 0) {
+        table.add_row(name, old_v, new_v, "-", new_v > 0 ? "new work" : "ok");
+        continue;
+      }
+      const double change_pct = (new_v - old_v) / old_v * 100.0;
+      const bool regressed = change_pct > threshold_pct;
+      if (regressed) ++regressions;
+      if (regressed || change_pct < -threshold_pct) {
+        table.add_row(name, old_v, new_v, change_pct,
+                      regressed ? "REGRESSION" : "improved");
+      }
+    }
+    for (const auto& [name, new_v] : cand_m) {
+      if (!base_m.count(name)) table.add_row(name, "-", new_v, "-", "added");
+    }
+    if (table.rows() == 0) {
+      std::cout << "no changes beyond " << threshold_pct << "% threshold ("
+                << base_m.size() << " metrics compared)\n";
+    } else {
+      table.print(std::cout);
+    }
+    if (regressions > 0) {
+      std::cout << regressions << " regression(s) above " << threshold_pct
+                << "%\n";
+      return 1;
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}
