@@ -5,6 +5,8 @@
 // with β while Approach 2's stays roughly flat, so they cross; the auto
 // selector should track the minimum of the two.
 // Series 2 (locality): single-cluster objects -> O(k) regardless of γ.
+#include <atomic>
+
 #include "bench_common.hpp"
 
 #include "core/generators.hpp"
@@ -105,11 +107,18 @@ void sigma_series() {
   const ClusterGraph topo(alpha, beta, static_cast<Weight>(beta));
   const DenseMetric metric(topo.graph);
   for (std::size_t sigma : {1u, 2u, 4u, 8u}) {
-    std::size_t realized = 0;
+    // Trials run concurrently; the realized-spread maximum is accumulated
+    // with an atomic max (commutative, so the reported value is unchanged).
+    std::atomic<std::size_t> realized{0};
     const auto make_inst = [&](std::uint64_t seed) {
       Rng rng(seed);
       Instance inst = generate_cluster_spread(topo, 3 * alpha, k, sigma, rng);
-      realized = std::max(realized, max_cluster_spread(topo, inst));
+      std::size_t spread = max_cluster_spread(topo, inst);
+      std::size_t cur = realized.load(std::memory_order_relaxed);
+      while (spread > cur &&
+             !realized.compare_exchange_weak(cur, spread,
+                                             std::memory_order_relaxed)) {
+      }
       return inst;
     };
     for (auto [name, ap] : {std::pair{"greedy(A1)", ClusterApproach::kGreedy},
@@ -120,7 +129,7 @@ void sigma_series() {
             return make_cluster_sched(topo, ap, seed);
           },
           /*trials=*/5, /*seed0=*/17 * sigma + 1);
-      table.add_row(sigma, realized, name, summary.lower_bound.mean(),
+      table.add_row(sigma, realized.load(), name, summary.lower_bound.mean(),
                     summary.makespan.mean(), summary.ratio.mean());
     }
   }

@@ -26,6 +26,7 @@
 #include "core/validate.hpp"
 #include "lb/bounds.hpp"
 #include "sched/scheduler.hpp"
+#include "trial_runner.hpp"
 #include "util/args.hpp"
 #include "util/json_writer.hpp"
 #include "util/stats.hpp"
@@ -33,50 +34,6 @@
 #include "util/telemetry.hpp"
 
 namespace dtm::benchutil {
-
-struct TrialSummary {
-  Stats makespan;
-  Stats lower_bound;
-  Stats ratio;
-  Stats communication;
-};
-
-/// Runs `trials` seeded repetitions: build instance -> schedule -> validate
-/// -> bound -> accumulate. `make_instance(seed)` returns a fresh instance;
-/// `make_scheduler(seed)` a fresh scheduler. Each trial contributes one
-/// sample to the phase timers (schedulers/bounds add their own phases).
-inline TrialSummary run_trials(
-    const Metric& metric,
-    const std::function<Instance(std::uint64_t)>& make_instance,
-    const std::function<std::unique_ptr<Scheduler>(std::uint64_t)>&
-        make_scheduler,
-    int trials, std::uint64_t seed0) {
-  TrialSummary out;
-  for (int t = 0; t < trials; ++t) {
-    telemetry::count("bench.trials");
-    const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(t);
-    const Instance inst = make_instance(seed);
-    auto sched = make_scheduler(seed);
-    const Schedule s = [&] {
-      ScopedPhaseTimer timer("phase.schedule");
-      return sched->run(inst, metric);
-    }();
-    const ValidationResult vr = [&] {
-      ScopedPhaseTimer timer("phase.validation");
-      return validate(inst, metric, s);
-    }();
-    DTM_REQUIRE(vr.ok, "bench produced infeasible schedule: " << vr.summary());
-    const InstanceBounds lb = compute_bounds(inst, metric);
-    const auto mk = static_cast<double>(s.makespan());
-    const auto bound = static_cast<double>(std::max<Time>(lb.makespan_lb, 1));
-    out.makespan.add(mk);
-    out.lower_bound.add(bound);
-    out.ratio.add(mk / bound);
-    out.communication.add(
-        static_cast<double>(compute_metrics(inst, metric, s).communication));
-  }
-  return out;
-}
 
 /// Prints a section header so bench output reads like the paper's tables.
 inline void print_header(const std::string& experiment,

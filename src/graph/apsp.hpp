@@ -25,6 +25,13 @@ class DistanceMatrix {
     return flat_[static_cast<std::size_t>(u) * n_ + v];
   }
 
+  /// Row of all distances from `u`, for callers that stream many targets
+  /// (batched metric queries, dependency-graph distance fills).
+  const Weight* row(NodeId u) const {
+    DTM_ASSERT(u < n_);
+    return flat_.data() + static_cast<std::size_t>(u) * n_;
+  }
+
   /// Max finite entry (the weighted diameter when the graph is connected).
   Weight max_finite() const;
 

@@ -1,8 +1,10 @@
 #include "graph/metric.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "util/telemetry.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dtm {
 
@@ -21,12 +23,30 @@ TelemetryCounter& path_queries() {
 
 }  // namespace
 
+void Metric::distances(NodeId from, std::span<const NodeId> targets,
+                       Weight* out) const {
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    out[i] = distance(from, targets[i]);
+  }
+}
+
 DenseMetric::DenseMetric(const Graph& g, ThreadPool* pool)
-    : Metric(g), matrix_(compute_apsp(g, pool)) {}
+    : Metric(g),
+      matrix_(compute_apsp(g, pool != nullptr ? pool : &shared_pool())) {}
 
 Weight DenseMetric::distance(NodeId u, NodeId v) const {
   distance_queries().add();
   return matrix_.at(u, v);
+}
+
+void DenseMetric::distances(NodeId from, std::span<const NodeId> targets,
+                            Weight* out) const {
+  distance_queries().add(targets.size());
+  const Weight* row = matrix_.row(from);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    DTM_ASSERT(targets[i] < num_nodes());
+    out[i] = row[targets[i]];
+  }
 }
 
 std::vector<NodeId> DenseMetric::path(NodeId u, NodeId v) const {
@@ -56,6 +76,15 @@ std::vector<NodeId> DenseMetric::path(NodeId u, NodeId v) const {
 }
 
 const ShortestPathTree& LazyMetric::tree(NodeId source) const {
+  {
+    std::shared_lock lock(mu_);
+    const auto it = cache_.find(source);
+    if (it != cache_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  // Double-check: another thread may have filled this source while we
+  // waited for the exclusive lock. The winner runs the search; everyone
+  // else reuses its tree, so the sssp-run counter stays deterministic.
   auto it = cache_.find(source);
   if (it == cache_.end()) {
     telemetry::count("metric.lazy_sssp_runs");
@@ -67,19 +96,45 @@ const ShortestPathTree& LazyMetric::tree(NodeId source) const {
 Weight LazyMetric::distance(NodeId u, NodeId v) const {
   distance_queries().add();
   if (u == v) return 0;
-  // Prefer whichever endpoint is already cached to keep the cache small.
-  if (cache_.count(v) && !cache_.count(u)) std::swap(u, v);
+  {
+    // Prefer whichever endpoint is already cached to keep the cache small.
+    std::shared_lock lock(mu_);
+    const auto iu = cache_.find(u);
+    if (iu != cache_.end()) return iu->second.dist[v];
+    const auto iv = cache_.find(v);
+    if (iv != cache_.end()) return iv->second.dist[u];
+  }
   return tree(u).dist[v];
+}
+
+void LazyMetric::distances(NodeId from, std::span<const NodeId> targets,
+                           Weight* out) const {
+  distance_queries().add(targets.size());
+  const ShortestPathTree& t = tree(from);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    out[i] = t.dist[targets[i]];
+  }
 }
 
 std::vector<NodeId> LazyMetric::path(NodeId u, NodeId v) const {
   path_queries().add();
-  if (cache_.count(v) && !cache_.count(u)) {
-    auto p = tree(v).path_to(u);
-    std::reverse(p.begin(), p.end());
-    return p;
+  {
+    std::shared_lock lock(mu_);
+    const auto iu = cache_.find(u);
+    if (iu != cache_.end()) return iu->second.path_to(v);
+    const auto iv = cache_.find(v);
+    if (iv != cache_.end()) {
+      auto p = iv->second.path_to(u);
+      std::reverse(p.begin(), p.end());
+      return p;
+    }
   }
   return tree(u).path_to(v);
+}
+
+std::size_t LazyMetric::cached_sources() const {
+  std::shared_lock lock(mu_);
+  return cache_.size();
 }
 
 std::unique_ptr<Metric> make_metric(const Graph& g,

@@ -7,11 +7,19 @@
 //    source; right for the large Section-8 lower-bound instances where the
 //    set of queried sources (object locations) is small.
 //
-// Neither implementation is thread-safe for concurrent queries; parallel
-// benchmark trials each construct their own Metric.
+// Thread-safety contract: both implementations support concurrent const
+// queries (distance/distances/path) from any number of threads after
+// construction. DenseMetric is trivially safe (immutable matrix).
+// LazyMetric guards its tree cache with a shared_mutex: hits take a shared
+// lock, a miss takes the exclusive lock and double-checks before filling,
+// and cached trees are immutable and never evicted, so references handed
+// out remain valid for the metric's lifetime. Construction itself is not
+// concurrent with queries.
 #pragma once
 
 #include <memory>
+#include <shared_mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -35,6 +43,13 @@ class Metric {
   /// Shortest distance between u and v (kInfiniteWeight if disconnected).
   virtual Weight distance(NodeId u, NodeId v) const = 0;
 
+  /// Batched form: out[i] = distance(from, targets[i]) for every target.
+  /// Counts targets.size() distance queries, exactly like the loop it
+  /// replaces. DenseMetric streams one matrix row; LazyMetric resolves the
+  /// source tree once for the whole batch.
+  virtual void distances(NodeId from, std::span<const NodeId> targets,
+                         Weight* out) const;
+
   /// One shortest path u -> v as a node sequence (inclusive of endpoints).
   virtual std::vector<NodeId> path(NodeId u, NodeId v) const = 0;
 
@@ -46,10 +61,14 @@ class Metric {
 /// storage needed).
 class DenseMetric final : public Metric {
  public:
-  /// Pass a pool to parallelize the APSP precomputation.
+  /// Precomputes the matrix on `pool`, defaulting to the process-wide
+  /// shared_pool(). (For an explicitly serial computation, call
+  /// compute_apsp(g, nullptr) directly.)
   explicit DenseMetric(const Graph& g, ThreadPool* pool = nullptr);
 
   Weight distance(NodeId u, NodeId v) const override;
+  void distances(NodeId from, std::span<const NodeId> targets,
+                 Weight* out) const override;
   std::vector<NodeId> path(NodeId u, NodeId v) const override;
 
   const DistanceMatrix& matrix() const { return matrix_; }
@@ -59,18 +78,26 @@ class DenseMetric final : public Metric {
 };
 
 /// Per-source shortest-path-tree cache (unbounded; callers control the
-/// number of distinct sources they query).
+/// number of distinct sources they query). Concurrent queries are safe —
+/// see the contract at the top of this header.
 class LazyMetric final : public Metric {
  public:
   explicit LazyMetric(const Graph& g) : Metric(g) {}
 
   Weight distance(NodeId u, NodeId v) const override;
+  void distances(NodeId from, std::span<const NodeId> targets,
+                 Weight* out) const override;
   std::vector<NodeId> path(NodeId u, NodeId v) const override;
 
-  std::size_t cached_sources() const { return cache_.size(); }
+  std::size_t cached_sources() const;
 
  private:
+  /// Returns the cached tree for `source`, filling it under the exclusive
+  /// lock on a miss (double-checked, so racing callers fill once). The
+  /// returned reference is stable: entries are never erased.
   const ShortestPathTree& tree(NodeId source) const;
+
+  mutable std::shared_mutex mu_;
   mutable std::unordered_map<NodeId, ShortestPathTree> cache_;
 };
 

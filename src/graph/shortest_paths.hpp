@@ -4,8 +4,16 @@
 // Objects in the data-flow model always travel along shortest paths (§2.1),
 // so these routines are the routing substrate for both the schedulers and
 // the step-accurate simulator.
+//
+// Repeated searches (the APSP sweep, diameter(), LazyMetric fills) go
+// through DijkstraWorkspace, which owns every scratch buffer a search needs
+// and reuses them across sources, so a sweep performs no per-source
+// allocation. Graphs whose distances fit 32 bits can additionally be
+// repacked into a PackedGraph, a narrower adjacency the workspace scans at
+// half the memory traffic of the Arc-based CSR.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -26,7 +34,88 @@ struct ShortestPathTree {
   std::vector<NodeId> path_to(NodeId target) const;
 };
 
-/// Dijkstra from `source` (binary heap, lazy deletion). O((m+n) log n).
+/// Read-only repack of a Graph for the 32-bit Dijkstra/BFS kernels. The
+/// relaxation loop is memory-bound on the adjacency stream, so the packing
+/// picks the narrowest layout the graph admits:
+///
+///  * kUnit  — targets only (4 B/arc), scanned by BFS.
+///  * kFused — weight and target share one uint32 (4 B/arc), used when
+///             bit_width(n-1) + bit_width(max_weight) <= 32; covers every
+///             experiment topology and streams a quarter of the bytes of
+///             the 16-byte Arc CSR.
+///  * kSplit — separate uint32 targets and weights (8 B/arc) otherwise.
+///
+/// Only valid when fits() holds (every possible path length stays below
+/// 2^32 - 1, the kernel's unreachable sentinel). Immutable after
+/// construction, so one instance can be scanned by any number of
+/// workspaces concurrently.
+class PackedGraph {
+ public:
+  /// True when n * max_weight (a bound on any path length plus one
+  /// relaxation) and the arc count fit the 32-bit kernel. Holds for every
+  /// experiment topology in this repo.
+  static bool fits(const Graph& g);
+
+  /// Requires fits(g).
+  explicit PackedGraph(const Graph& g);
+
+  std::size_t num_nodes() const { return offsets_.size() - 1; }
+  bool unit_weights() const { return layout_ == Layout::kUnit; }
+
+ private:
+  friend class DijkstraWorkspace;
+  enum class Layout { kUnit, kFused, kSplit };
+
+  Layout layout_ = Layout::kUnit;
+  std::uint32_t shift_ = 0;             // kFused: arc = weight << shift_ | to
+  std::vector<std::uint32_t> offsets_;  // size num_nodes+1
+  std::vector<std::uint32_t> arcs_;     // target, or fused weight|target
+  std::vector<std::uint32_t> weights_;  // kSplit only
+};
+
+/// Reusable scratch for single-source searches: an indexed 4-ary min-heap
+/// (position array enables decrease-key, so no lazy-deletion duplicates), a
+/// BFS ring and a 32-bit distance buffer for PackedGraph runs. One
+/// workspace serves any number of sequential run() calls without
+/// reallocating; each concurrent worker owns its own workspace.
+class DijkstraWorkspace {
+ public:
+  /// Single-source search from `source`, writing g.num_nodes() distances to
+  /// `dist` (kInfiniteWeight when unreachable). With a non-null `parent`,
+  /// also writes the predecessor tree. Dispatches BFS on unit-weight
+  /// graphs, Dijkstra otherwise.
+  void run(const Graph& g, NodeId source, Weight* dist,
+           NodeId* parent = nullptr);
+
+  /// Same search through the 32-bit kernel; distances are widened into
+  /// `dist` with the sentinel mapped back to kInfiniteWeight.
+  void run(const PackedGraph& g, NodeId source, Weight* dist);
+
+  /// Forced-algorithm variants (run() picks between them by weight class).
+  void run_dijkstra(const Graph& g, NodeId source, Weight* dist,
+                    NodeId* parent = nullptr);
+  void run_bfs(const Graph& g, NodeId source, Weight* dist,
+               NodeId* parent = nullptr);
+
+ private:
+  template <typename Key>
+  void heap_push(NodeId v, const Key* key);
+  template <typename Key>
+  NodeId heap_pop(const Key* key);
+  template <typename Key>
+  void heap_sift_up(std::size_t i, const Key* key);
+  template <typename Key>
+  void heap_sift_down(const Key* key);
+  void heap_reset(std::size_t n);
+
+  std::vector<NodeId> heap_;        // node ids ordered by key
+  std::vector<std::uint32_t> pos_;  // node -> heap slot, kNoHeapPos if absent
+  std::size_t heap_size_ = 0;
+  std::vector<NodeId> fifo_;            // BFS queue storage
+  std::vector<std::uint32_t> dist32_;   // PackedGraph distance scratch
+};
+
+/// Dijkstra from `source` (indexed 4-ary heap). O((m+n) log n).
 ShortestPathTree dijkstra(const Graph& g, NodeId source);
 
 /// BFS from `source`; requires g.unit_weights(). O(m+n).
@@ -40,7 +129,8 @@ ShortestPathTree single_source(const Graph& g, NodeId source);
 Weight distance(const Graph& g, NodeId u, NodeId v);
 
 /// Weighted diameter: max over reachable pairs of shortest distance.
-/// Requires a connected graph. O(n · SSSP).
+/// Requires a connected graph. Runs the source sweep on the shared pool
+/// with one workspace per block; O(n) memory per worker, no full matrix.
 Weight diameter(const Graph& g);
 
 }  // namespace dtm

@@ -1,0 +1,41 @@
+// Twin detection: partitions the nodes of a graph into classes of
+// structurally equivalent ("twin") vertices.
+//
+// Two nodes u, v are twins when either
+//  * true twins:  u ~ v are adjacent and N(u) \ {v} = N(v) \ {u} with
+//    pairwise equal edge weights (the u-v edge weight is unconstrained), or
+//  * false twins: u, v are non-adjacent and N(u) = N(v) with equal weights.
+//
+// In both cases every x outside {u, v} satisfies d(u, x) = d(v, x): a
+// shortest path leaving one twin can be rerouted through the other at
+// identical cost. APSP therefore only needs one single-source run per
+// class — the other members' rows are copies of the representative's row
+// with two patched entries (their own zero and the distance to the
+// representative). Clique and cluster topologies collapse from n classes
+// to a handful; topologies without twins just pay one O(m log m) scan.
+//
+// Classes are verified exactly (sorted adjacency comparison against the
+// class representative), so hash collisions can only split classes, never
+// merge non-twins.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dtm {
+
+/// Twin partition of a graph's nodes. Every node maps to the smallest-id
+/// member of its class; representatives map to themselves.
+struct TwinClasses {
+  std::vector<NodeId> rep;   // size n, rep[v] == v iff v is a representative
+  std::vector<NodeId> reps;  // the representatives, in increasing id order
+
+  std::size_t num_classes() const { return reps.size(); }
+};
+
+/// Computes the twin partition. Deterministic: classes and representatives
+/// depend only on the graph, not on hash iteration order.
+TwinClasses compute_twin_classes(const Graph& g);
+
+}  // namespace dtm

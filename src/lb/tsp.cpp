@@ -1,7 +1,9 @@
 #include "lb/tsp.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
+#include <span>
 
 namespace dtm {
 
@@ -11,12 +13,13 @@ TerminalDistances::TerminalDistances(const Metric& metric,
   const std::size_t r = terminals_.size();
   DTM_REQUIRE(r >= 1, "TerminalDistances: empty terminal set");
   d_.resize(r * r, 0);
-  for (std::size_t i = 0; i < r; ++i) {
-    for (std::size_t j = i + 1; j < r; ++j) {
-      const Weight d = metric.distance(terminals_[i], terminals_[j]);
-      d_[i * r + j] = d;
-      d_[j * r + i] = d;
-    }
+  // One batched query per source: row i covers the targets after i, the
+  // lower triangle mirrors it (shortest-path distances are symmetric).
+  for (std::size_t i = 0; i + 1 < r; ++i) {
+    const std::span<const NodeId> targets(terminals_.data() + i + 1,
+                                          r - 1 - i);
+    metric.distances(terminals_[i], targets, d_.data() + i * r + i + 1);
+    for (std::size_t j = i + 1; j < r; ++j) d_[j * r + i] = d_[i * r + j];
   }
 }
 
@@ -24,30 +27,37 @@ Weight held_karp_path(const TerminalDistances& td) {
   const std::size_t r = td.size();
   DTM_REQUIRE(r <= 18, "held_karp_path: too many terminals (" << r << ")");
   if (r == 1) return 0;
-  // dp[mask][j]: shortest path starting at 0, visiting exactly the
-  // terminals in mask (mask always contains bit 0), ending at j.
-  const std::size_t full = (std::size_t{1} << r) - 1;
-  std::vector<Weight> dp((full + 1) * r, kInfiniteWeight);
-  dp[(std::size_t{1}) * r + 0] = 0;
-  for (std::size_t mask = 1; mask <= full; ++mask) {
-    if (!(mask & 1)) continue;  // start terminal must be in the set
-    for (std::size_t j = 0; j < r; ++j) {
-      const Weight cur = dp[mask * r + j];
-      if (cur >= kInfiniteWeight || !(mask & (std::size_t{1} << j))) continue;
-      for (std::size_t next = 1; next < r; ++next) {
-        if (mask & (std::size_t{1} << next)) continue;
-        const std::size_t nmask = mask | (std::size_t{1} << next);
-        Weight& slot = dp[nmask * r + next];
-        slot = std::min(slot, cur + td.at(j, next));
+  // Pull DP over compressed masks. Every reachable state contains the start
+  // terminal, so bit 0 is dropped: compressed mask m covers terminals
+  // 1..r-1 and dp[m * r + j] is the shortest path from terminal 0 visiting
+  // exactly {0} ∪ m and ending at j (kInfiniteWeight when j is outside the
+  // set). Pulling dp[m][next] = min_j dp[m \ next][j] + d(next, j) walks a
+  // contiguous dp row and a contiguous distance row with no branches:
+  // predecessors outside the set hold the infinity sentinel and lose the
+  // min naturally. Sums run in uint64 so sentinel + sentinel stays defined;
+  // all operands are non-negative, so unsigned compares agree with signed.
+  const std::size_t num_masks = std::size_t{1} << (r - 1);
+  static thread_local std::vector<std::uint64_t> dp;  // reused across calls
+  dp.assign(num_masks * r, static_cast<std::uint64_t>(kInfiniteWeight));
+  dp[0] = 0;  // empty compressed mask, standing at terminal 0
+  for (std::size_t m = 1; m < num_masks; ++m) {
+    std::uint64_t* row = dp.data() + m * r;
+    for (std::size_t next = 1; next < r; ++next) {
+      const std::size_t bit = std::size_t{1} << (next - 1);
+      if (!(m & bit)) continue;
+      const std::uint64_t* prev = dp.data() + (m ^ bit) * r;
+      std::uint64_t best = static_cast<std::uint64_t>(kInfiniteWeight);
+      for (std::size_t j = 0; j < r; ++j) {
+        best = std::min(
+            best, prev[j] + static_cast<std::uint64_t>(td.at(next, j)));
       }
+      row[next] = best;
     }
   }
-  Weight best = kInfiniteWeight;
-  for (std::size_t j = 0; j < r; ++j) {
-    best = std::min(best, dp[full * r + j]);
-  }
-  DTM_ASSERT(best < kInfiniteWeight);
-  return best;
+  const std::uint64_t* last = dp.data() + (num_masks - 1) * r;
+  std::uint64_t best = *std::min_element(last, last + r);
+  DTM_ASSERT(best < static_cast<std::uint64_t>(kInfiniteWeight));
+  return static_cast<Weight>(best);
 }
 
 Weight mst_weight(const TerminalDistances& td) {

@@ -7,57 +7,34 @@ namespace dtm {
 DependencyGraph build_dependency_graph(const Instance& inst,
                                        const Metric& metric,
                                        std::span<const TxnId> txns) {
-  DependencyGraph h;
-  h.txns.assign(txns.begin(), txns.end());
-  std::sort(h.txns.begin(), h.txns.end());
-  DTM_REQUIRE(std::adjacent_find(h.txns.begin(), h.txns.end()) ==
-                  h.txns.end(),
+  std::vector<TxnId> sorted(txns.begin(), txns.end());
+  std::sort(sorted.begin(), sorted.end());
+  DTM_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                  sorted.end(),
               "dependency graph: duplicate transaction in subset");
-  const std::size_t n = h.txns.size();
-  h.adjacency.assign(n, {});
 
   // Map global TxnId -> local index (kInvalidTxn marks "not in subset").
   std::vector<TxnId> local(inst.num_transactions(), kInvalidTxn);
-  for (std::size_t i = 0; i < n; ++i) local[h.txns[i]] = static_cast<TxnId>(i);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    local[sorted[i]] = static_cast<TxnId>(i);
+  }
 
   // For every object, connect all pairs of its in-subset requesters.
-  // Parallel edges from multiple shared objects are deduplicated below.
-  for (ObjectId o = 0; o < inst.num_objects(); ++o) {
-    std::vector<TxnId> members;
-    for (TxnId t : inst.requesters(o)) {
-      if (local[t] != kInvalidTxn) members.push_back(local[t]);
-    }
-    for (std::size_t i = 0; i < members.size(); ++i) {
-      for (std::size_t j = i + 1; j < members.size(); ++j) {
-        h.adjacency[members[i]].push_back({members[j], 0});
-        h.adjacency[members[j]].push_back({members[i], 0});
-      }
-    }
-  }
-
-  for (std::size_t i = 0; i < n; ++i) {
-    auto& adj = h.adjacency[i];
-    std::sort(adj.begin(), adj.end(),
-              [](const DependencyEdge& a, const DependencyEdge& b) {
-                return a.neighbor < b.neighbor;
-              });
-    adj.erase(std::unique(adj.begin(), adj.end(),
-                          [](const DependencyEdge& a, const DependencyEdge& b) {
-                            return a.neighbor == b.neighbor;
-                          }),
-              adj.end());
-    h.max_degree = std::max(h.max_degree, adj.size());
-  }
-
-  // Fill in distances once per surviving edge.
-  for (std::size_t i = 0; i < n; ++i) {
-    const NodeId ui = inst.txn(h.txns[i]).home;
-    for (DependencyEdge& e : h.adjacency[i]) {
-      e.weight = metric.distance(ui, inst.txn(h.txns[e.neighbor]).home);
-      h.max_edge_weight = std::max(h.max_edge_weight, e.weight);
-    }
-  }
-  return h;
+  return detail::assemble_dependency_csr(
+      inst, metric, std::move(sorted), [&](const auto& emit) {
+        std::vector<TxnId> members;  // reused across objects
+        for (ObjectId o = 0; o < inst.num_objects(); ++o) {
+          members.clear();
+          for (TxnId t : inst.requesters(o)) {
+            if (local[t] != kInvalidTxn) members.push_back(local[t]);
+          }
+          for (std::size_t i = 0; i < members.size(); ++i) {
+            for (std::size_t j = i + 1; j < members.size(); ++j) {
+              emit(members[i], members[j]);
+            }
+          }
+        }
+      });
 }
 
 DependencyGraph build_dependency_graph(const Instance& inst,

@@ -20,7 +20,7 @@ std::vector<std::size_t> coloring_sequence(const DependencyGraph& h,
     case ColoringOrder::kByDegreeDesc:
       std::stable_sort(seq.begin(), seq.end(),
                        [&](std::size_t a, std::size_t b) {
-                         return h.adjacency[a].size() > h.adjacency[b].size();
+                         return h.degree(a) > h.degree(b);
                        });
       break;
     case ColoringOrder::kRandom: {
@@ -40,7 +40,7 @@ Time pigeonhole_color(const DependencyGraph& h,
                       const std::vector<Time>& color, std::size_t u,
                       Weight hmax) {
   std::vector<char> used(h.max_degree + 1, 0);
-  for (const DependencyEdge& e : h.adjacency[u]) {
+  for (const DependencyEdge& e : h.neighbors(u)) {
     const Time c = color[e.neighbor];
     if (c == 0) continue;  // neighbor not colored yet
     const Time slot = (c - 1) / hmax;
@@ -60,7 +60,7 @@ Time pigeonhole_color(const DependencyGraph& h,
 Time first_fit_color(const DependencyGraph& h, const std::vector<Time>& color,
                      std::size_t u) {
   std::vector<std::pair<Time, Time>> forbidden;
-  for (const DependencyEdge& e : h.adjacency[u]) {
+  for (const DependencyEdge& e : h.neighbors(u)) {
     const Time c = color[e.neighbor];
     if (c == 0) continue;
     forbidden.emplace_back(c - e.weight + 1, c + e.weight - 1);
@@ -90,7 +90,7 @@ ColoredSubset greedy_color(const Instance& inst, const Metric& metric,
   const Weight hmax = std::max<Weight>(h.max_edge_weight, 1);
   std::uint64_t probes = 0;  // neighbors examined while picking colors
   for (std::size_t u : coloring_sequence(h, order, rng)) {
-    probes += h.adjacency[u].size();
+    probes += h.degree(u);
     const Time c = rule == ColoringRule::kPaperPigeonhole
                        ? pigeonhole_color(h, out.local_time, u, hmax)
                        : first_fit_color(h, out.local_time, u);

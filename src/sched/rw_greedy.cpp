@@ -15,40 +15,23 @@ namespace {
 DependencyGraph build_rw_dependency_graph(const Instance& inst,
                                           const WriteSets& writes,
                                           const Metric& metric) {
-  DependencyGraph h;
-  h.txns.resize(inst.num_transactions());
-  std::iota(h.txns.begin(), h.txns.end(), 0);
-  h.adjacency.assign(h.txns.size(), {});
-  for (ObjectId o = 0; o < inst.num_objects(); ++o) {
-    const auto& reqs = inst.requesters(o);
-    for (std::size_t i = 0; i < reqs.size(); ++i) {
-      for (std::size_t j = i + 1; j < reqs.size(); ++j) {
-        if (is_write(writes, reqs[i], o) || is_write(writes, reqs[j], o)) {
-          h.adjacency[reqs[i]].push_back({reqs[j], 0});
-          h.adjacency[reqs[j]].push_back({reqs[i], 0});
+  std::vector<TxnId> all(inst.num_transactions());
+  std::iota(all.begin(), all.end(), 0);
+  // Local index == global TxnId here (all transactions, ascending).
+  return detail::assemble_dependency_csr(
+      inst, metric, std::move(all), [&](const auto& emit) {
+        for (ObjectId o = 0; o < inst.num_objects(); ++o) {
+          const auto& reqs = inst.requesters(o);
+          for (std::size_t i = 0; i < reqs.size(); ++i) {
+            for (std::size_t j = i + 1; j < reqs.size(); ++j) {
+              if (is_write(writes, reqs[i], o) ||
+                  is_write(writes, reqs[j], o)) {
+                emit(reqs[i], reqs[j]);
+              }
+            }
+          }
         }
-      }
-    }
-  }
-  for (std::size_t i = 0; i < h.txns.size(); ++i) {
-    auto& adj = h.adjacency[i];
-    std::sort(adj.begin(), adj.end(),
-              [](const DependencyEdge& a, const DependencyEdge& b) {
-                return a.neighbor < b.neighbor;
-              });
-    adj.erase(std::unique(adj.begin(), adj.end(),
-                          [](const DependencyEdge& a, const DependencyEdge& b) {
-                            return a.neighbor == b.neighbor;
-                          }),
-              adj.end());
-    h.max_degree = std::max(h.max_degree, adj.size());
-    const NodeId ui = inst.txn(h.txns[i]).home;
-    for (DependencyEdge& e : adj) {
-      e.weight = metric.distance(ui, inst.txn(h.txns[e.neighbor]).home);
-      h.max_edge_weight = std::max(h.max_edge_weight, e.weight);
-    }
-  }
-  return h;
+      });
 }
 
 /// First-fit / pigeonhole coloring of a prebuilt dependency graph (the
@@ -59,7 +42,7 @@ std::vector<Time> color_graph(const DependencyGraph& h, ColoringRule rule) {
   for (std::size_t u = 0; u < h.size(); ++u) {
     if (rule == ColoringRule::kPaperPigeonhole) {
       std::vector<char> used(h.max_degree + 1, 0);
-      for (const DependencyEdge& e : h.adjacency[u]) {
+      for (const DependencyEdge& e : h.neighbors(u)) {
         const Time c = color[e.neighbor];
         if (c == 0) continue;
         const Time slot = (c - 1) / hmax;
@@ -75,7 +58,7 @@ std::vector<Time> color_graph(const DependencyGraph& h, ColoringRule rule) {
       }
     } else {
       std::vector<std::pair<Time, Time>> forbidden;
-      for (const DependencyEdge& e : h.adjacency[u]) {
+      for (const DependencyEdge& e : h.neighbors(u)) {
         const Time c = color[e.neighbor];
         if (c == 0) continue;
         forbidden.emplace_back(c - e.weight + 1, c + e.weight - 1);

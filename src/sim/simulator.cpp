@@ -57,7 +57,11 @@ SimResult simulate(const Instance& inst, const Metric& metric,
 
   const std::size_t w = inst.num_objects();
 
-  auto record_leg = [&](Time depart, ObjectId o, NodeId from, NodeId to) {
+  // `leg_distance` is the caller's already-computed metric.distance(from,
+  // to) — passing it in keeps the arrival event from re-querying the
+  // metric (which double-counted metric.distance_queries per leg).
+  auto record_leg = [&](Time depart, ObjectId o, NodeId from, NodeId to,
+                        Weight leg_distance) {
     if (!opts.record_events) return;
     r.events.push_back({depart, SimEvent::Kind::kDepart, o, kInvalidTxn, from});
     if (opts.record_hops && from != to) {
@@ -68,8 +72,8 @@ SimResult simulate(const Instance& inst, const Metric& metric,
         r.events.push_back({clock, SimEvent::Kind::kHop, o, kInvalidTxn, path[i]});
       }
     }
-    r.events.push_back({depart + metric.distance(from, to),
-                        SimEvent::Kind::kArrive, o, kInvalidTxn, to});
+    r.events.push_back({depart + leg_distance, SimEvent::Kind::kArrive, o,
+                        kInvalidTxn, to});
   };
 
   // Initialize object motion: leg 0 from the object's home.
@@ -88,7 +92,7 @@ SimResult simulate(const Instance& inst, const Metric& metric,
       obj[o].leg_distance = metric.distance(obj[o].at, target);
       r.object_travel += obj[o].leg_distance;
       legs_moved.add();
-      record_leg(0, o, obj[o].at, target);
+      record_leg(0, o, obj[o].at, target, obj[o].leg_distance);
     }
   }
 
@@ -158,7 +162,7 @@ SimResult simulate(const Instance& inst, const Metric& metric,
         st.leg_distance = metric.distance(st.at, target);
         r.object_travel += st.leg_distance;
         legs_moved.add();
-        record_leg(now, o, st.at, target);
+        record_leg(now, o, st.at, target, st.leg_distance);
         if (st.leg_distance == 0) {
           st.in_transit = false;
           st.at = target;

@@ -1,39 +1,104 @@
 // parallel_for: block-partitioned parallel loop over [0, n) built on
-// ThreadPool. Used for APSP (one Dijkstra per source) and benchmark trial
-// sweeps. The body must be safe to call concurrently for distinct indices.
+// ThreadPool. Used for APSP (one Dijkstra per source), per-object bound
+// fan-out and benchmark trial sweeps. The body must be safe to call
+// concurrently for distinct indices.
+//
+// Unlike a submit()+wait() loop, each call tracks its own completion state:
+// blocks are claimed from an atomic cursor by the pool workers AND by the
+// calling thread, which chews through blocks while it waits. A loop issued
+// from inside a pool task therefore always completes even when every worker
+// is busy (the caller just runs all blocks itself), so nested fan-out —
+// parallel trials that each fan out per-object bounds — cannot deadlock,
+// and concurrent loops on one pool do not observe each other's completion.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
 
 #include "util/thread_pool.hpp"
 
 namespace dtm {
 
-/// Runs body(i) for every i in [0, n) across the pool's workers.
-/// Blocks until all iterations complete; rethrows the first task exception.
-template <typename Body>
-void parallel_for(ThreadPool& pool, std::size_t n, const Body& body) {
+/// Runs body(begin, end) once per block of a block partition of [0, n),
+/// across the pool's workers plus the calling thread. Blocks until every
+/// block completed; rethrows the first body exception. Blocks are sized so
+/// there are at most 4 per worker (slack for uneven iteration costs without
+/// drowning in queue overhead).
+template <typename BlockBody>
+void parallel_for_blocks(ThreadPool& pool, std::size_t n,
+                         const BlockBody& body) {
   if (n == 0) return;
   const std::size_t workers = pool.thread_count();
-  // At most 4 blocks per worker: enough slack for uneven iteration costs
-  // without drowning in queue overhead.
-  const std::size_t blocks = std::min(n, workers * 4);
-  const std::size_t chunk = (n + blocks - 1) / blocks;
-  for (std::size_t begin = 0; begin < n; begin += chunk) {
-    const std::size_t end = std::min(begin + chunk, n);
-    pool.submit([begin, end, &body] {
-      for (std::size_t i = begin; i < end; ++i) body(i);
-    });
+  if (workers == 0) {  // degenerate pool: the caller runs the whole loop
+    body(std::size_t{0}, n);
+    return;
   }
-  pool.wait();
+  const std::size_t blocks = std::min(n, (workers + 1) * 4);
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+  const std::size_t num_blocks = (n + chunk - 1) / chunk;
+  if (num_blocks == 1) {
+    body(std::size_t{0}, n);
+    return;
+  }
+
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::size_t num_blocks = 0;
+    std::size_t chunk = 0;
+    std::size_t n = 0;
+    std::mutex mu;
+    std::condition_variable all_done;
+    std::size_t done = 0;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+  state->num_blocks = num_blocks;
+  state->chunk = chunk;
+  state->n = n;
+
+  // Claims and runs blocks until the cursor is exhausted. Helpers that the
+  // pool schedules late (or after the loop already finished) find no block
+  // and return without touching `body`, so the dangling reference a
+  // straggler closure holds once this frame returns is never used.
+  auto drain = [state, &body] {
+    for (;;) {
+      const std::size_t b = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (b >= state->num_blocks) return;
+      const std::size_t begin = b * state->chunk;
+      const std::size_t end = std::min(begin + state->chunk, state->n);
+      std::exception_ptr err;
+      try {
+        body(begin, end);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard lock(state->mu);
+      if (err && !state->error) state->error = err;
+      if (++state->done == state->num_blocks) state->all_done.notify_all();
+    }
+  };
+
+  const std::size_t helpers = std::min(workers, num_blocks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) pool.submit(drain);
+  drain();  // the caller participates instead of idling
+  std::unique_lock lock(state->mu);
+  state->all_done.wait(lock, [&] { return state->done == state->num_blocks; });
+  if (state->error) std::rethrow_exception(state->error);
 }
 
-/// Convenience overload constructing a transient pool (for one-shot loops).
+/// Runs body(i) for every i in [0, n) across the pool's workers.
+/// Blocks until all iterations complete; rethrows the first body exception.
 template <typename Body>
-void parallel_for(std::size_t n, const Body& body) {
-  ThreadPool pool;
-  parallel_for(pool, n, body);
+void parallel_for(ThreadPool& pool, std::size_t n, const Body& body) {
+  parallel_for_blocks(pool, n,
+                      [&body](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) body(i);
+                      });
 }
 
 }  // namespace dtm

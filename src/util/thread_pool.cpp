@@ -4,11 +4,15 @@
 #include <cassert>
 #include <cstdio>
 
+#include "util/telemetry.hpp"
+
 namespace dtm {
 
 ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (threads == kPerCore) {
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    threads = hw - 1;  // the caller is the remaining lane
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
@@ -60,6 +64,18 @@ void ThreadPool::wait() {
     first_error_ = nullptr;
     std::rethrow_exception(err);
   }
+}
+
+ThreadPool& shared_pool() {
+  // The one-shot counter records the worker count in bench artifacts so a
+  // recorded run documents how wide its parallel phases ran.
+  static ThreadPool pool;
+  static const bool recorded = [] {
+    telemetry::count("pool.workers", pool.thread_count());
+    return true;
+  }();
+  (void)recorded;
+  return pool;
 }
 
 void ThreadPool::worker_loop() {

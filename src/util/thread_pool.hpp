@@ -20,9 +20,17 @@ namespace dtm {
 
 class ThreadPool {
  public:
-  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
-  /// (at least 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  /// Default worker count: one per hardware thread MINUS one, because the
+  /// thread driving a parallel_for_blocks loop participates as a full lane.
+  /// On a single-core machine this is zero workers — a valid degenerate
+  /// pool; parallel_for runs the whole loop in the caller instead of
+  /// oversubscribing the core.
+  static constexpr std::size_t kPerCore = static_cast<std::size_t>(-1);
+
+  /// Spawns `threads` workers. `threads == 0` creates a pool with no
+  /// workers: only callers that drain work themselves (parallel_for_blocks)
+  /// make progress, so never plain submit()+wait() against an empty pool.
+  explicit ThreadPool(std::size_t threads = kPerCore);
 
   /// Drains remaining work, then joins all workers. Error contract: if a
   /// task threw and no wait() call collected the exception before
@@ -55,5 +63,15 @@ class ThreadPool {
   bool shutdown_ = false;
   std::exception_ptr first_error_;
 };
+
+/// Process-wide pool shared by the APSP sweep, diameter(), compute_bounds()
+/// and the benchmark trial runner. Lazily constructed on first use with one
+/// worker per hardware thread and kept alive for the life of the process,
+/// so hot paths never pay a pool spawn. Thread-safe.
+///
+/// Work routed through parallel_for (util/parallel_for.hpp) may be issued
+/// from inside a pool task: the submitting thread participates in its own
+/// loop, so nested fan-out cannot deadlock the pool.
+ThreadPool& shared_pool();
 
 }  // namespace dtm

@@ -1,0 +1,142 @@
+// Equivalence tests for the two-pass CSR dependency-graph assembler: the
+// CSR form must encode exactly the conflict relation a naive set-based
+// construction produces, with distances matching the metric, on random
+// instances and on subset restrictions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/generators.hpp"
+#include "graph/metric.hpp"
+#include "graph/topologies/clique.hpp"
+#include "graph/topologies/grid.hpp"
+#include "sched/dependency_graph.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+namespace {
+
+/// Reference conflict relation: neighbor sets per local index, built the
+/// obvious way (no CSR, no batching).
+std::vector<std::set<TxnId>> naive_conflicts(const Instance& inst,
+                                             const std::vector<TxnId>& txns) {
+  std::vector<TxnId> local(inst.num_transactions(), kInvalidTxn);
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    local[txns[i]] = static_cast<TxnId>(i);
+  }
+  std::vector<std::set<TxnId>> adj(txns.size());
+  for (ObjectId o = 0; o < inst.num_objects(); ++o) {
+    std::vector<TxnId> members;
+    for (TxnId t : inst.requesters(o)) {
+      if (local[t] != kInvalidTxn) members.push_back(local[t]);
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        adj[members[i]].insert(members[j]);
+        adj[members[j]].insert(members[i]);
+      }
+    }
+  }
+  return adj;
+}
+
+void expect_matches_naive(const Instance& inst, const Metric& metric,
+                          const DependencyGraph& h,
+                          const std::vector<TxnId>& txns) {
+  ASSERT_EQ(h.txns, txns);
+  ASSERT_EQ(h.offsets.size(), txns.size() + 1);
+  const auto adj = naive_conflicts(inst, txns);
+  std::size_t expect_max_degree = 0;
+  Weight expect_max_weight = 0;
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    const auto nbrs = h.neighbors(i);
+    ASSERT_EQ(nbrs.size(), adj[i].size()) << "local node " << i;
+    ASSERT_EQ(h.degree(i), adj[i].size());
+    // CSR neighbor lists come out sorted and deduplicated.
+    std::size_t k = 0;
+    for (TxnId expected : adj[i]) {  // std::set iterates ascending
+      EXPECT_EQ(nbrs[k].neighbor, expected);
+      EXPECT_EQ(nbrs[k].weight,
+                metric.distance(inst.txn(txns[i]).home,
+                                inst.txn(txns[expected]).home));
+      expect_max_weight = std::max(expect_max_weight, nbrs[k].weight);
+      ++k;
+    }
+    expect_max_degree = std::max(expect_max_degree, adj[i].size());
+  }
+  EXPECT_EQ(h.max_degree, expect_max_degree);
+  EXPECT_EQ(h.max_edge_weight, expect_max_weight);
+}
+
+TEST(DependencyGraphCsr, MatchesNaiveOnRandomInstances) {
+  const Grid topo(6);
+  const DenseMetric metric(topo.graph);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const Instance inst = generate_uniform(
+        topo.graph, {.num_objects = 12, .objects_per_txn = 3}, rng);
+    std::vector<TxnId> all(inst.num_transactions());
+    for (TxnId t = 0; t < all.size(); ++t) all[t] = t;
+    expect_matches_naive(inst, metric, build_dependency_graph(inst, metric),
+                         all);
+  }
+}
+
+TEST(DependencyGraphCsr, MatchesNaiveOnSubsets) {
+  const Clique topo(24);
+  const DenseMetric metric(topo.graph);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const Instance inst = generate_uniform(
+        topo.graph, {.num_objects = 6, .objects_per_txn = 2}, rng);
+    // Every third transaction, so plenty of requester pairs fall outside
+    // the subset and must be skipped.
+    std::vector<TxnId> subset;
+    for (TxnId t = 0; t < inst.num_transactions(); t += 3) {
+      subset.push_back(t);
+    }
+    expect_matches_naive(inst, metric,
+                         build_dependency_graph(inst, metric, subset), subset);
+  }
+}
+
+TEST(DependencyGraphCsr, ParallelEdgesCollapseToOne) {
+  // Two transactions sharing several objects must still produce a single
+  // CSR edge each way.
+  const Clique topo(4);
+  const DenseMetric metric(topo.graph);
+  InstanceBuilder b(topo.graph, /*num_objects=*/3);
+  b.set_object_home(0, 0);
+  b.set_object_home(1, 1);
+  b.set_object_home(2, 2);
+  b.add_transaction(1, {0, 1, 2});
+  b.add_transaction(2, {0, 1, 2});
+  const Instance inst = b.build();
+  const DependencyGraph h = build_dependency_graph(inst, metric);
+  EXPECT_EQ(h.degree(0), 1u);
+  EXPECT_EQ(h.degree(1), 1u);
+  EXPECT_EQ(h.edges.size(), 2u);
+  EXPECT_EQ(h.neighbors(0)[0].neighbor, 1u);
+  EXPECT_EQ(h.neighbors(1)[0].neighbor, 0u);
+}
+
+TEST(DependencyGraphCsr, EmptyAndConflictFreeInstances) {
+  const Clique topo(4);
+  const DenseMetric metric(topo.graph);
+  InstanceBuilder b(topo.graph, /*num_objects=*/2);
+  b.set_object_home(1, 1);
+  b.add_transaction(0, {0});
+  b.add_transaction(3, {1});
+  const Instance inst = b.build();
+  const DependencyGraph h = build_dependency_graph(inst, metric);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.edges.size(), 0u);
+  EXPECT_EQ(h.max_degree, 0u);
+  EXPECT_EQ(h.max_edge_weight, 0);
+  EXPECT_EQ(h.weighted_degree(), 0);
+}
+
+}  // namespace
+}  // namespace dtm

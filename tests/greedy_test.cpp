@@ -34,10 +34,10 @@ TEST(DependencyGraph, EdgesFollowSharedObjects) {
   const DenseMetric m(c.graph);
   const DependencyGraph h = build_dependency_graph(inst, m);
   ASSERT_EQ(h.size(), 4u);
-  EXPECT_EQ(h.adjacency[0].size(), 1u);  // T0 - T1
-  EXPECT_EQ(h.adjacency[1].size(), 2u);  // T1 - T0, T1 - T2
-  EXPECT_EQ(h.adjacency[2].size(), 1u);
-  EXPECT_TRUE(h.adjacency[3].empty());
+  EXPECT_EQ(h.degree(0), 1u);  // T0 - T1
+  EXPECT_EQ(h.degree(1), 2u);  // T1 - T0, T1 - T2
+  EXPECT_EQ(h.degree(2), 1u);
+  EXPECT_EQ(h.degree(3), 0u);
   EXPECT_EQ(h.max_degree, 2u);
   EXPECT_EQ(h.max_edge_weight, 1);
   EXPECT_EQ(h.weighted_degree(), 2);
@@ -51,8 +51,8 @@ TEST(DependencyGraph, SubsetRestriction) {
   const DependencyGraph h = build_dependency_graph(inst, m, subset);
   EXPECT_EQ(h.size(), 2u);
   // T0 and T2 share nothing: no edges.
-  EXPECT_TRUE(h.adjacency[0].empty());
-  EXPECT_TRUE(h.adjacency[1].empty());
+  EXPECT_EQ(h.degree(0), 0u);
+  EXPECT_EQ(h.degree(1), 0u);
 }
 
 TEST(DependencyGraph, MultiObjectConflictsDeduplicated) {
@@ -63,7 +63,7 @@ TEST(DependencyGraph, MultiObjectConflictsDeduplicated) {
   const Instance inst = b.build();
   const DenseMetric m(c.graph);
   const DependencyGraph h = build_dependency_graph(inst, m);
-  EXPECT_EQ(h.adjacency[0].size(), 1u);
+  EXPECT_EQ(h.degree(0), 1u);
 }
 
 TEST(DependencyGraph, WeightsAreDistances) {
@@ -95,7 +95,7 @@ void expect_valid_coloring(const Instance& inst, const Metric& m,
                            const ColoredSubset& cs) {
   const DependencyGraph h = build_dependency_graph(inst, m, cs.txns);
   for (std::size_t i = 0; i < h.size(); ++i) {
-    for (const DependencyEdge& e : h.adjacency[i]) {
+    for (const DependencyEdge& e : h.neighbors(i)) {
       const Time a = cs.local_time[i];
       const Time b = cs.local_time[e.neighbor];
       EXPECT_GE(std::abs(a - b), e.weight)

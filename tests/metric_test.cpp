@@ -12,7 +12,13 @@
 #include "graph/topologies/hypercube.hpp"
 #include "graph/topologies/line.hpp"
 #include "graph/topologies/star.hpp"
+#include "graph/twins.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
 
 namespace dtm {
 namespace {
@@ -127,6 +133,97 @@ TEST(ParallelApsp, PoolMatchesSequential) {
       EXPECT_EQ(seq.at(u, v), par.at(u, v));
     }
   }
+}
+
+TEST(TwinClasses, CliqueCollapsesToOneClass) {
+  const TwinClasses t = compute_twin_classes(Clique(12).graph);
+  EXPECT_EQ(t.num_classes(), 1u);
+  EXPECT_EQ(t.reps[0], 0u);
+  for (NodeId v = 0; v < 12; ++v) EXPECT_EQ(t.rep[v], 0u);
+}
+
+TEST(TwinClasses, LongLineHasNoTwins) {
+  // Line(5): every node has a distinct neighborhood, so nothing merges.
+  const TwinClasses t = compute_twin_classes(Line(5).graph);
+  EXPECT_EQ(t.num_classes(), 5u);
+}
+
+TEST(TwinClasses, ThreeNodeLineEndpointsAreFalseTwins) {
+  // 0-1-2: the endpoints share neighborhood {1} and are non-adjacent.
+  const TwinClasses t = compute_twin_classes(Line(3).graph);
+  EXPECT_EQ(t.num_classes(), 2u);
+  EXPECT_EQ(t.rep[0], 0u);
+  EXPECT_EQ(t.rep[2], 0u);
+  EXPECT_EQ(t.rep[1], 1u);
+}
+
+TEST(Apsp, RandomWeightedGraphsMatchPerSourceDijkstra) {
+  // The twin reduction must be invisible: APSP on arbitrary random graphs
+  // equals one Dijkstra per source.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed);
+    const std::size_t n = 8 + seed;
+    GraphBuilder b(n);
+    for (NodeId v = 1; v < n; ++v) {  // random spanning tree keeps it connected
+      b.add_edge(v, static_cast<NodeId>(rng.uniform(0, v - 1)),
+                 1 + static_cast<Weight>(rng.uniform(0, 8)));
+    }
+    for (std::size_t e = 0; e < n; ++e) {
+      const auto u = static_cast<NodeId>(rng.index(n));
+      const auto v = static_cast<NodeId>(rng.index(n));
+      if (u != v) {
+        b.add_edge(u, v, 1 + static_cast<Weight>(rng.uniform(0, 8)));
+      }
+    }
+    const Graph g = b.build();
+    const DistanceMatrix m = compute_apsp(g);
+    for (NodeId u = 0; u < n; ++u) {
+      const ShortestPathTree t = single_source(g, u);
+      for (NodeId v = 0; v < n; ++v) {
+        ASSERT_EQ(m.at(u, v), t.dist[v]) << "seed " << seed << " pair "
+                                         << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(LazyMetric, ConcurrentQueriesAreConsistent) {
+  // Hammer one LazyMetric from several threads with overlapping sources
+  // (forcing racing cache fills) and check every answer against the dense
+  // matrix. Run under TSan this also proves the locking is sound.
+  const ClusterGraph topo(4, 6, 5);
+  const Graph& g = topo.graph;
+  const DenseMetric dense(g);
+  const LazyMetric lazy(g);
+  const std::size_t n = g.num_nodes();
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(1000 + static_cast<std::uint64_t>(w));
+      std::vector<NodeId> targets(4);
+      std::vector<Weight> got(4);
+      for (int i = 0; i < 400; ++i) {
+        const auto u = static_cast<NodeId>(rng.index(n));
+        const auto v = static_cast<NodeId>(rng.index(n));
+        if (lazy.distance(u, v) != dense.distance(u, v)) {
+          mismatches.fetch_add(1);
+        }
+        for (NodeId& t : targets) {
+          t = static_cast<NodeId>(rng.index(n));
+        }
+        lazy.distances(u, targets, got.data());
+        for (std::size_t k = 0; k < targets.size(); ++k) {
+          if (got[k] != dense.distance(u, targets[k])) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_LE(lazy.cached_sources(), n);
 }
 
 }  // namespace

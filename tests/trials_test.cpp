@@ -1,0 +1,76 @@
+// Determinism of the parallel benchmark trial runner: the summary a bench
+// records (and therefore every series row) must be bit-identical no matter
+// how many pool workers ran the trials.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bench/trial_runner.hpp"
+#include "core/generators.hpp"
+#include "graph/metric.hpp"
+#include "graph/topologies/clique.hpp"
+#include "sched/greedy.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dtm {
+namespace {
+
+benchutil::TrialSummary run_with(const Metric& metric, const Graph& g,
+                                 ThreadPool& pool) {
+  return benchutil::run_trials(
+      metric,
+      [&](std::uint64_t seed) {
+        Rng rng(seed);
+        return generate_uniform(
+            g, {.num_objects = 8, .objects_per_txn = 2}, rng);
+      },
+      [](std::uint64_t seed) -> std::unique_ptr<Scheduler> {
+        GreedyOptions opts;
+        opts.seed = seed;
+        return std::make_unique<GreedyScheduler>(opts);
+      },
+      /*trials=*/8, /*seed0=*/321, &pool);
+}
+
+TEST(TrialRunner, SummaryIndependentOfWorkerCount) {
+  const Clique topo(16);
+  const DenseMetric metric(topo.graph);
+  ThreadPool serial(0);  // caller runs every trial in order
+  ThreadPool narrow(1);
+  ThreadPool wide(4);
+  const auto a = run_with(metric, topo.graph, serial);
+  const auto b = run_with(metric, topo.graph, narrow);
+  const auto c = run_with(metric, topo.graph, wide);
+  // Samples are accumulated in trial order, so the full sample vectors —
+  // not just the aggregates — must match bit-for-bit.
+  EXPECT_EQ(a.makespan.samples(), b.makespan.samples());
+  EXPECT_EQ(a.makespan.samples(), c.makespan.samples());
+  EXPECT_EQ(a.lower_bound.samples(), c.lower_bound.samples());
+  EXPECT_EQ(a.ratio.samples(), c.ratio.samples());
+  EXPECT_EQ(a.communication.samples(), c.communication.samples());
+  ASSERT_EQ(a.makespan.count(), 8u);
+}
+
+TEST(TrialRunner, ZeroTrialsYieldEmptySummary) {
+  const Clique topo(4);
+  const DenseMetric metric(topo.graph);
+  ThreadPool pool(1);
+  const auto s = run_with(metric, topo.graph, pool);
+  (void)s;
+  const auto empty = benchutil::run_trials(
+      metric,
+      [&](std::uint64_t) {
+        Rng rng(1);
+        return generate_uniform(topo.graph, {.num_objects = 2}, rng);
+      },
+      [](std::uint64_t) -> std::unique_ptr<Scheduler> {
+        return std::make_unique<GreedyScheduler>(GreedyOptions{});
+      },
+      /*trials=*/0, /*seed0=*/0, &pool);
+  EXPECT_TRUE(empty.makespan.empty());
+  EXPECT_TRUE(empty.ratio.empty());
+}
+
+}  // namespace
+}  // namespace dtm

@@ -343,9 +343,14 @@ TEST(ThreadPool, PropagatesTaskException) {
   EXPECT_EQ(count.load(), 1);
 }
 
-TEST(ThreadPool, DefaultsToHardwareThreads) {
+TEST(ThreadPool, DefaultLeavesOneLaneForTheCaller) {
+  // Default sizing spawns hardware_concurrency - 1 workers: the thread
+  // driving parallel_for_blocks participates as the remaining lane. On a
+  // single-core machine that is a zero-worker pool.
   ThreadPool pool;
-  EXPECT_GE(pool.thread_count(), 1u);
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  EXPECT_EQ(pool.thread_count(), hw - 1);
 }
 
 TEST(ThreadPool, UncollectedExceptionIsSurfacedAtDestruction) {
@@ -393,6 +398,17 @@ TEST(ParallelFor, HandlesZeroAndOne) {
     one.fetch_add(1);
   });
   EXPECT_EQ(one.load(), 1);
+}
+
+TEST(ParallelFor, RunsSeriallyOnZeroWorkerPool) {
+  // A degenerate pool (single-core default) must still cover every index:
+  // the caller runs the whole loop itself.
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  std::vector<int> hits(100, 0);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
 }
 
 TEST(ParallelFor, PropagatesBodyException) {

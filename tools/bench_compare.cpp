@@ -2,16 +2,23 @@
 //
 //   bench_compare BASELINE.json CANDIDATE.json [--threshold 25]
 //
-// Compares every counter (counted work: queries, probes, legs moved) and
-// every phase-timer mean between the two artifacts. A metric that grew by
-// more than --threshold percent is a regression; the tool prints a table of
-// all changes and exits 1 if any regression was found, 0 otherwise. Counters
-// are deterministic for seeded benches, so they diff exactly; timer means
-// are wall-clock and need a generous threshold.
+// Three layers of comparison:
+//  - series rows (the paper-style result tables) are seeded and
+//    deterministic, so they must match CELL-FOR-CELL; any difference is a
+//    regression regardless of threshold — it means the candidate computes
+//    different answers, not just at a different speed;
+//  - counters (counted work: queries, probes, legs moved) and phase-timer
+//    means/totals diff by percentage: growth beyond --threshold percent is
+//    a regression. Counters are deterministic for seeded benches; timers
+//    are wall-clock and need a generous threshold.
+//  - environment-describing counters (pool.workers) are reported as "info"
+//    but never flagged — they describe the machine, not the work.
+// Exits 1 if any regression was found, 0 otherwise.
 //
 // Contains a deliberately minimal recursive-descent JSON reader (objects,
 // arrays, strings, numbers, bools, null) — enough for the dtm-bench-v1
 // schema, no third-party deps.
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -219,7 +226,7 @@ JsonValue load_artifact(const std::string& path) {
   return doc;
 }
 
-/// Flat metric map: counters by name, timers by "<name>.mean_ns".
+/// Flat metric map: counters by name, timers by mean and total.
 std::map<std::string, double> metrics_of(const JsonValue& doc) {
   std::map<std::string, double> out;
   if (const JsonValue* counters = doc.find("counters")) {
@@ -232,9 +239,87 @@ std::map<std::string, double> metrics_of(const JsonValue& doc) {
       if (const JsonValue* mean = t.find("mean_ns")) {
         out["timer_mean_ns/" + name] = mean->number;
       }
+      if (const JsonValue* total = t.find("total_ns")) {
+        out["timer_total_ns/" + name] = total->number;
+      }
     }
   }
   return out;
+}
+
+/// Environment-describing metrics: reported on change, never a regression.
+bool informational(const std::string& name) {
+  return name == "counter/pool.workers";
+}
+
+/// Exact cell-for-cell diff of the `series` arrays. Returns the number of
+/// mismatching tables, printing one line per mismatch. Series rows come
+/// from seeded deterministic runs, so ANY difference means the candidate
+/// produces different results (schedules, bounds, ratios) — a correctness
+/// regression no threshold can excuse.
+int diff_series(const JsonValue& base, const JsonValue& cand) {
+  auto tables_of = [](const JsonValue& doc) {
+    std::map<std::string, const JsonValue*> out;
+    if (const JsonValue* series = doc.find("series")) {
+      for (const JsonValue& t : series->arr) {
+        if (const JsonValue* name = t.find("name")) out[name->str] = &t;
+      }
+    }
+    return out;
+  };
+  auto row_text = [](const JsonValue& row) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < row.arr.size(); ++i) {
+      out += (i ? ", " : "") + row.arr[i].str;
+    }
+    return out + "]";
+  };
+  const auto base_t = tables_of(base);
+  const auto cand_t = tables_of(cand);
+  int mismatches = 0;
+  for (const auto& [name, bt] : base_t) {
+    const auto it = cand_t.find(name);
+    if (it == cand_t.end()) {
+      std::cout << "series '" << name << "': missing from candidate\n";
+      ++mismatches;
+      continue;
+    }
+    const JsonValue* brows = bt->find("rows");
+    const JsonValue* crows = it->second->find("rows");
+    const std::size_t bn = brows ? brows->arr.size() : 0;
+    const std::size_t cn = crows ? crows->arr.size() : 0;
+    if (bn != cn) {
+      std::cout << "series '" << name << "': " << bn << " baseline rows vs "
+                << cn << " candidate rows\n";
+      ++mismatches;
+      continue;
+    }
+    for (std::size_t i = 0; i < bn; ++i) {
+      const JsonValue& br = brows->arr[i];
+      const JsonValue& cr = crows->arr[i];
+      const bool same =
+          br.arr.size() == cr.arr.size() &&
+          std::equal(br.arr.begin(), br.arr.end(), cr.arr.begin(),
+                     [](const JsonValue& a, const JsonValue& b) {
+                       return a.str == b.str;
+                     });
+      if (!same) {
+        std::cout << "series '" << name << "' row " << i
+                  << " differs:\n  baseline:  " << row_text(br)
+                  << "\n  candidate: " << row_text(cr) << "\n";
+        ++mismatches;
+        break;  // one row per table is enough to flag it
+      }
+    }
+  }
+  for (const auto& [name, ct] : cand_t) {
+    (void)ct;
+    if (!base_t.count(name)) {
+      std::cout << "series '" << name << "': added in candidate\n";
+      ++mismatches;
+    }
+  }
+  return mismatches;
 }
 
 }  // namespace
@@ -255,8 +340,9 @@ int main(int argc, char** argv) {
     const auto base_m = metrics_of(base);
     const auto cand_m = metrics_of(cand);
 
+    int regressions = diff_series(base, cand);
+
     dtm::Table table({"metric", "baseline", "candidate", "change %", "verdict"});
-    int regressions = 0;
     for (const auto& [name, old_v] : base_m) {
       const auto it = cand_m.find(name);
       if (it == cand_m.end()) {
@@ -264,6 +350,10 @@ int main(int argc, char** argv) {
         continue;
       }
       const double new_v = it->second;
+      if (informational(name)) {
+        if (new_v != old_v) table.add_row(name, old_v, new_v, "-", "info");
+        continue;
+      }
       if (old_v <= 0) {
         table.add_row(name, old_v, new_v, "-", new_v > 0 ? "new work" : "ok");
         continue;
