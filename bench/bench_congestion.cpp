@@ -15,10 +15,7 @@
 #include "graph/topologies/grid.hpp"
 #include "graph/topologies/line.hpp"
 #include "graph/topologies/star.hpp"
-#include "sched/baseline.hpp"
-#include "sched/grid.hpp"
-#include "sched/line.hpp"
-#include "sched/star.hpp"
+#include "sched/registry.hpp"
 #include "sim/capacity_sim.hpp"
 #include "sim/congestion.hpp"
 #include "util/rng.hpp"
@@ -27,14 +24,17 @@ namespace {
 
 using namespace dtm;
 
+// Schedulers come from the registry by name (default seed 1, matching the
+// hand-constructed options this bench used before the registry existed).
 void measure(const char* topology, const Graph& g, const Metric& metric,
              const std::function<Instance(std::uint64_t)>& make_inst,
-             const std::function<std::unique_ptr<Scheduler>()>& make_sched,
-             Table& table) {
+             const std::string& sched_name, Table& table) {
   Stats makespan, peak, flow;
+  std::string display_name;
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     const Instance inst = make_inst(seed);
-    auto sched = make_sched();
+    auto sched = make_scheduler_for(inst, sched_name);
+    display_name = sched->name();
     const Schedule s = sched->run(inst, metric);
     DTM_REQUIRE(validate(inst, metric, s).ok, "infeasible schedule");
     const CongestionReport r = analyze_congestion(inst, metric, s);
@@ -42,8 +42,7 @@ void measure(const char* topology, const Graph& g, const Metric& metric,
     peak.add(static_cast<double>(r.peak_load));
     flow.add(static_cast<double>(r.total_flow));
   }
-  auto sched = make_sched();
-  table.add_row(topology, sched->name(), makespan.mean(), peak.mean(),
+  table.add_row(topology, display_name, makespan.mean(), peak.mean(),
                 peak.max(), flow.mean());
   (void)g;
 }
@@ -63,15 +62,8 @@ void print_series() {
       return generate_uniform(topo.graph,
                               {.num_objects = 12, .objects_per_txn = 2}, rng);
     };
-    measure("line64", topo.graph, metric, make_inst,
-            [&] { return std::make_unique<LineScheduler>(topo); }, table);
-    measure("line64", topo.graph, metric, make_inst,
-            [&] {
-              GreedyOptions o;
-              o.rule = ColoringRule::kFirstFit;
-              return std::make_unique<GreedyScheduler>(o);
-            },
-            table);
+    measure("line64", topo.graph, metric, make_inst, "line", table);
+    measure("line64", topo.graph, metric, make_inst, "greedy-ff", table);
   }
   {
     const Grid topo(12);
@@ -81,21 +73,9 @@ void print_series() {
       return generate_uniform(topo.graph,
                               {.num_objects = 12, .objects_per_txn = 2}, rng);
     };
-    measure("grid12", topo.graph, metric, make_inst,
-            [&] { return std::make_unique<GridScheduler>(topo); }, table);
-    measure("grid12", topo.graph, metric, make_inst,
-            [&] {
-              GreedyOptions o;
-              o.rule = ColoringRule::kFirstFit;
-              return std::make_unique<GreedyScheduler>(o);
-            },
-            table);
-    measure("grid12", topo.graph, metric, make_inst,
-            [&] {
-              return std::make_unique<OrderScheduler>(
-                  OrderOptions{false, true, 1});
-            },
-            table);
+    measure("grid12", topo.graph, metric, make_inst, "grid", table);
+    measure("grid12", topo.graph, metric, make_inst, "greedy-ff", table);
+    measure("grid12", topo.graph, metric, make_inst, "serial", table);
   }
   {
     const Star topo(8, 8);
@@ -105,15 +85,8 @@ void print_series() {
       return generate_uniform(topo.graph,
                               {.num_objects = 12, .objects_per_txn = 2}, rng);
     };
-    measure("star8x8", topo.graph, metric, make_inst,
-            [&] { return std::make_unique<StarScheduler>(topo); }, table);
-    measure("star8x8", topo.graph, metric, make_inst,
-            [&] {
-              GreedyOptions o;
-              o.rule = ColoringRule::kFirstFit;
-              return std::make_unique<GreedyScheduler>(o);
-            },
-            table);
+    measure("star8x8", topo.graph, metric, make_inst, "star", table);
+    measure("star8x8", topo.graph, metric, make_inst, "greedy-ff", table);
   }
   benchutil::emit_table("main", table);
 }
@@ -128,12 +101,13 @@ void capacity_series() {
   auto run_capacities = [&](const char* topology, const Graph& g,
                             const Metric& metric,
                             const std::function<Instance(std::uint64_t)>& mk,
-                            const std::function<std::unique_ptr<Scheduler>()>&
-                                make_sched) {
+                            const std::string& sched_name) {
     Stats unbounded, c4, c2, c1;
+    std::string display_name;
     for (std::uint64_t seed = 1; seed <= 5; ++seed) {
       const Instance inst = mk(seed);
-      auto sched = make_sched();
+      auto sched = make_scheduler_for(inst, sched_name);
+      display_name = sched->name();
       const Schedule s = sched->run(inst, metric);
       for (auto [cap, stats] : {std::pair<std::size_t, Stats*>{0, &unbounded},
                                 {4, &c4},
@@ -145,8 +119,7 @@ void capacity_series() {
         stats->add(static_cast<double>(r.makespan));
       }
     }
-    auto sched = make_sched();
-    table.add_row(topology, sched->name(), unbounded.mean(), c4.mean(),
+    table.add_row(topology, display_name, unbounded.mean(), c4.mean(),
                   c2.mean(), c1.mean(), c1.mean() / unbounded.mean());
     (void)g;
   };
@@ -158,13 +131,8 @@ void capacity_series() {
       return generate_uniform(topo.graph,
                               {.num_objects = 12, .objects_per_txn = 2}, rng);
     };
-    run_capacities("grid12", topo.graph, metric, mk,
-                   [&] { return std::make_unique<GridScheduler>(topo); });
-    run_capacities("grid12", topo.graph, metric, mk, [&] {
-      GreedyOptions o;
-      o.rule = ColoringRule::kFirstFit;
-      return std::make_unique<GreedyScheduler>(o);
-    });
+    run_capacities("grid12", topo.graph, metric, mk, "grid");
+    run_capacities("grid12", topo.graph, metric, mk, "greedy-ff");
   }
   {
     const Star topo(8, 8);
@@ -174,13 +142,8 @@ void capacity_series() {
       return generate_uniform(topo.graph,
                               {.num_objects = 12, .objects_per_txn = 2}, rng);
     };
-    run_capacities("star8x8", topo.graph, metric, mk,
-                   [&] { return std::make_unique<StarScheduler>(topo); });
-    run_capacities("star8x8", topo.graph, metric, mk, [&] {
-      GreedyOptions o;
-      o.rule = ColoringRule::kFirstFit;
-      return std::make_unique<GreedyScheduler>(o);
-    });
+    run_capacities("star8x8", topo.graph, metric, mk, "star");
+    run_capacities("star8x8", topo.graph, metric, mk, "greedy-ff");
   }
   benchutil::emit_table("capacity", table);
 }
@@ -191,10 +154,8 @@ void BM_CongestionAnalysis(benchmark::State& state) {
   Rng rng(5);
   const Instance inst = generate_uniform(
       topo.graph, {.num_objects = 16, .objects_per_txn = 2}, rng);
-  GreedyOptions o;
-  o.rule = ColoringRule::kFirstFit;
-  GreedyScheduler sched(o);
-  const Schedule s = sched.run(inst, metric);
+  auto sched = make_scheduler("greedy-ff");
+  const Schedule s = sched->run(inst, metric);
   for (auto _ : state) {
     const CongestionReport r = analyze_congestion(inst, metric, s);
     benchmark::DoNotOptimize(r.peak_load);

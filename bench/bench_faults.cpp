@@ -1,0 +1,229 @@
+// E18 — fault injection & recovery: executing the paper's schedules on an
+// unreliable substrate (sim/faults.hpp) and measuring how far the realized
+// makespan inflates past the planned one.
+//
+// Series: fault rate x topology (line / grid / cluster / clique) x
+// scheduler. Per cell we plan the schedule on the reliable model, then
+// re-execute it with transient link outages at rate p and transfer loss at
+// rate p/4 under the default recovery policy (retransmit with backoff,
+// reroute around down links, degraded commits). Expected shape: inflation
+// grows monotonically in p — the fault oracle's afflicted sets are nested
+// across rates (sim/faults.hpp) — and topologies with route diversity
+// (grid, clique) recover by rerouting while the line can only stall.
+//
+// --smoke runs a reduced rate sweep with fewer trials; the recorded
+// BENCH_faults.json baseline is the smoke artifact so CI can re-run and
+// bench_compare it cheaply.
+#include "bench_common.hpp"
+
+#include "core/generators.hpp"
+#include "graph/topologies/clique.hpp"
+#include "graph/topologies/cluster.hpp"
+#include "graph/topologies/grid.hpp"
+#include "graph/topologies/line.hpp"
+#include "sched/registry.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dtm;
+
+struct CellStats {
+  Stats planned, realized, inflation, injected, reroutes, degraded;
+};
+
+// Plans on the reliable model, executes on the faulty substrate. The fault
+// seed equals the trial seed, so a given trial sees nested fault sets
+// across rates (the monotonicity the series is meant to show).
+CellStats run_cell(const Graph& g, const Metric& metric,
+                   const std::string& sched_name, double rate, int trials) {
+  CellStats cs;
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(trials);
+       ++seed) {
+    Rng rng(seed);
+    const Instance inst = generate_uniform(
+        g, {.num_objects = 12, .objects_per_txn = 2}, rng);
+    auto sched = make_scheduler_for(inst, sched_name, seed);
+    const Schedule s = sched->run(inst, metric);
+    DTM_REQUIRE(validate(inst, metric, s).ok, "infeasible schedule");
+
+    FaultConfig fc;
+    fc.link_outage_rate = rate;
+    fc.loss_rate = rate / 4;
+    fc.seed = seed;
+    const FaultModel model(fc);
+    SimOptions opts;
+    opts.faults = &model;
+    const SimResult r = simulate(inst, metric, s, opts);
+    DTM_REQUIRE(r.ok, "fault run failed: " << r.summary());
+    DTM_REQUIRE(r.realized_makespan >= r.planned_makespan,
+                "realized makespan below planned");
+    cs.planned.add(static_cast<double>(r.planned_makespan));
+    cs.realized.add(static_cast<double>(r.realized_makespan));
+    cs.inflation.add(static_cast<double>(r.realized_makespan) /
+                     static_cast<double>(std::max<Time>(r.planned_makespan, 1)));
+    cs.injected.add(static_cast<double>(r.faults.injected));
+    cs.reroutes.add(static_cast<double>(r.faults.reroutes));
+    cs.degraded.add(static_cast<double>(r.faults.degraded_commits));
+  }
+  return cs;
+}
+
+void print_series(bool smoke) {
+  benchutil::print_header(
+      "E18 — fault injection & recovery",
+      "planned schedules re-executed with link outages (rate p) and "
+      "transfer loss (p/4); inflation = realized/planned is monotone in p "
+      "(nested fault sets)");
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{0.0, 0.05, 0.2}
+            : std::vector<double>{0.0, 0.02, 0.05, 0.1, 0.2};
+  const int trials = smoke ? 2 : 5;
+
+  const Line line(64);
+  const Grid grid(8);
+  const ClusterGraph cluster(4, 8, 8);
+  const Clique clique(16);
+  const DenseMetric line_m(line.graph);
+  const DenseMetric grid_m(grid.graph);
+  const DenseMetric cluster_m(cluster.graph);
+  const DenseMetric clique_m(clique.graph);
+  const struct {
+    const char* label;
+    const Graph* g;
+    const Metric* m;
+    std::vector<std::string> scheds;
+  } cases[] = {
+      {"line64", &line.graph, &line_m, {"line", "greedy-ff"}},
+      {"grid8", &grid.graph, &grid_m, {"grid", "greedy-ff"}},
+      {"cluster4x8", &cluster.graph, &cluster_m, {"cluster", "greedy-ff"}},
+      {"clique16", &clique.graph, &clique_m, {"greedy-paper", "greedy-ff"}},
+  };
+
+  Table table({"topology", "scheduler", "rate", "planned(mean)",
+               "realized(mean)", "inflation(mean)", "injected(mean)",
+               "reroutes(mean)", "degraded(mean)"});
+  for (const auto& c : cases) {
+    for (const std::string& sched_name : c.scheds) {
+      double prev_realized = 0;
+      for (const double rate : rates) {
+        const CellStats cs = run_cell(*c.g, *c.m, sched_name, rate, trials);
+        // The line has no alternate routes, so recovery is stall-only and
+        // the nesting argument makes even the mean strictly well-ordered.
+        if (std::string(c.label) == "line64") {
+          DTM_REQUIRE(cs.realized.mean() >= prev_realized,
+                      "line inflation not monotone at rate " << rate);
+        }
+        prev_realized = cs.realized.mean();
+        table.add_row(c.label, sched_name, rate, cs.planned.mean(),
+                      cs.realized.mean(), cs.inflation.mean(),
+                      cs.injected.mean(), cs.reroutes.mean(),
+                      cs.degraded.mean());
+      }
+    }
+  }
+  benchutil::emit_table("main", table);
+}
+
+// Recovery-policy ablation at a fixed fault rate: rerouting versus
+// stall-only waiting on topologies with and without route diversity.
+void policy_series(bool smoke) {
+  benchutil::print_header(
+      "E18b — recovery policy ablation (rate 0.1)",
+      "reroute-around-outages vs stall-until-repair; rerouting only helps "
+      "where alternate routes exist");
+  const int trials = smoke ? 2 : 5;
+  const Grid grid(8);
+  const ClusterGraph cluster(4, 8, 8);
+  const DenseMetric grid_m(grid.graph);
+  const DenseMetric cluster_m(cluster.graph);
+  const struct {
+    const char* label;
+    const Graph* g;
+    const Metric* m;
+    const char* sched;
+  } cases[] = {
+      {"grid8", &grid.graph, &grid_m, "grid"},
+      {"cluster4x8", &cluster.graph, &cluster_m, "cluster"},
+  };
+
+  Table table({"topology", "policy", "realized(mean)", "inflation(mean)",
+               "reroutes(mean)", "stall steps(mean)"});
+  for (const auto& c : cases) {
+    for (const bool reroute : {true, false}) {
+      Stats realized, inflation, reroutes, stalls;
+      for (std::uint64_t seed = 1;
+           seed <= static_cast<std::uint64_t>(trials); ++seed) {
+        Rng rng(seed);
+        const Instance inst = generate_uniform(
+            *c.g, {.num_objects = 12, .objects_per_txn = 2}, rng);
+        auto sched = make_scheduler_for(inst, c.sched, seed);
+        const Schedule s = sched->run(inst, *c.m);
+        FaultConfig fc;
+        fc.link_outage_rate = 0.1;
+        fc.seed = seed;
+        const FaultModel model(fc);
+        SimOptions opts;
+        opts.faults = &model;
+        opts.recovery.reroute = reroute;
+        const SimResult r = simulate(inst, *c.m, s, opts);
+        DTM_REQUIRE(r.ok, "fault run failed: " << r.summary());
+        realized.add(static_cast<double>(r.realized_makespan));
+        inflation.add(
+            static_cast<double>(r.realized_makespan) /
+            static_cast<double>(std::max<Time>(r.planned_makespan, 1)));
+        reroutes.add(static_cast<double>(r.faults.reroutes));
+        stalls.add(static_cast<double>(r.faults.stall_steps));
+      }
+      table.add_row(c.label, reroute ? "reroute" : "stall", realized.mean(),
+                    inflation.mean(), reroutes.mean(), stalls.mean());
+    }
+  }
+  benchutil::emit_table("policy", table);
+}
+
+void BM_FaultSim(benchmark::State& state) {
+  const Grid topo(8);
+  const DenseMetric metric(topo.graph);
+  Rng rng(3);
+  const Instance inst = generate_uniform(
+      topo.graph, {.num_objects = 12, .objects_per_txn = 2}, rng);
+  auto sched = make_scheduler_for(inst, "grid");
+  const Schedule s = sched->run(inst, metric);
+  FaultConfig fc;
+  fc.link_outage_rate = 0.01 * static_cast<double>(state.range(0));
+  fc.loss_rate = fc.link_outage_rate / 4;
+  const FaultModel model(fc);
+  SimOptions opts;
+  opts.faults = &model;
+  for (auto _ : state) {
+    const SimResult r = simulate(inst, metric, s, opts);
+    benchmark::DoNotOptimize(r.realized_makespan);
+  }
+}
+BENCHMARK(BM_FaultSim)->Arg(0)->Arg(5)->Arg(20)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip --smoke before BenchMain / google-benchmark see the flag.
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  dtm::benchutil::BenchMain bm("faults", argc, argv);
+  print_series(smoke);
+  policy_series(smoke);
+  bm.write_artifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -10,8 +10,8 @@
 
 #include "core/generators.hpp"
 #include "graph/topologies/grid.hpp"
-#include "sched/greedy.hpp"
 #include "sched/grid.hpp"
+#include "sched/registry.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -31,12 +31,17 @@ void print_series() {
     for (std::size_t w : {8u, 32u}) {
       for (std::size_t k : {1u, 2u, 3u}) {
         if (k > w) continue;
-        GridScheduler probe(topo);  // to report the chosen side
+        // Probe run to report the chosen subgrid side: the registry wrapper
+        // exposes the concrete scheduler through underlying().
+        std::size_t probe_side = 0;
         {
           Rng rng(1);
           const Instance inst = generate_uniform(
               topo.graph, {.num_objects = w, .objects_per_txn = k}, rng);
-          (void)probe.run(inst, metric);
+          auto probe = make_scheduler_for(inst, "grid");
+          (void)probe->run(inst, metric);
+          probe_side = dynamic_cast<const GridScheduler&>(*probe->underlying())
+                           .last_subgrid_side();
         }
         const auto summary = benchutil::run_trials(
             metric,
@@ -45,10 +50,12 @@ void print_series() {
               return generate_uniform(
                   topo.graph, {.num_objects = w, .objects_per_txn = k}, rng);
             },
-            [&](std::uint64_t) { return std::make_unique<GridScheduler>(topo); },
+            [&](const Instance& inst, std::uint64_t seed) {
+              return make_scheduler_for(inst, "grid", seed);
+            },
             /*trials=*/5, /*seed0=*/70 * n + 5 * w + k);
         const double m = static_cast<double>(std::max(n * 1, w));
-        table.add_row(n, w, k, probe.last_subgrid_side(),
+        table.add_row(n, w, k, probe_side,
                       summary.lower_bound.mean(), summary.makespan.mean(),
                       summary.ratio.mean(),
                       static_cast<double>(k) * std::log(std::max(m, 2.0)));
@@ -66,8 +73,8 @@ void BM_GridScheduler(benchmark::State& state) {
   const Instance inst = generate_uniform(
       topo.graph, {.num_objects = 16, .objects_per_txn = 2}, rng);
   for (auto _ : state) {
-    GridScheduler sched(topo);
-    const Schedule s = sched.run(inst, metric);
+    auto sched = make_scheduler_for(inst, "grid");
+    const Schedule s = sched->run(inst, metric);
     benchmark::DoNotOptimize(s.commit_time.data());
   }
 }

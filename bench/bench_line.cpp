@@ -8,8 +8,7 @@
 
 #include "core/generators.hpp"
 #include "graph/topologies/line.hpp"
-#include "sched/greedy.hpp"
-#include "sched/line.hpp"
+#include "sched/registry.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -35,17 +34,17 @@ void print_series() {
       };
       const auto line_summary = benchutil::run_trials(
           metric, make_inst,
-          [&](std::uint64_t) { return std::make_unique<LineScheduler>(topo); },
+          [&](const Instance& inst, std::uint64_t seed) {
+            return make_scheduler_for(inst, "line", seed);
+          },
           /*trials=*/5, /*seed0=*/90 * n + k);
       table.add_row(n, k, "line(§4)", line_summary.lower_bound.mean(),
                     line_summary.makespan.mean(), line_summary.ratio.mean(),
                     line_summary.ratio.max(), "4ℓ");
       const auto greedy_summary = benchutil::run_trials(
           metric, make_inst,
-          [&](std::uint64_t seed) {
-            GreedyOptions opts;
-            opts.seed = seed;
-            return std::make_unique<GreedyScheduler>(opts);
+          [&](const Instance& inst, std::uint64_t seed) {
+            return make_scheduler_for(inst, "greedy-paper", seed);
           },
           /*trials=*/5, /*seed0=*/90 * n + k);
       table.add_row(n, k, "greedy(§2.3)", greedy_summary.lower_bound.mean(),
@@ -65,8 +64,8 @@ void BM_LineScheduler(benchmark::State& state) {
   const Instance inst = generate_uniform(
       topo.graph, {.num_objects = 16, .objects_per_txn = 2}, rng);
   for (auto _ : state) {
-    LineScheduler sched(topo);
-    const Schedule s = sched.run(inst, metric);
+    auto sched = make_scheduler_for(inst, "line");
+    const Schedule s = sched->run(inst, metric);
     benchmark::DoNotOptimize(s.commit_time.data());
   }
 }

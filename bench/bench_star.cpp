@@ -9,8 +9,7 @@
 
 #include "core/generators.hpp"
 #include "graph/topologies/star.hpp"
-#include "sched/baseline.hpp"
-#include "sched/star.hpp"
+#include "sched/registry.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -34,18 +33,16 @@ void print_series() {
                                   {.num_objects = 12, .objects_per_txn = k},
                                   rng);
         };
-        for (auto [name, strat] :
-             {std::pair{"greedy", StarStrategy::kGreedy},
-              std::pair{"random", StarStrategy::kRandomized},
-              std::pair{"auto", StarStrategy::kAuto},
-              std::pair{"best(min)", StarStrategy::kBest}}) {
+        for (auto [name, sched_name] :
+             {std::pair{"greedy", "star-greedy"},
+              std::pair{"random", "star-random"},
+              std::pair{"auto", "star"},
+              std::pair{"best(min)", "star-best"}}) {
           const auto summary = benchutil::run_trials(
               metric, make_inst,
-              [&, strat = strat](std::uint64_t seed) {
-                StarSchedulerOptions opts;
-                opts.strategy = strat;
-                opts.seed = seed;
-                return std::make_unique<StarScheduler>(topo, opts);
+              [&, sched_name = sched_name](const Instance& inst,
+                                           std::uint64_t seed) {
+                return make_scheduler_for(inst, sched_name, seed);
               },
               /*trials=*/5, /*seed0=*/100 * alpha + beta + k);
           table.add_row(alpha, beta, topo.num_segments(), k, name,
@@ -55,9 +52,8 @@ void print_series() {
         // Naive serial baseline for contrast.
         const auto serial = benchutil::run_trials(
             metric, make_inst,
-            [&](std::uint64_t seed) {
-              return std::make_unique<OrderScheduler>(
-                  OrderOptions{false, true, seed});
+            [&](const Instance& inst, std::uint64_t seed) {
+              return make_scheduler_for(inst, "serial", seed);
             },
             /*trials=*/5, /*seed0=*/100 * alpha + beta + k);
         table.add_row(alpha, beta, topo.num_segments(), k, "serial-baseline",
@@ -87,19 +83,16 @@ void locality_series() {
       };
       const auto star_summary = benchutil::run_trials(
           metric, make_inst,
-          [&](std::uint64_t seed) {
-            StarSchedulerOptions opts;
-            opts.seed = seed;
-            return std::make_unique<StarScheduler>(topo, opts);
+          [&](const Instance& inst, std::uint64_t seed) {
+            return make_scheduler_for(inst, "star", seed);
           },
           /*trials=*/5, /*seed0=*/7 * alpha + beta);
       table.add_row(alpha, beta, "star(§7)", star_summary.lower_bound.mean(),
                     star_summary.makespan.mean(), star_summary.ratio.mean());
       const auto serial_summary = benchutil::run_trials(
           metric, make_inst,
-          [&](std::uint64_t seed) {
-            return std::make_unique<OrderScheduler>(
-                OrderOptions{false, true, seed});
+          [&](const Instance& inst, std::uint64_t seed) {
+            return make_scheduler_for(inst, "serial", seed);
           },
           /*trials=*/5, /*seed0=*/7 * alpha + beta);
       table.add_row(alpha, beta, "serial", serial_summary.lower_bound.mean(),
@@ -118,8 +111,8 @@ void BM_StarScheduler(benchmark::State& state) {
   const Instance inst = generate_uniform(
       topo.graph, {.num_objects = 12, .objects_per_txn = 2}, rng);
   for (auto _ : state) {
-    StarScheduler sched(topo);
-    const Schedule s = sched.run(inst, metric);
+    auto sched = make_scheduler_for(inst, "star");
+    const Schedule s = sched->run(inst, metric);
     benchmark::DoNotOptimize(s.commit_time.data());
   }
 }

@@ -34,16 +34,20 @@ struct TrialSummary {
 
 /// Runs `trials` seeded repetitions: build instance -> schedule -> validate
 /// -> bound -> accumulate. `make_instance(seed)` returns a fresh instance;
-/// `make_scheduler(seed)` a fresh scheduler. Trials run concurrently on the
-/// shared pool, so both callbacks must be safe to call from several threads
-/// at once (derive everything from the seed; synchronize any mutable
-/// capture). Each trial contributes one sample to the phase timers
-/// (schedulers/bounds add their own phases). `pool` overrides the shared
-/// pool (tests use it to prove worker count cannot change the summary).
+/// `make_scheduler(inst, seed)` a fresh scheduler for that instance (the
+/// instance-aware signature exists so benches can route through
+/// `make_scheduler_for`, which recovers topology-specific schedulers from
+/// the instance's graph). Trials run concurrently on the shared pool, so
+/// both callbacks must be safe to call from several threads at once (derive
+/// everything from the seed; synchronize any mutable capture). Each trial
+/// contributes one sample to the phase timers (schedulers/bounds add their
+/// own phases). `pool` overrides the shared pool (tests use it to prove
+/// worker count cannot change the summary).
 inline TrialSummary run_trials(
     const Metric& metric,
     const std::function<Instance(std::uint64_t)>& make_instance,
-    const std::function<std::unique_ptr<Scheduler>(std::uint64_t)>&
+    const std::function<std::unique_ptr<Scheduler>(const Instance&,
+                                                   std::uint64_t)>&
         make_scheduler,
     int trials, std::uint64_t seed0, ThreadPool* pool = nullptr) {
   struct TrialResult {
@@ -58,7 +62,7 @@ inline TrialSummary run_trials(
     telemetry::count("bench.trials");
     const std::uint64_t seed = seed0 + t;
     const Instance inst = make_instance(seed);
-    auto sched = make_scheduler(seed);
+    auto sched = make_scheduler(inst, seed);
     const Schedule s = [&] {
       ScopedPhaseTimer timer("phase.schedule");
       return sched->run(inst, metric);
@@ -82,6 +86,24 @@ inline TrialSummary run_trials(
     out.communication.add(r.communication);
   }
   return out;
+}
+
+/// Seed-only factory convenience for schedulers that don't need the
+/// instance (topology-agnostic algorithms constructed by options).
+inline TrialSummary run_trials(
+    const Metric& metric,
+    const std::function<Instance(std::uint64_t)>& make_instance,
+    const std::function<std::unique_ptr<Scheduler>(std::uint64_t)>&
+        make_scheduler,
+    int trials, std::uint64_t seed0, ThreadPool* pool = nullptr) {
+  return run_trials(
+      metric, make_instance,
+      std::function<std::unique_ptr<Scheduler>(const Instance&,
+                                               std::uint64_t)>(
+          [&make_scheduler](const Instance&, std::uint64_t seed) {
+            return make_scheduler(seed);
+          }),
+      trials, seed0, pool);
 }
 
 }  // namespace dtm::benchutil

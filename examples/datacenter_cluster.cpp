@@ -15,6 +15,7 @@
 #include "graph/metric.hpp"
 #include "lb/bounds.hpp"
 #include "sched/cluster.hpp"
+#include "sched/registry.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -22,17 +23,22 @@ namespace {
 
 using namespace dtm;
 
-void evaluate(const ClusterGraph& topo, const Metric& metric,
-              const Instance& inst, const char* workload, Table& table) {
+void evaluate(const Metric& metric, const Instance& inst,
+              const char* workload, Table& table) {
   const InstanceBounds lb = compute_bounds(inst, metric);
-  for (auto [label, approach] :
-       {std::pair{"greedy (Approach 1)", ClusterApproach::kGreedy},
-        std::pair{"randomized (Algorithm 1)", ClusterApproach::kRandomized},
-        std::pair{"auto", ClusterApproach::kAuto}}) {
-    ClusterScheduler sched(topo, {.approach = approach, .seed = 3});
-    const Schedule s = sched.run(inst, metric);
+  // Registry names map onto the paper's approaches; the cluster topology is
+  // recovered from the instance's graph, and underlying() reaches the
+  // concrete ClusterScheduler for its run stats.
+  for (auto [label, name] :
+       {std::pair{"greedy (Approach 1)", "cluster-greedy"},
+        std::pair{"randomized (Algorithm 1)", "cluster-random"},
+        std::pair{"auto", "cluster"}}) {
+    const auto sched = make_scheduler_for(inst, name, /*seed=*/3);
+    const Schedule s = sched->run(inst, metric);
     DTM_REQUIRE(validate(inst, metric, s).ok, "infeasible schedule");
-    const ClusterRunStats& st = sched.last_stats();
+    const ClusterRunStats& st =
+        dynamic_cast<const ClusterScheduler&>(*sched->underlying())
+            .last_stats();
     table.add_row(workload, label, static_cast<double>(s.makespan()),
                   static_cast<double>(s.makespan()) /
                       static_cast<double>(std::max<Time>(lb.makespan_lb, 1)),
@@ -61,12 +67,12 @@ int main() {
   {
     Rng rng(11);
     const Instance local = generate_cluster_local(topo, 32, 2, rng);
-    evaluate(topo, metric, local, "rack-local", table);
+    evaluate(metric, local, "rack-local", table);
   }
   {
     Rng rng(12);
     const Instance scattered = generate_cluster_spread(topo, 24, 2, 4, rng);
-    evaluate(topo, metric, scattered, "scattered σ≈4", table);
+    evaluate(metric, scattered, "scattered σ≈4", table);
   }
   table.print(std::cout);
 

@@ -8,13 +8,19 @@
 //           --save-instance inst.txt --save-schedule sched.txt
 //
 // `--scheduler auto` picks the paper's specialized algorithm for the
-// chosen topology; any name from sched/registry.hpp works as well, plus
-// "line", "grid", "cluster", "cluster-best", "star", "online-fifo",
-// "online-batch".
+// chosen topology; any registry name (sched/registry.hpp) works as well —
+// topology-agnostic ("greedy-ff", "serial", ...) and topology-specific
+// ("line", "grid", "cluster-best", "star-random", ...) — plus the online
+// extras "online-fifo" and "online-batch".
+//
+// The --fault-* flags execute the planned schedule on a faulty network
+// (sim/faults.hpp) and report the realized makespan inflation:
+//   dtm_cli --topology grid --n 8 --fault-rate 0.05 --loss-rate 0.01
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "core/generators.hpp"
 #include "core/io.hpp"
@@ -30,12 +36,8 @@
 #include "graph/topologies/line.hpp"
 #include "graph/topologies/star.hpp"
 #include "lb/bounds.hpp"
-#include "sched/cluster.hpp"
-#include "sched/grid.hpp"
-#include "sched/line.hpp"
 #include "sched/online.hpp"
 #include "sched/registry.hpp"
-#include "sched/star.hpp"
 #include "sim/capacity_sim.hpp"
 #include "sim/congestion.hpp"
 #include "sim/simulator.hpp"
@@ -138,6 +140,7 @@ Instance build_workload(const ArgParser& args, const TopologyBundle& topo,
 
 std::unique_ptr<Scheduler> build_scheduler(const ArgParser& args,
                                            const TopologyBundle& topo,
+                                           const Instance& inst,
                                            std::uint64_t seed) {
   std::string name = args.get("scheduler", "auto");
   if (name == "auto") {
@@ -147,36 +150,36 @@ std::unique_ptr<Scheduler> build_scheduler(const ArgParser& args,
     else if (topo.star) name = "star";
     else name = "greedy-paper";
   }
-  if (name == "line") {
-    DTM_REQUIRE(topo.line != nullptr, "--scheduler line needs --topology line");
-    return std::make_unique<LineScheduler>(*topo.line);
-  }
-  if (name == "grid") {
-    DTM_REQUIRE(topo.grid != nullptr, "--scheduler grid needs --topology grid");
-    return std::make_unique<GridScheduler>(*topo.grid);
-  }
-  if (name == "cluster" || name == "cluster-best") {
-    DTM_REQUIRE(topo.cluster != nullptr,
-                "--scheduler cluster needs --topology cluster");
-    ClusterSchedulerOptions opts;
-    opts.approach = name == "cluster-best" ? ClusterApproach::kBest
-                                           : ClusterApproach::kAuto;
-    opts.seed = seed;
-    return std::make_unique<ClusterScheduler>(*topo.cluster, opts);
-  }
-  if (name == "star") {
-    DTM_REQUIRE(topo.star != nullptr, "--scheduler star needs --topology star");
-    StarSchedulerOptions opts;
-    opts.seed = seed;
-    return std::make_unique<StarScheduler>(*topo.star, opts);
-  }
+  // Online schedulers are stateful CLI extras the registry doesn't cover.
   if (name == "online-fifo") return std::make_unique<OnlineFifoScheduler>();
   if (name == "online-batch") {
     OnlineBatchOptions opts;
     opts.window = args.get_int("window", 16);
     return std::make_unique<OnlineBatchScheduler>(opts);
   }
-  return make_scheduler(name, seed);  // registry names
+  // Everything else — topology-agnostic and topology-specific names alike —
+  // goes through the registry, which recovers the topology from the
+  // instance's graph (so "line" on --topology grid fails with a clear
+  // error).
+  return make_scheduler_for(inst, name, seed);
+}
+
+/// Parses the --fault-* flags into a fault oracle; inactive (nullopt) when
+/// every rate is 0 so the reliable simulate() path stays in charge.
+std::optional<FaultModel> build_fault_model(const ArgParser& args,
+                                            std::uint64_t seed) {
+  FaultConfig fc;
+  fc.link_outage_rate = std::stod(args.get("fault-rate", "0"));
+  fc.outage_duration = args.get_int("fault-duration", fc.outage_duration);
+  fc.slowdown_rate = std::stod(args.get("slowdown-rate", "0"));
+  fc.slowdown_factor = args.get_int("slowdown-factor", fc.slowdown_factor);
+  fc.loss_rate = std::stod(args.get("loss-rate", "0"));
+  fc.window = args.get_int("fault-window", fc.window);
+  fc.seed = static_cast<std::uint64_t>(
+      args.get_int("fault-seed", static_cast<std::int64_t>(seed)));
+  FaultModel model(std::move(fc));
+  if (!model.active()) return std::nullopt;
+  return model;
 }
 
 int run(const ArgParser& args) {
@@ -184,6 +187,9 @@ int run(const ArgParser& args) {
   const auto trials = static_cast<int>(args.get_int("trials", 1));
   const TopologyBundle topo = build_topology(args);
   const auto metric = make_metric(topo.graph());
+  const std::optional<FaultModel> faults = build_fault_model(args, seed);
+  SimOptions sim_opts;
+  if (faults) sim_opts.faults = &*faults;
 
   Table table({"trial", "scheduler", "txns", "makespan", "LB", "ratio",
                "communication", "peak link load"});
@@ -198,14 +204,24 @@ int run(const ArgParser& args) {
   for (int trial = 0; trial < trials; ++trial) {
     Rng rng(seed + static_cast<std::uint64_t>(trial));
     const Instance inst = build_workload(args, topo, rng);
-    auto sched = build_scheduler(args, topo, seed + static_cast<std::uint64_t>(trial));
+    auto sched = build_scheduler(args, topo, inst,
+                                 seed + static_cast<std::uint64_t>(trial));
     const Schedule schedule = sched->run(inst, *metric);
 
     const ValidationResult vr = validate(inst, *metric, schedule);
     DTM_REQUIRE(vr.ok, "scheduler produced infeasible schedule:\n"
                            << vr.summary());
-    const SimResult sim = simulate(inst, *metric, schedule);
+    const SimResult sim = simulate(inst, *metric, schedule, sim_opts);
     DTM_REQUIRE(sim.ok, "simulation failed:\n" << sim.summary());
+    if (faults) {
+      std::cout << "trial " << trial << " faults: planned makespan "
+                << sim.planned_makespan << " -> realized "
+                << sim.realized_makespan << " (injected "
+                << sim.faults.injected << ", retries " << sim.faults.retries
+                << ", reroutes " << sim.faults.reroutes
+                << ", degraded commits " << sim.faults.degraded_commits
+                << ")\n";
+    }
 
     const InstanceBounds lb = compute_bounds(inst, *metric);
     const ScheduleMetrics sm = compute_metrics(inst, *metric, schedule);
@@ -287,11 +303,15 @@ int main(int argc, char** argv) {
           "  [--n N] [--alpha A --beta B --gamma G] [--dim D]\n"
           "  [--workload uniform|hotspot|cluster-local|cluster-spread|"
           "ray-local] [--w W] [--k K] [--sigma S]\n"
-          "  [--scheduler auto|line|grid|cluster|cluster-best|star|"
-          "online-fifo|online-batch|greedy-paper|greedy-ff|greedy-compact|"
-          "id-order|random-order|serial|exact]\n"
+          "  [--scheduler auto|line|grid|grid-ff|cluster|cluster-greedy|"
+          "cluster-random|cluster-best|star|star-greedy|star-random|"
+          "star-best|online-fifo|online-batch|greedy-paper|greedy-ff|"
+          "greedy-compact|id-order|random-order|serial|exact]\n"
           "  [--seed S] [--trials T] [--window W] [--capacity C] "
           "[--csv FILE] [--telemetry [FILE]]\n"
+          "  [--fault-rate P] [--fault-duration D] [--fault-window W] "
+          "[--slowdown-rate P] [--slowdown-factor F]\n"
+          "  [--loss-rate P] [--fault-seed S]\n"
           "  [--save-graph FILE] [--save-instance FILE] "
           "[--save-schedule FILE]\n";
       return 0;

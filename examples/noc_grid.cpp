@@ -14,9 +14,7 @@
 #include "graph/metric.hpp"
 #include "graph/topologies/grid.hpp"
 #include "lb/bounds.hpp"
-#include "sched/baseline.hpp"
-#include "sched/greedy.hpp"
-#include "sched/grid.hpp"
+#include "sched/registry.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -57,15 +55,12 @@ int main() {
     }
   };
 
-  GridScheduler grid_paper(topo);
-  GridScheduler grid_ff(topo, {.rule = ColoringRule::kFirstFit});
-  GreedyScheduler greedy(
-      GreedyOptions{ColoringRule::kFirstFit, ColoringOrder::kById, true, 1});
-  OrderScheduler serial({false, true, 1});
-  evaluate(grid_paper);
-  evaluate(grid_ff);
-  evaluate(greedy);
-  evaluate(serial);
+  // The registry recovers the 16x16 mesh from the instance's graph, so the
+  // subgrid schedulers need no hand-passed topology.
+  for (const char* name : {"grid", "grid-ff", "greedy-compact", "serial"}) {
+    const auto sched = make_scheduler_for(inst, name, 1);
+    evaluate(*sched);
+  }
   table.print(std::cout);
 
   // Trace the first dozen events of the best schedule.
@@ -94,6 +89,8 @@ int main() {
         break;
       case SimEvent::Kind::kHop:
         std::cout << "o" << e.object << " hops";
+        break;
+      case SimEvent::Kind::kNone:
         break;
     }
     std::cout << "\n";

@@ -14,6 +14,7 @@
 #include "graph/topologies/grid.hpp"
 #include "lb/bounds.hpp"
 #include "sched/grid.hpp"
+#include "sched/registry.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -32,11 +33,15 @@ int main() {
             << inst.num_objects() << " objects, k="
             << inst.max_objects_per_txn() << "\n";
 
-  // Schedule with the paper's §5 subgrid algorithm.
-  GridScheduler scheduler(topo);
-  const Schedule schedule = scheduler.run(inst, metric);
-  std::cout << "scheduler " << scheduler.name() << " chose subgrid side "
-            << scheduler.last_subgrid_side() << "\n";
+  // Schedule with the paper's §5 subgrid algorithm. The registry recovers
+  // the grid topology from the instance's graph; underlying() exposes the
+  // concrete scheduler for its run-specific accessors.
+  const auto scheduler = make_scheduler_for(inst, "grid");
+  const Schedule schedule = scheduler->run(inst, metric);
+  std::cout << "scheduler " << scheduler->name() << " chose subgrid side "
+            << dynamic_cast<const GridScheduler&>(*scheduler->underlying())
+                   .last_subgrid_side()
+            << "\n";
 
   // Check feasibility two independent ways.
   const ValidationResult vr = validate(inst, metric, schedule);

@@ -12,8 +12,8 @@
 #include "graph/metric.hpp"
 #include "graph/topologies/line.hpp"
 #include "lb/bounds.hpp"
-#include "sched/baseline.hpp"
 #include "sched/line.hpp"
+#include "sched/registry.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -26,12 +26,15 @@ int main() {
   const Instance inst = generate_uniform(
       topo.graph, {.num_objects = 6, .objects_per_txn = 2}, rng);
 
-  LineScheduler sched(topo);
-  const Schedule s = sched.run(inst, metric);
+  // The registry recovers the line topology from the instance's graph;
+  // underlying() reaches the concrete LineScheduler for last_ell().
+  const auto sched = make_scheduler_for(inst, "line");
+  const Schedule s = sched->run(inst, metric);
   DTM_REQUIRE(validate(inst, metric, s).ok, "infeasible line schedule");
   const InstanceBounds lb = compute_bounds(inst, metric);
 
-  const Weight ell = sched.last_ell();
+  const Weight ell =
+      dynamic_cast<const LineScheduler&>(*sched->underlying()).last_ell();
   std::cout << "bus with 32 boards; longest object walk ℓ = " << ell << "\n"
             << "two-phase schedule makespan " << s.makespan()
             << "  (paper guarantee 4ℓ = " << 4 * ell << ", certified LB "
@@ -57,10 +60,10 @@ int main() {
     const Instance tiny = generate_uniform(
         small.graph,
         {.num_objects = 2, .objects_per_txn = 1}, small_rng);
-    LineScheduler line_sched(small);
-    ExactScheduler exact;
-    const Schedule a = line_sched.run(tiny, small_metric);
-    const Schedule b = exact.run(tiny, small_metric);
+    const auto line_sched = make_scheduler_for(tiny, "line");
+    const auto exact = make_scheduler_for(tiny, "exact");
+    const Schedule a = line_sched->run(tiny, small_metric);
+    const Schedule b = exact->run(tiny, small_metric);
     std::cout << "\ntiny 7-board instance: line schedule " << a.makespan()
               << " vs exact optimum " << b.makespan() << "\n";
   }

@@ -82,6 +82,11 @@ class Graph {
   /// True if there is a path between every pair of nodes.
   bool connected() const;
 
+  /// Structural equality: same CSR layout (node count, adjacency, weights).
+  /// Topology recovery (topologies/detect.hpp) uses this to certify that a
+  /// rebuilt parameterized topology matches an instance's graph exactly.
+  friend bool operator==(const Graph&, const Graph&) = default;
+
  private:
   friend class GraphBuilder;
   std::vector<std::size_t> offsets_;  // size num_nodes+1

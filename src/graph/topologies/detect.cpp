@@ -1,0 +1,82 @@
+#include "graph/topologies/detect.hpp"
+
+namespace dtm {
+namespace {
+
+// Cheap structural pre-checks let us skip rebuilding candidates that cannot
+// possibly match; the authoritative test is always `candidate.graph == g`.
+
+bool plausible_unit_graph(const Graph& g, std::size_t min_nodes) {
+  return g.num_nodes() >= min_nodes && g.unit_weights();
+}
+
+}  // namespace
+
+std::unique_ptr<Line> recover_line(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  if (!plausible_unit_graph(g, 2) || g.num_edges() != n - 1) return nullptr;
+  auto candidate = std::make_unique<Line>(n);
+  if (candidate->graph == g) return candidate;
+  return nullptr;
+}
+
+std::unique_ptr<Grid> recover_grid(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  if (!plausible_unit_graph(g, 4)) return nullptr;
+  // rows, cols >= 2 (a 1×n mesh is a Line). Row-major numbering makes an
+  // r×c grid and its c×r transpose distinct CSR layouts unless r == c, so
+  // at most one divisor pair matches.
+  for (std::size_t rows = 2; rows * 2 <= n; ++rows) {
+    if (n % rows != 0) continue;
+    const std::size_t cols = n / rows;
+    if (cols < 2) continue;
+    if (g.num_edges() != rows * (cols - 1) + cols * (rows - 1)) continue;
+    auto candidate = std::make_unique<Grid>(rows, cols);
+    if (candidate->graph == g) return candidate;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ClusterGraph> recover_cluster(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  if (n < 4) return nullptr;
+  // Bridges are the only candidate non-unit edges, so γ is the heaviest
+  // weight in the graph (γ = 1 degenerates to unit weights and still
+  // round-trips through the exact comparison).
+  const Weight gamma = g.max_weight();
+  if (gamma < 1) return nullptr;
+  for (std::size_t alpha = 2; alpha * 2 <= n; ++alpha) {
+    if (n % alpha != 0) continue;
+    const std::size_t beta = n / alpha;
+    if (beta < 2) continue;
+    const std::size_t expected_edges =
+        alpha * (beta * (beta - 1) / 2) + alpha * (alpha - 1) / 2;
+    if (g.num_edges() != expected_edges) continue;
+    auto candidate = std::make_unique<ClusterGraph>(alpha, beta, gamma);
+    if (candidate->graph == g) return candidate;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Star> recover_star(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  if (!plausible_unit_graph(g, 3) || g.num_edges() != n - 1) return nullptr;
+  // The center is node 0 and touches exactly one node per ray.
+  const std::size_t alpha = g.degree(0);
+  if (alpha < 2 || (n - 1) % alpha != 0) return nullptr;
+  const std::size_t beta = (n - 1) / alpha;
+  if (beta < 1) return nullptr;
+  auto candidate = std::make_unique<Star>(alpha, beta);
+  if (candidate->graph == g) return candidate;
+  return nullptr;
+}
+
+std::optional<TopologyKind> detect_topology(const Graph& g) {
+  if (recover_line(g)) return TopologyKind::kLine;
+  if (recover_grid(g)) return TopologyKind::kGrid;
+  if (recover_cluster(g)) return TopologyKind::kCluster;
+  if (recover_star(g)) return TopologyKind::kStar;
+  return std::nullopt;
+}
+
+}  // namespace dtm

@@ -1,0 +1,49 @@
+// Topology recovery: given a bare Graph, reconstruct the parameterized
+// topology (Line / Grid / ClusterGraph / Star) that generated it, if any.
+//
+// The specialized schedulers (§4–§7) need the topology's parameters (n,
+// rows×cols, α/β/γ) — information an Instance does not carry, since it only
+// references a Graph. Recovery closes that gap: each recover_* candidate
+// enumerates the family's parameterizations consistent with the node count,
+// rebuilds the candidate topology, and accepts it only when the rebuilt
+// CSR is *identical* to the input graph (Graph::operator==). That makes
+// recovery sound by construction: a successful recovery is a proof that
+// the graph is that topology.
+//
+// Degenerate shapes that coincide with a simpler family (a 1×n grid is a
+// line, a 1-cluster graph is a clique, a 1-ray star is a path) are
+// deliberately rejected — detection is canonical, so `detect_topology`
+// returns at most one specialized family per graph in practice.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "graph/topologies/cluster.hpp"
+#include "graph/topologies/grid.hpp"
+#include "graph/topologies/line.hpp"
+#include "graph/topologies/star.hpp"
+#include "graph/topologies/topology.hpp"
+
+namespace dtm {
+
+/// Line v_0 — ... — v_{n-1}, unit weights, n >= 2. Null if `g` is not one.
+std::unique_ptr<Line> recover_line(const Graph& g);
+
+/// rows×cols mesh with rows, cols >= 2 (a 1×n mesh is a Line). Null if `g`
+/// is not one. Row-major node numbering disambiguates rows from cols.
+std::unique_ptr<Grid> recover_grid(const Graph& g);
+
+/// α ≥ 2 cliques of β ≥ 2 nodes with weight-γ bridge edges. γ is read off
+/// the heaviest edge (bridges are the only non-unit edges). Null otherwise.
+std::unique_ptr<ClusterGraph> recover_cluster(const Graph& g);
+
+/// Center plus α ≥ 2 rays of β ≥ 1 nodes, unit weights. Null otherwise.
+std::unique_ptr<Star> recover_star(const Graph& g);
+
+/// First specialized family (checked in the order line, grid, cluster,
+/// star) whose recovery succeeds; nullopt for generic graphs.
+std::optional<TopologyKind> detect_topology(const Graph& g);
+
+}  // namespace dtm

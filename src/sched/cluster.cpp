@@ -22,7 +22,7 @@ std::string ClusterScheduler::name() const {
 }
 
 Schedule ClusterScheduler::run(const Instance& inst, const Metric& metric) {
-  DTM_REQUIRE(&inst.graph() == &topo_->graph,
+  DTM_REQUIRE(&inst.graph() == &topo_->graph || inst.graph() == topo_->graph,
               "ClusterScheduler: instance is not on this cluster graph");
   ScopedPhaseTimer timer("phase.sched.cluster");
   telemetry::count("sched.runs");

@@ -15,7 +15,7 @@ GridScheduler::GridScheduler(const Grid& grid, GridSchedulerOptions opts)
 }
 
 Schedule GridScheduler::run(const Instance& inst, const Metric& metric) {
-  DTM_REQUIRE(&inst.graph() == &grid_->graph,
+  DTM_REQUIRE(&inst.graph() == &grid_->graph || inst.graph() == grid_->graph,
               "GridScheduler: instance is not on this grid");
   ScopedPhaseTimer timer("phase.sched.grid");
   telemetry::count("sched.runs");

@@ -8,7 +8,7 @@
 namespace dtm {
 
 Schedule LineScheduler::run(const Instance& inst, const Metric& metric) {
-  DTM_REQUIRE(&inst.graph() == &line_->graph,
+  DTM_REQUIRE(&inst.graph() == &line_->graph || inst.graph() == line_->graph,
               "LineScheduler: instance is not on this line graph");
   ScopedPhaseTimer timer("phase.sched.line");
   telemetry::count("sched.runs");

@@ -1,9 +1,62 @@
 #include "sched/registry.hpp"
 
+#include <utility>
+
+#include "graph/topologies/detect.hpp"
 #include "sched/baseline.hpp"
+#include "sched/cluster.hpp"
 #include "sched/greedy.hpp"
+#include "sched/grid.hpp"
+#include "sched/line.hpp"
+#include "sched/star.hpp"
 
 namespace dtm {
+namespace {
+
+/// Adapter that keeps a recovered topology alive for as long as the
+/// scheduler that points into it. underlying() exposes the wrapped
+/// scheduler so callers can dynamic_cast for accessors (last_ell, ...).
+template <typename Topo>
+class TopologyOwningScheduler final : public Scheduler {
+ public:
+  TopologyOwningScheduler(std::unique_ptr<Topo> topo,
+                          std::unique_ptr<Scheduler> inner)
+      : topo_(std::move(topo)), inner_(std::move(inner)) {}
+
+  std::string name() const override { return inner_->name(); }
+  Schedule run(const Instance& inst, const Metric& metric) override {
+    return inner_->run(inst, metric);
+  }
+  Scheduler* underlying() override { return inner_->underlying(); }
+
+ private:
+  std::unique_ptr<Topo> topo_;  // declared before inner_: destroyed after it
+  std::unique_ptr<Scheduler> inner_;
+};
+
+template <typename Topo, typename Sched, typename... Opts>
+std::unique_ptr<Scheduler> wrap(std::unique_ptr<Topo> topo, Opts&&... opts) {
+  auto inner = std::make_unique<Sched>(*topo, std::forward<Opts>(opts)...);
+  return std::make_unique<TopologyOwningScheduler<Topo>>(std::move(topo),
+                                                         std::move(inner));
+}
+
+ClusterSchedulerOptions cluster_options(ClusterApproach approach,
+                                        std::uint64_t seed) {
+  ClusterSchedulerOptions opts;
+  opts.approach = approach;
+  opts.seed = seed;
+  return opts;
+}
+
+StarSchedulerOptions star_options(StarStrategy strategy, std::uint64_t seed) {
+  StarSchedulerOptions opts;
+  opts.strategy = strategy;
+  opts.seed = seed;
+  return opts;
+}
+
+}  // namespace
 
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
                                           std::uint64_t seed) {
@@ -38,6 +91,73 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
 std::vector<std::string> scheduler_names() {
   return {"greedy-paper", "greedy-ff",    "greedy-compact", "id-order",
           "random-order", "serial",       "exact"};
+}
+
+std::unique_ptr<Scheduler> make_scheduler_for(const Instance& inst,
+                                              const std::string& name,
+                                              std::uint64_t seed) {
+  const Graph& g = inst.graph();
+  if (name == "line") {
+    auto topo = recover_line(g);
+    DTM_REQUIRE(topo != nullptr,
+                "make_scheduler_for(\"line\"): instance graph is not a line");
+    return wrap<Line, LineScheduler>(std::move(topo));
+  }
+  if (name == "grid" || name == "grid-ff") {
+    auto topo = recover_grid(g);
+    DTM_REQUIRE(topo != nullptr, "make_scheduler_for(\"" << name
+                                     << "\"): instance graph is not a grid");
+    GridSchedulerOptions opts;
+    if (name == "grid-ff") opts.rule = ColoringRule::kFirstFit;
+    return wrap<Grid, GridScheduler>(std::move(topo), opts);
+  }
+  if (name == "cluster" || name == "cluster-greedy" ||
+      name == "cluster-random" || name == "cluster-best") {
+    auto topo = recover_cluster(g);
+    DTM_REQUIRE(topo != nullptr,
+                "make_scheduler_for(\"" << name
+                                        << "\"): instance graph is not a "
+                                           "cluster graph");
+    ClusterApproach approach = ClusterApproach::kAuto;
+    if (name == "cluster-greedy") approach = ClusterApproach::kGreedy;
+    if (name == "cluster-random") approach = ClusterApproach::kRandomized;
+    if (name == "cluster-best") approach = ClusterApproach::kBest;
+    return wrap<ClusterGraph, ClusterScheduler>(std::move(topo),
+                                                cluster_options(approach, seed));
+  }
+  if (name == "star" || name == "star-greedy" || name == "star-random" ||
+      name == "star-best") {
+    auto topo = recover_star(g);
+    DTM_REQUIRE(topo != nullptr,
+                "make_scheduler_for(\"" << name
+                                        << "\"): instance graph is not a star");
+    StarStrategy strategy = StarStrategy::kAuto;
+    if (name == "star-greedy") strategy = StarStrategy::kGreedy;
+    if (name == "star-random") strategy = StarStrategy::kRandomized;
+    if (name == "star-best") strategy = StarStrategy::kBest;
+    return wrap<Star, StarScheduler>(std::move(topo),
+                                     star_options(strategy, seed));
+  }
+  return make_scheduler(name, seed);
+}
+
+std::vector<std::string> scheduler_names_for(const Instance& inst) {
+  std::vector<std::string> names = scheduler_names();
+  const Graph& g = inst.graph();
+  if (recover_line(g)) names.push_back("line");
+  if (recover_grid(g)) {
+    names.insert(names.end(), {"grid", "grid-ff"});
+  }
+  if (recover_cluster(g)) {
+    names.insert(names.end(),
+                 {"cluster", "cluster-greedy", "cluster-random",
+                  "cluster-best"});
+  }
+  if (recover_star(g)) {
+    names.insert(names.end(),
+                 {"star", "star-greedy", "star-random", "star-best"});
+  }
+  return names;
 }
 
 }  // namespace dtm

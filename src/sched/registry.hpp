@@ -1,13 +1,22 @@
-// Name-based factory for the topology-agnostic schedulers (used by the
-// examples and by parameterized tests that sweep algorithms).
-// Topology-specific schedulers (line/grid/cluster/star) need their
-// topology struct and are constructed directly.
+// Name-based factory for all schedulers (used by the examples, benches and
+// parameterized tests that sweep algorithms).
+//
+// Two tiers:
+//  * make_scheduler(name, seed) — topology-agnostic algorithms only; no
+//    instance needed.
+//  * make_scheduler_for(inst, name, seed) — additionally accepts the
+//    topology-specific names ("line", "grid", "cluster", "star", ...) by
+//    recovering the parameterized topology from the instance's graph
+//    (graph/topologies/detect.hpp); the returned scheduler owns the
+//    recovered topology. This is the only sanctioned way for code outside
+//    src/sched to obtain a topology-specific scheduler.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/instance.hpp"
 #include "sched/scheduler.hpp"
 
 namespace dtm {
@@ -17,7 +26,28 @@ namespace dtm {
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
                                           std::uint64_t seed = 1);
 
-/// All names accepted by make_scheduler.
+/// All names accepted by make_scheduler (instance-free construction).
 std::vector<std::string> scheduler_names();
+
+/// Everything make_scheduler accepts, plus the topology-specific names:
+///   "line"                                 — §4 two-phase line schedule
+///   "grid", "grid-ff"                      — §5 subgrid schedule
+///     (pigeonhole / first-fit coloring inside subgrids)
+///   "cluster", "cluster-greedy",
+///   "cluster-random", "cluster-best"       — §6 (auto / Approach 1 /
+///     Algorithm 1 / offline min of both)
+///   "star", "star-greedy", "star-random",
+///   "star-best"                            — §7 (same strategy split)
+/// For these the instance's graph must structurally be that topology;
+/// throws dtm::Error otherwise (and on unknown names). The returned
+/// scheduler owns its recovered topology; use underlying() to reach the
+/// concrete scheduler for post-run accessors.
+std::unique_ptr<Scheduler> make_scheduler_for(const Instance& inst,
+                                              const std::string& name,
+                                              std::uint64_t seed = 1);
+
+/// scheduler_names() plus every topology-specific name applicable to this
+/// instance's graph (empty extension for generic graphs).
+std::vector<std::string> scheduler_names_for(const Instance& inst);
 
 }  // namespace dtm

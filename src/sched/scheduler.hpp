@@ -19,9 +19,16 @@ class Scheduler {
   virtual std::string name() const = 0;
 
   /// Computes a feasible schedule. Topology-specific schedulers require
-  /// that `inst.graph()` is the graph of the topology they were constructed
-  /// with and throw dtm::Error otherwise.
+  /// that `inst.graph()` equals the graph of the topology they were
+  /// constructed with (structurally — the registry's recovered topologies
+  /// are rebuilt, not shared) and throw dtm::Error otherwise.
   virtual Schedule run(const Instance& inst, const Metric& metric) = 0;
+
+  /// The scheduler that actually runs. Wrappers (e.g. the registry's
+  /// topology-owning adapter) forward to the wrapped instance so callers
+  /// can dynamic_cast to a concrete type for post-run accessors
+  /// (last_ell, last_subgrid_side, last_stats, ...).
+  virtual Scheduler* underlying() { return this; }
 };
 
 }  // namespace dtm

@@ -1,0 +1,155 @@
+// Fault injection and recovery for the data-flow simulator.
+//
+// The paper's model (§2.1) assumes a fully reliable synchronous network;
+// this module lets the simulator execute the *same planned schedule* on a
+// misbehaving substrate and measure how far the realized makespan inflates.
+// Three fault classes, all per-link or per-transfer and all deterministic
+// under a fixed seed:
+//
+//  * transient link outages  — a link is unusable for `outage_duration`
+//    steps at the start of an afflicted time window;
+//  * link slowdowns          — traversing an afflicted link costs
+//    `slowdown_factor`× its weight for that window;
+//  * object-transfer loss    — a leg's send attempt is dropped at the
+//    source and must be retransmitted after exponential backoff.
+//
+// Determinism & monotonicity: every decision is a pure hash of
+// (seed, link/object, time window, attempt) compared against the rate, so
+// (a) decisions are order-independent — replaying a run queries the same
+// answers regardless of query order — and (b) the afflicted sets are
+// *nested* as the rate grows (the hash does not depend on the rate), which
+// is what makes makespan-inflation curves monotone in the fault rate.
+//
+// Recovery (RecoveryPolicy): lost transfers retry with exponential backoff;
+// objects that hit a down link either reroute around the links that are
+// down at decision time (shortest path in the filtered graph) or stall
+// until the link comes back; commits whose objects arrive late are
+// re-issued at the first feasible step ("degraded mode") instead of being
+// reported as violations, up to a bounded stall.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/graph.hpp"
+
+namespace dtm {
+
+class Instance;
+class Metric;
+struct Schedule;
+struct SimOptions;
+struct SimResult;
+
+/// A hand-placed outage: link {u, v} is down for steps
+/// [start, start + duration). Used by tests that need a fault at an exact
+/// place and time (e.g. to check a hand-computed reroute).
+struct LinkOutage {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  Time start = 0;
+  Time duration = 1;
+};
+
+struct FaultConfig {
+  /// Probability that a link is afflicted by an outage in a given time
+  /// window (the outage covers the first `outage_duration` steps of the
+  /// window).
+  double link_outage_rate = 0.0;
+  Time outage_duration = 4;
+
+  /// Probability that a link is slowed in a given time window; traversals
+  /// entered during an afflicted window cost `slowdown_factor`× the weight.
+  double slowdown_rate = 0.0;
+  Weight slowdown_factor = 2;
+
+  /// Probability that one send attempt of an object-transfer leg is lost
+  /// (decided at send time; retried per RecoveryPolicy).
+  double loss_rate = 0.0;
+
+  /// Time-window granularity for the outage/slowdown hashes.
+  Time window = 8;
+
+  std::uint64_t seed = 1;
+
+  /// Deterministic, hand-placed outages checked in addition to the random
+  /// ones (active even when every rate is 0).
+  std::vector<LinkOutage> scheduled;
+};
+
+struct RecoveryPolicy {
+  /// Lost-transfer retransmissions: attempt i departs backoff(i) =
+  /// min(backoff_base << i, backoff_cap) steps after attempt i failed.
+  std::size_t max_retries = 8;
+  Time backoff_base = 1;
+  Time backoff_cap = 64;
+
+  /// Route around links that are down at decision time; when false (or no
+  /// alternative route exists) the object stalls until the link is back.
+  bool reroute = true;
+
+  /// Degraded mode re-issues a commit at the first step all its objects
+  /// have arrived; a stall beyond this bound is reported as a violation.
+  Time max_commit_stall = static_cast<Time>(1) << 20;
+};
+
+/// Realized fault/recovery tallies of one simulate() run (all zero on the
+/// reliable path).
+struct FaultStats {
+  std::uint64_t injected = 0;          // outages hit + slowdowns hit + losses
+  std::uint64_t retries = 0;           // retransmissions after loss
+  std::uint64_t reroutes = 0;          // detours around down links
+  std::uint64_t degraded_commits = 0;  // commits re-issued later than planned
+  Time stall_steps = 0;                // sum of (realized - planned) commit lag
+
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
+/// Deterministic fault oracle. Stateless between queries: every answer is a
+/// pure function of the config seed and the query, so concurrent readers
+/// are safe and replays are exact.
+class FaultModel {
+ public:
+  explicit FaultModel(FaultConfig cfg) : cfg_(std::move(cfg)) {}
+
+  const FaultConfig& config() const { return cfg_; }
+
+  /// True when any fault source can fire (some rate > 0 or a scheduled
+  /// outage exists). Inactive models leave simulate() on the reliable
+  /// bit-identical path.
+  bool active() const {
+    return cfg_.link_outage_rate > 0 || cfg_.slowdown_rate > 0 ||
+           cfg_.loss_rate > 0 || !cfg_.scheduled.empty();
+  }
+
+  /// Is link {u, v} unusable at step `at`?
+  bool link_down(NodeId u, NodeId v, Time at) const;
+
+  /// First step >= `at` at which link {u, v} is usable.
+  Time link_up_at(NodeId u, NodeId v, Time at) const;
+
+  /// Cost of entering link {u, v} (weight `base`) at step `at`;
+  /// `base * slowdown_factor` in afflicted windows, `base` otherwise.
+  Weight hop_cost(NodeId u, NodeId v, Weight base, Time at) const;
+
+  /// Is send attempt `attempt` (0-based) of object `o`'s leg `leg` lost?
+  bool transfer_lost(ObjectId o, std::size_t leg, std::size_t attempt) const;
+
+ private:
+  FaultConfig cfg_;
+};
+
+namespace detail {
+
+/// Fault/recovery-aware execution; reached through simulate() when
+/// opts.faults is active. Same structural checks as the reliable path, but
+/// late objects stall commits (degraded mode) instead of violating.
+SimResult simulate_with_faults(const Instance& inst, const Metric& metric,
+                               const Schedule& schedule,
+                               const SimOptions& opts);
+
+}  // namespace detail
+
+}  // namespace dtm

@@ -30,7 +30,11 @@ struct ObjectState {
 std::string SimResult::summary() const {
   if (ok) {
     std::ostringstream os;
-    os << "ok: makespan=" << makespan << " travel=" << object_travel;
+    os << "ok: makespan=" << realized_makespan;
+    if (realized_makespan != planned_makespan) {
+      os << " (planned " << planned_makespan << ")";
+    }
+    os << " travel=" << object_travel;
     return os.str();
   }
   std::ostringstream os;
@@ -41,6 +45,11 @@ std::string SimResult::summary() const {
 
 SimResult simulate(const Instance& inst, const Metric& metric,
                    const Schedule& s, const SimOptions& opts) {
+  // Reliable path below; the fault-aware executor only runs when faults can
+  // actually fire, so fault-free callers get bit-identical output.
+  if (opts.faults != nullptr && opts.faults->active()) {
+    return detail::simulate_with_faults(inst, metric, s, opts);
+  }
   ScopedPhaseTimer phase_timer("phase.simulate");
   TelemetryCounter& legs_moved = telemetry::counter("sim.legs_moved");
   TelemetryCounter& commits = telemetry::counter("sim.commits");
@@ -178,6 +187,9 @@ SimResult simulate(const Instance& inst, const Metric& metric,
                        return a.time < b.time;
                      });
   }
+  // On the reliable network the realized execution is the planned one.
+  r.planned_makespan = r.makespan;
+  r.realized_makespan = r.makespan;
   return r;
 }
 

@@ -11,6 +11,14 @@
 // positions operationally instead of checking the validator's inequalities,
 // so a bug in one of the two is caught by the other. It also measures the
 // realized makespan and per-object travel.
+//
+// With an active FaultModel in SimOptions, the simulator instead executes
+// the planned schedule on the faulty substrate (sim/faults.hpp): objects
+// route around or stall at down links, lost transfers are retransmitted,
+// and late commits are re-issued at the first feasible step, so
+// realized_makespan >= planned_makespan measures the inflation. Without
+// faults the two are equal and the output is bit-identical to the reliable
+// simulator.
 #pragma once
 
 #include <string>
@@ -19,16 +27,21 @@
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
 #include "graph/metric.hpp"
+#include "sim/faults.hpp"
 
 namespace dtm {
 
 struct SimEvent {
-  enum class Kind { kDepart, kHop, kArrive, kCommit };
+  /// kNone is the explicit "empty" kind: a default-constructed event is
+  /// inert and cannot masquerade as a commit in event-log consumers.
+  enum class Kind { kNone, kDepart, kHop, kArrive, kCommit };
   Time time = 0;
-  Kind kind = Kind::kCommit;
+  Kind kind = Kind::kNone;
   ObjectId object = kInvalidObject;  // kInvalidObject for pure commits
   TxnId txn = kInvalidTxn;           // kInvalidTxn for moves
   NodeId node = kInvalidNode;        // position after the event
+
+  friend bool operator==(const SimEvent&, const SimEvent&) = default;
 };
 
 struct SimOptions {
@@ -36,16 +49,35 @@ struct SimOptions {
   /// are added too when `record_hops` is set (costly on weighted graphs).
   bool record_events = false;
   bool record_hops = false;
+
+  /// Fault oracle (non-owning; must outlive the simulate() call). Null or
+  /// inactive keeps the reliable path — bit-identical to a fault-free
+  /// build. `recovery` is only consulted when faults are active.
+  const FaultModel* faults = nullptr;
+  RecoveryPolicy recovery{};
 };
 
 struct SimResult {
   bool ok = true;
   std::vector<std::string> violations;
-  /// Time of the last commit (only meaningful when ok).
+
+  /// Last *scheduled* commit step among executed transactions (what the
+  /// scheduler promised). Only meaningful when ok.
+  Time planned_makespan = 0;
+  /// Last commit step actually realized on the (possibly faulty) substrate;
+  /// == planned_makespan on a reliable network.
+  Time realized_makespan = 0;
+  /// Deprecated alias for realized_makespan, kept one release so existing
+  /// callers compile; prefer the explicit fields above.
   Time makespan = 0;
-  /// Total distance traveled by all objects.
+
+  /// Total distance traveled by all objects (realized distance: detours
+  /// taken while rerouting and slowdown surcharges count).
   Weight object_travel = 0;
   std::vector<SimEvent> events;
+
+  /// Fault/recovery tallies (all zero on the reliable path).
+  FaultStats faults;
 
   explicit operator bool() const { return ok; }
   std::string summary() const;
@@ -54,7 +86,8 @@ struct SimResult {
 /// Runs the schedule to completion (or first inconsistency). Event-driven
 /// internally — between commit steps the only activity is deterministic
 /// object motion, so the simulator jumps from commit time to commit time
-/// while keeping exact per-step positions.
+/// while keeping exact per-step positions. Dispatches to the
+/// fault/recovery-aware executor when opts.faults is active.
 SimResult simulate(const Instance& inst, const Metric& metric,
                    const Schedule& schedule, const SimOptions& opts = {});
 

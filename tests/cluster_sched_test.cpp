@@ -13,12 +13,24 @@ namespace dtm {
 namespace {
 
 TEST(ClusterScheduler, RejectsForeignGraphs) {
-  const ClusterGraph a(2, 3, 4), b(2, 3, 4);
+  // Same node count, different bridge weight: structurally different.
+  const ClusterGraph a(2, 3, 5), b(2, 3, 4);
   Rng rng(1);
   const Instance inst = generate_cluster_local(a, 6, 2, rng);
   const DenseMetric m(b.graph);
   ClusterScheduler sched(b);
   EXPECT_THROW(sched.run(inst, m), Error);
+}
+
+TEST(ClusterScheduler, AcceptsStructurallyIdenticalGraphs) {
+  // A rebuilt cluster graph of the same shape passes the structural check
+  // — the registry's recovered topologies (make_scheduler_for) rely on it.
+  const ClusterGraph a(2, 3, 4), b(2, 3, 4);
+  Rng rng(1);
+  const Instance inst = generate_cluster_local(a, 6, 2, rng);
+  const DenseMetric m(b.graph);
+  ClusterScheduler sched(b);
+  EXPECT_NO_THROW(sched.run(inst, m));
 }
 
 TEST(ClusterScheduler, AutoPicksGreedyForLocalWorkloads) {

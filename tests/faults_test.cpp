@@ -1,0 +1,424 @@
+// Tests for the fault-injection & recovery subsystem (sim/faults.hpp).
+//
+//  * FaultModel unit properties: determinism, nested afflicted sets as the
+//    rate grows, the last-step-of-window usability clamp.
+//  * Fault-free bit-identity: simulate() with a null or inactive fault
+//    model returns a SimResult identical to the reliable simulator on every
+//    topology fixture — the tentpole's "no faults, no change" guarantee.
+//  * Recovery semantics against hand-computed outcomes: rerouting around a
+//    scheduled outage, stalling when rerouting is disabled, retransmission
+//    exhaustion, and monotone makespan inflation in the fault rate.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/generators.hpp"
+#include "core/validate.hpp"
+#include "graph/metric.hpp"
+#include "graph/topologies/butterfly.hpp"
+#include "graph/topologies/clique.hpp"
+#include "graph/topologies/cluster.hpp"
+#include "graph/topologies/grid.hpp"
+#include "graph/topologies/hypercube.hpp"
+#include "graph/topologies/line.hpp"
+#include "graph/topologies/star.hpp"
+#include "sched/registry.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+namespace {
+
+TEST(FaultModel, InactiveByDefault) {
+  const FaultModel model(FaultConfig{});
+  EXPECT_FALSE(model.active());
+  EXPECT_FALSE(model.link_down(0, 1, 5));
+  EXPECT_EQ(model.hop_cost(0, 1, 3, 5), 3);
+  EXPECT_FALSE(model.transfer_lost(0, 0, 0));
+}
+
+TEST(FaultModel, DecisionsAreDeterministic) {
+  FaultConfig cfg;
+  cfg.link_outage_rate = 0.2;
+  cfg.slowdown_rate = 0.2;
+  cfg.loss_rate = 0.2;
+  cfg.seed = 11;
+  const FaultModel a(cfg);
+  const FaultModel b(cfg);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) {
+      for (Time t = 0; t < 64; ++t) {
+        EXPECT_EQ(a.link_down(u, v, t), b.link_down(u, v, t));
+        // Undirected links: direction must not matter.
+        EXPECT_EQ(a.link_down(u, v, t), a.link_down(v, u, t));
+        EXPECT_EQ(a.hop_cost(u, v, 2, t), b.hop_cost(u, v, 2, t));
+      }
+    }
+  }
+  for (ObjectId o = 0; o < 4; ++o) {
+    for (std::size_t leg = 0; leg < 4; ++leg) {
+      for (std::size_t attempt = 0; attempt < 4; ++attempt) {
+        EXPECT_EQ(a.transfer_lost(o, leg, attempt),
+                  b.transfer_lost(o, leg, attempt));
+      }
+    }
+  }
+}
+
+// The decision hash does not depend on the rate, so every link/window down
+// at a low rate is also down at any higher rate (this nesting is what makes
+// the bench's inflation curves monotone).
+TEST(FaultModel, AfflictedSetsAreNestedAcrossRates) {
+  FaultConfig lo_cfg;
+  lo_cfg.link_outage_rate = 0.05;
+  lo_cfg.seed = 3;
+  FaultConfig hi_cfg = lo_cfg;
+  hi_cfg.link_outage_rate = 0.4;
+  const FaultModel lo(lo_cfg);
+  const FaultModel hi(hi_cfg);
+  int lo_down = 0, hi_down = 0;
+  for (NodeId u = 0; u < 8; ++u) {
+    for (NodeId v = u + 1; v < 8; ++v) {
+      for (Time t = 0; t < 200; ++t) {
+        const bool l = lo.link_down(u, v, t);
+        const bool h = hi.link_down(u, v, t);
+        lo_down += l;
+        hi_down += h;
+        if (l) {
+          EXPECT_TRUE(h) << "link {" << u << "," << v << "} step " << t;
+        }
+      }
+    }
+  }
+  EXPECT_GT(lo_down, 0);
+  EXPECT_GT(hi_down, lo_down);
+}
+
+// Even at rate 1 with an over-long outage_duration, the last step of every
+// window stays usable, so link_up_at always terminates with a nearby step.
+TEST(FaultModel, LastStepOfWindowStaysUsable) {
+  FaultConfig cfg;
+  cfg.link_outage_rate = 1.0;
+  cfg.outage_duration = 100;  // > window: clamped to window - 1
+  cfg.window = 8;
+  const FaultModel model(cfg);
+  for (Time t = 0; t < 7; ++t) EXPECT_TRUE(model.link_down(0, 1, t));
+  EXPECT_FALSE(model.link_down(0, 1, 7));
+  EXPECT_EQ(model.link_up_at(0, 1, 0), 7);
+  EXPECT_EQ(model.link_up_at(0, 1, 7), 7);
+}
+
+TEST(FaultModel, ScheduledOutageActivatesAndEnds) {
+  FaultConfig cfg;
+  cfg.scheduled.push_back({2, 5, /*start=*/10, /*duration=*/4});
+  const FaultModel model(cfg);
+  EXPECT_TRUE(model.active());
+  EXPECT_FALSE(model.link_down(2, 5, 9));
+  EXPECT_TRUE(model.link_down(2, 5, 10));
+  EXPECT_TRUE(model.link_down(5, 2, 13));
+  EXPECT_FALSE(model.link_down(2, 5, 14));
+  EXPECT_EQ(model.link_up_at(2, 5, 10), 14);
+  EXPECT_FALSE(model.link_down(3, 4, 11));  // other links unaffected
+}
+
+// ------------------------------------------------------------------------
+// Fault-free bit-identity on every topology fixture.
+
+struct Fixture {
+  std::string name;
+  std::unique_ptr<Line> line;
+  std::unique_ptr<Grid> grid;
+  std::unique_ptr<ClusterGraph> cluster;
+  std::unique_ptr<Star> star;
+  std::unique_ptr<Clique> clique;
+  std::unique_ptr<Hypercube> hypercube;
+  std::unique_ptr<Butterfly> butterfly;
+
+  const Graph& graph() const {
+    if (line) return line->graph;
+    if (grid) return grid->graph;
+    if (cluster) return cluster->graph;
+    if (star) return star->graph;
+    if (clique) return clique->graph;
+    if (hypercube) return hypercube->graph;
+    return butterfly->graph;
+  }
+};
+
+Fixture make_fixture(int which) {
+  Fixture f;
+  switch (which) {
+    case 0:
+      f.name = "clique";
+      f.clique = std::make_unique<Clique>(10);
+      break;
+    case 1:
+      f.name = "line";
+      f.line = std::make_unique<Line>(16);
+      break;
+    case 2:
+      f.name = "grid";
+      f.grid = std::make_unique<Grid>(5);
+      break;
+    case 3:
+      f.name = "cluster";
+      f.cluster = std::make_unique<ClusterGraph>(3, 4, 6);
+      break;
+    case 4:
+      f.name = "hypercube";
+      f.hypercube = std::make_unique<Hypercube>(4);
+      break;
+    case 5:
+      f.name = "butterfly";
+      f.butterfly = std::make_unique<Butterfly>(2);
+      break;
+    default:
+      f.name = "star";
+      f.star = std::make_unique<Star>(4, 4);
+      break;
+  }
+  return f;
+}
+
+void expect_identical(const SimResult& a, const SimResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.ok, b.ok) << label;
+  EXPECT_EQ(a.violations, b.violations) << label;
+  EXPECT_EQ(a.planned_makespan, b.planned_makespan) << label;
+  EXPECT_EQ(a.realized_makespan, b.realized_makespan) << label;
+  EXPECT_EQ(a.makespan, b.makespan) << label;
+  EXPECT_EQ(a.object_travel, b.object_travel) << label;
+  EXPECT_TRUE(a.events == b.events) << label;
+  EXPECT_TRUE(a.faults == b.faults) << label;
+}
+
+class FaultFreeBitIdentity : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultFreeBitIdentity, InactiveModelKeepsReliablePath) {
+  const Fixture topo = make_fixture(GetParam());
+  const DenseMetric metric(topo.graph());
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+  const Instance inst = generate_uniform(
+      topo.graph(), {.num_objects = 6, .objects_per_txn = 2}, rng);
+  const auto sched = make_scheduler("greedy-ff");
+  const Schedule s = sched->run(inst, metric);
+
+  SimOptions plain;
+  plain.record_events = true;
+  plain.record_hops = true;
+  const SimResult reliable = simulate(inst, metric, s, plain);
+  ASSERT_TRUE(reliable.ok) << topo.name << ": " << reliable.summary();
+  EXPECT_EQ(reliable.planned_makespan, reliable.realized_makespan);
+  EXPECT_EQ(reliable.makespan, reliable.realized_makespan);
+  EXPECT_TRUE(reliable.faults == FaultStats{});
+
+  // An all-zero-rate model is inactive: identical output, same code path.
+  const FaultModel inactive(FaultConfig{});
+  SimOptions with_model = plain;
+  with_model.faults = &inactive;
+  expect_identical(reliable, simulate(inst, metric, s, with_model),
+                   topo.name + "/inactive-model");
+}
+
+// An *active* model whose faults never fire (one scheduled outage far past
+// the horizon) takes the fault-executor path; it must agree with the
+// reliable simulator on every aggregate.
+TEST_P(FaultFreeBitIdentity, IdleFaultExecutorAgreesWithReliablePath) {
+  const Fixture topo = make_fixture(GetParam());
+  const DenseMetric metric(topo.graph());
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+  const Instance inst = generate_uniform(
+      topo.graph(), {.num_objects = 6, .objects_per_txn = 2}, rng);
+  const auto sched = make_scheduler("greedy-ff");
+  const Schedule s = sched->run(inst, metric);
+  const SimResult reliable = simulate(inst, metric, s);
+  ASSERT_TRUE(reliable.ok);
+
+  FaultConfig cfg;
+  cfg.scheduled.push_back({0, 1, /*start=*/1 << 30, /*duration=*/1});
+  const FaultModel idle(cfg);
+  ASSERT_TRUE(idle.active());
+  SimOptions opts;
+  opts.faults = &idle;
+  const SimResult r = simulate(inst, metric, s, opts);
+  ASSERT_TRUE(r.ok) << topo.name << ": " << r.summary();
+  EXPECT_EQ(r.planned_makespan, reliable.planned_makespan) << topo.name;
+  EXPECT_EQ(r.realized_makespan, reliable.realized_makespan) << topo.name;
+  EXPECT_EQ(r.object_travel, reliable.object_travel) << topo.name;
+  EXPECT_TRUE(r.faults == FaultStats{}) << topo.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, FaultFreeBitIdentity,
+                         ::testing::Range(0, 7));
+
+// ------------------------------------------------------------------------
+// Recovery semantics against hand-computed outcomes.
+
+// Diamond: 0-1-3 is the shortest 0->3 route (cost 2); the 0-2-3 detour
+// costs 4. Object o0 starts at node 0, T0@0 commits at 1, T1@3 at 3.
+struct Diamond {
+  Graph g;
+  Diamond() {
+    GraphBuilder b(4);
+    b.add_edge(0, 1, 1);
+    b.add_edge(1, 3, 1);
+    b.add_edge(0, 2, 2);
+    b.add_edge(2, 3, 2);
+    g = b.build();
+  }
+};
+
+Instance diamond_instance(const Diamond& d) {
+  InstanceBuilder b(d.g, 1);
+  b.add_transaction(0, {0});
+  b.add_transaction(3, {0});
+  b.set_object_home(0, 0);
+  return b.build();
+}
+
+TEST(Recovery, ReroutesAroundScheduledOutage) {
+  const Diamond d;
+  const Instance inst = diamond_instance(d);
+  const DenseMetric m(d.g);
+  const Schedule s = Schedule::from_commit_times(inst, {1, 3});
+  ASSERT_TRUE(simulate(inst, m, s).ok);
+
+  FaultConfig cfg;
+  cfg.scheduled.push_back({0, 1, /*start=*/1, /*duration=*/9});
+  const FaultModel model(cfg);
+  SimOptions opts;
+  opts.faults = &model;
+  const SimResult r = simulate(inst, m, s, opts);
+  ASSERT_TRUE(r.ok) << r.summary();
+  // o0 departs node 0 at step 1, finds 0-1 down, detours 0-2-3 (cost 4):
+  // arrival 5, so T1 is re-issued at 5 instead of its planned step 3.
+  EXPECT_EQ(r.planned_makespan, 3);
+  EXPECT_EQ(r.realized_makespan, 5);
+  EXPECT_EQ(r.makespan, 5);
+  EXPECT_EQ(r.object_travel, 4);
+  EXPECT_EQ(r.faults.injected, 1u);
+  EXPECT_EQ(r.faults.reroutes, 1u);
+  EXPECT_EQ(r.faults.degraded_commits, 1u);
+  EXPECT_EQ(r.faults.stall_steps, 2);
+}
+
+TEST(Recovery, StallsWhenReroutingDisabled) {
+  const Diamond d;
+  const Instance inst = diamond_instance(d);
+  const DenseMetric m(d.g);
+  const Schedule s = Schedule::from_commit_times(inst, {1, 3});
+
+  FaultConfig cfg;
+  cfg.scheduled.push_back({0, 1, /*start=*/1, /*duration=*/9});
+  const FaultModel model(cfg);
+  SimOptions opts;
+  opts.faults = &model;
+  opts.recovery.reroute = false;
+  const SimResult r = simulate(inst, m, s, opts);
+  ASSERT_TRUE(r.ok) << r.summary();
+  // The object waits at node 0 until the link returns at step 10, then
+  // takes the planned 0-1-3 route: arrival 12.
+  EXPECT_EQ(r.realized_makespan, 12);
+  EXPECT_EQ(r.object_travel, 2);
+  EXPECT_EQ(r.faults.reroutes, 0u);
+  EXPECT_EQ(r.faults.degraded_commits, 1u);
+  EXPECT_EQ(r.faults.stall_steps, 9);
+}
+
+TEST(Recovery, BoundedStallReportsViolation) {
+  const Diamond d;
+  const Instance inst = diamond_instance(d);
+  const DenseMetric m(d.g);
+  const Schedule s = Schedule::from_commit_times(inst, {1, 3});
+
+  FaultConfig cfg;
+  cfg.scheduled.push_back({0, 1, /*start=*/1, /*duration=*/9});
+  const FaultModel model(cfg);
+  SimOptions opts;
+  opts.faults = &model;
+  opts.recovery.reroute = false;
+  opts.recovery.max_commit_stall = 4;  // realized stall is 9
+  const SimResult r = simulate(inst, m, s, opts);
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_NE(r.violations.front().find("max_commit_stall"), std::string::npos);
+}
+
+TEST(Recovery, RetransmissionExhaustionIsViolation) {
+  const Line line(3);
+  InstanceBuilder b(line.graph, 1);
+  b.add_transaction(0, {0});
+  b.add_transaction(2, {0});
+  b.set_object_home(0, 0);
+  const Instance inst = b.build();
+  const DenseMetric m(line.graph);
+  const Schedule s = Schedule::from_commit_times(inst, {1, 3});
+
+  FaultConfig cfg;
+  cfg.loss_rate = 1.0;  // every send attempt is lost
+  const FaultModel model(cfg);
+  SimOptions opts;
+  opts.faults = &model;
+  opts.recovery.max_retries = 2;
+  opts.recovery.backoff_base = 1;
+  const SimResult r = simulate(inst, m, s, opts);
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_NE(r.violations.front().find("lost after 2"), std::string::npos);
+  // Backoff after attempts 0,1,2 shifts departure 1 -> 8; travel 2 more.
+  EXPECT_EQ(r.faults.retries, 3u);
+  EXPECT_EQ(r.realized_makespan, 10);
+}
+
+TEST(Recovery, EventLogAndStatsAreSeedDeterministic) {
+  const ClusterGraph topo(3, 4, 6);
+  const DenseMetric m(topo.graph);
+  Rng rng(21);
+  const Instance inst = generate_uniform(
+      topo.graph, {.num_objects = 8, .objects_per_txn = 2}, rng);
+  const auto sched = make_scheduler_for(inst, "cluster", 21);
+  const Schedule s = sched->run(inst, m);
+
+  FaultConfig cfg;
+  cfg.link_outage_rate = 0.15;
+  cfg.loss_rate = 0.05;
+  cfg.slowdown_rate = 0.1;
+  cfg.seed = 9;
+  const FaultModel model(cfg);
+  SimOptions opts;
+  opts.record_events = true;
+  opts.faults = &model;
+  const SimResult a = simulate(inst, m, s, opts);
+  const SimResult b = simulate(inst, m, s, opts);
+  expect_identical(a, b, "seeded replay");
+  EXPECT_GE(a.realized_makespan, a.planned_makespan);
+}
+
+// Stall-only recovery on the line (no alternate routes): by the nesting
+// property, the realized makespan is monotone in the outage rate.
+TEST(Recovery, MakespanInflationMonotoneInRate) {
+  const Line line(12);
+  const DenseMetric m(line.graph);
+  Rng rng(5);
+  const Instance inst = generate_uniform(
+      line.graph, {.num_objects = 6, .objects_per_txn = 2}, rng);
+  const auto sched = make_scheduler_for(inst, "line", 5);
+  const Schedule s = sched->run(inst, m);
+
+  Time prev = 0;
+  for (const double rate : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    FaultConfig cfg;
+    cfg.link_outage_rate = rate;
+    cfg.seed = 7;  // same seed across rates => nested afflicted sets
+    const FaultModel model(cfg);
+    SimOptions opts;
+    opts.faults = &model;
+    const SimResult r = simulate(inst, m, s, opts);
+    ASSERT_TRUE(r.ok) << "rate " << rate << ": " << r.summary();
+    EXPECT_GE(r.realized_makespan, prev) << "rate " << rate;
+    prev = r.realized_makespan;
+  }
+}
+
+}  // namespace
+}  // namespace dtm

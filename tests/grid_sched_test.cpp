@@ -20,13 +20,25 @@ TEST(GridScheduler, RequiresSquareGrid) {
 }
 
 TEST(GridScheduler, RejectsForeignGraphs) {
-  const Grid a(4), b(4);
+  const Grid a(5), b(4);
   Rng rng(1);
   const Instance inst =
       generate_uniform(a.graph, {.num_objects = 3, .objects_per_txn = 1}, rng);
   const DenseMetric m(b.graph);
   GridScheduler sched(b);
   EXPECT_THROW(sched.run(inst, m), Error);
+}
+
+TEST(GridScheduler, AcceptsStructurallyIdenticalGraphs) {
+  // A rebuilt mesh of the same shape passes the structural check — the
+  // registry's recovered topologies (make_scheduler_for) rely on this.
+  const Grid a(4), b(4);
+  Rng rng(1);
+  const Instance inst =
+      generate_uniform(a.graph, {.num_objects = 3, .objects_per_txn = 1}, rng);
+  const DenseMetric m(b.graph);
+  GridScheduler sched(b);
+  EXPECT_NO_THROW(sched.run(inst, m));
 }
 
 TEST(GridScheduler, SubgridSideFollowsFormula) {

@@ -14,13 +14,25 @@ namespace dtm {
 namespace {
 
 TEST(LineScheduler, RejectsForeignGraphs) {
-  const Line a(8), b(8);
+  const Line a(9), b(8);
   Rng rng(1);
   const Instance inst =
       generate_uniform(a.graph, {.num_objects = 3, .objects_per_txn = 1}, rng);
   const DenseMetric m(b.graph);
   LineScheduler sched(b);
   EXPECT_THROW(sched.run(inst, m), Error);
+}
+
+TEST(LineScheduler, AcceptsStructurallyIdenticalGraphs) {
+  // A rebuilt line of the same shape passes the structural check — the
+  // registry's recovered topologies (make_scheduler_for) rely on this.
+  const Line a(8), b(8);
+  Rng rng(1);
+  const Instance inst =
+      generate_uniform(a.graph, {.num_objects = 3, .objects_per_txn = 1}, rng);
+  const DenseMetric m(b.graph);
+  LineScheduler sched(b);
+  EXPECT_NO_THROW(sched.run(inst, m));
 }
 
 TEST(LineScheduler, SingleSharedObjectSweeps) {

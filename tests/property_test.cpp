@@ -25,12 +25,7 @@
 #include "graph/topologies/line.hpp"
 #include "graph/topologies/star.hpp"
 #include "lb/bounds.hpp"
-#include "sched/baseline.hpp"
-#include "sched/cluster.hpp"
-#include "sched/greedy.hpp"
-#include "sched/grid.hpp"
-#include "sched/line.hpp"
-#include "sched/star.hpp"
+#include "sched/registry.hpp"
 #include "sim/capacity_sim.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -94,37 +89,24 @@ TopologyUnderTest make_topology(int which) {
   return t;
 }
 
-std::vector<std::unique_ptr<Scheduler>> make_schedulers(
-    const TopologyUnderTest& t, std::uint64_t seed) {
-  std::vector<std::unique_ptr<Scheduler>> out;
-  out.push_back(std::make_unique<GreedyScheduler>(
-      GreedyOptions{ColoringRule::kPaperPigeonhole, ColoringOrder::kById,
-                    false, seed}));
-  out.push_back(std::make_unique<GreedyScheduler>(GreedyOptions{
-      ColoringRule::kFirstFit, ColoringOrder::kById, true, seed}));
-  out.push_back(
-      std::make_unique<OrderScheduler>(OrderOptions{true, false, seed}));
-  out.push_back(
-      std::make_unique<OrderScheduler>(OrderOptions{false, true, seed}));
-  if (t.line) out.push_back(std::make_unique<LineScheduler>(*t.line));
-  if (t.grid) out.push_back(std::make_unique<GridScheduler>(*t.grid));
+// Every scheduler is built through the registry by name; topology-specific
+// names work because make_scheduler_for recovers the topology from the
+// instance's graph ("exact" is skipped — Held–Karp blows up at this size).
+std::vector<std::string> scheduler_names_under_test(
+    const TopologyUnderTest& t) {
+  std::vector<std::string> names{"greedy-paper", "greedy-compact",
+                                 "random-order", "serial"};
+  if (t.line) names.push_back("line");
+  if (t.grid) names.push_back("grid");
   if (t.cluster) {
-    out.push_back(std::make_unique<ClusterScheduler>(
-        *t.cluster, ClusterSchedulerOptions{.seed = seed}));
-    out.push_back(std::make_unique<ClusterScheduler>(
-        *t.cluster, ClusterSchedulerOptions{
-                        .approach = ClusterApproach::kRandomized,
-                        .seed = seed}));
+    names.push_back("cluster");
+    names.push_back("cluster-random");
   }
   if (t.star) {
-    out.push_back(std::make_unique<StarScheduler>(
-        *t.star, StarSchedulerOptions{.seed = seed}));
-    out.push_back(std::make_unique<StarScheduler>(
-        *t.star,
-        StarSchedulerOptions{.strategy = StarStrategy::kRandomized,
-                             .seed = seed}));
+    names.push_back("star");
+    names.push_back("star-random");
   }
-  return out;
+  return names;
 }
 
 class EverySchedulerEverywhere
@@ -139,7 +121,9 @@ TEST_P(EverySchedulerEverywhere, FullInvariantSet) {
       topo.graph(), {.num_objects = 6, .objects_per_txn = 2}, rng);
   const InstanceBounds lb = compute_bounds(inst, metric);
 
-  for (auto& sched : make_schedulers(topo, static_cast<std::uint64_t>(seed_base))) {
+  for (const std::string& name : scheduler_names_under_test(topo)) {
+    const auto sched =
+        make_scheduler_for(inst, name, static_cast<std::uint64_t>(seed_base));
     const Schedule s = sched->run(inst, metric);
     const ValidationResult vr = validate(inst, metric, s);
     ASSERT_TRUE(vr.ok) << topo.name << '/' << sched->name() << ": "
@@ -180,10 +164,8 @@ TEST_P(MutationFuzz, ValidatorAndSimulatorAlwaysAgree) {
   const DenseMetric metric(grid.graph);
   const Instance inst = generate_uniform(
       grid.graph, {.num_objects = 5, .objects_per_txn = 2}, rng);
-  GreedyOptions gopts;
-  gopts.rule = ColoringRule::kFirstFit;
-  GreedyScheduler sched(gopts);
-  const Schedule base = sched.run(inst, metric);
+  const auto sched = make_scheduler("greedy-ff");
+  const Schedule base = sched->run(inst, metric);
   ASSERT_TRUE(validate(inst, metric, base).ok);
 
   for (int mutation = 0; mutation < 30; ++mutation) {

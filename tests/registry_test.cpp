@@ -1,0 +1,145 @@
+// Tests for the scheduler registry (sched/registry.hpp): the unified
+// name-based construction API, including the topology-recovering
+// make_scheduler_for tier added for the fault/recovery work.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/generators.hpp"
+#include "core/validate.hpp"
+#include "graph/metric.hpp"
+#include "graph/topologies/clique.hpp"
+#include "graph/topologies/cluster.hpp"
+#include "graph/topologies/grid.hpp"
+#include "graph/topologies/line.hpp"
+#include "graph/topologies/star.hpp"
+#include "sched/grid.hpp"
+#include "sched/line.hpp"
+#include "sched/registry.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+namespace {
+
+Instance uniform_instance(const Graph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  return generate_uniform(g, {.num_objects = 6, .objects_per_txn = 2}, rng);
+}
+
+TEST(Registry, AgnosticNamesConstructThroughBothTiers) {
+  const Clique topo(6);
+  const Instance inst = uniform_instance(topo.graph, 1);
+  for (const std::string& name : scheduler_names()) {
+    const auto plain = make_scheduler(name);
+    const auto via_inst = make_scheduler_for(inst, name);
+    ASSERT_NE(plain, nullptr) << name;
+    ASSERT_NE(via_inst, nullptr) << name;
+    EXPECT_EQ(plain->name(), via_inst->name()) << name;
+    // Agnostic schedulers are not wrapped: underlying() is the identity.
+    EXPECT_EQ(via_inst->underlying(), via_inst.get()) << name;
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  const Clique topo(6);
+  const Instance inst = uniform_instance(topo.graph, 1);
+  EXPECT_THROW((void)make_scheduler("frobnicate"), Error);
+  EXPECT_THROW((void)make_scheduler_for(inst, "frobnicate"), Error);
+}
+
+// Every topology-specific name constructs on its own topology and the
+// resulting schedule validates.
+TEST(Registry, TopologyNamesRecoverAndRun) {
+  const Line line(8);
+  const Grid grid(4);
+  const ClusterGraph cluster(3, 4, 6);
+  const Star star(3, 3);
+  const struct {
+    const Graph* g;
+    std::vector<std::string> names;
+  } cases[] = {
+      {&line.graph, {"line"}},
+      {&grid.graph, {"grid", "grid-ff"}},
+      {&cluster.graph,
+       {"cluster", "cluster-greedy", "cluster-random", "cluster-best"}},
+      {&star.graph, {"star", "star-greedy", "star-random", "star-best"}},
+  };
+  for (const auto& c : cases) {
+    const Instance inst = uniform_instance(*c.g, 5);
+    const DenseMetric metric(*c.g);
+    for (const std::string& name : c.names) {
+      const auto sched = make_scheduler_for(inst, name, 5);
+      ASSERT_NE(sched, nullptr) << name;
+      const Schedule s = sched->run(inst, metric);
+      EXPECT_TRUE(validate(inst, metric, s).ok)
+          << name << ": infeasible schedule";
+    }
+  }
+}
+
+TEST(Registry, TopologyNameOnWrongGraphThrows) {
+  const Line line(8);
+  const Grid grid(4);
+  const Instance on_line = uniform_instance(line.graph, 2);
+  const Instance on_grid = uniform_instance(grid.graph, 2);
+  EXPECT_THROW((void)make_scheduler_for(on_line, "grid"), Error);
+  EXPECT_THROW((void)make_scheduler_for(on_line, "star"), Error);
+  EXPECT_THROW((void)make_scheduler_for(on_grid, "line"), Error);
+  EXPECT_THROW((void)make_scheduler_for(on_grid, "cluster"), Error);
+}
+
+TEST(Registry, SchedulerNamesForExtendsAgnosticList) {
+  const auto base = scheduler_names();
+
+  const Line line(8);
+  const auto line_names =
+      scheduler_names_for(uniform_instance(line.graph, 3));
+  for (const std::string& name : base) {
+    EXPECT_NE(std::find(line_names.begin(), line_names.end(), name),
+              line_names.end())
+        << name << " missing from scheduler_names_for";
+  }
+  EXPECT_NE(std::find(line_names.begin(), line_names.end(), "line"),
+            line_names.end());
+
+  // A clique matches no parameterized topology: no extension.
+  const Clique clique(6);
+  EXPECT_EQ(scheduler_names_for(uniform_instance(clique.graph, 3)), base);
+}
+
+// The wrapper owns the recovered topology; underlying() reaches the
+// concrete scheduler so post-run accessors stay usable.
+TEST(Registry, UnderlyingExposesConcreteScheduler) {
+  const Grid grid(4);
+  const Instance inst = uniform_instance(grid.graph, 7);
+  const DenseMetric metric(grid.graph);
+  const auto sched = make_scheduler_for(inst, "grid");
+  (void)sched->run(inst, metric);
+  const auto* concrete = dynamic_cast<const GridScheduler*>(sched->underlying());
+  ASSERT_NE(concrete, nullptr);
+  EXPECT_GE(concrete->last_subgrid_side(), 1u);
+
+  const Line line(8);
+  const Instance line_inst = uniform_instance(line.graph, 7);
+  const DenseMetric line_metric(line.graph);
+  const auto line_sched = make_scheduler_for(line_inst, "line");
+  (void)line_sched->run(line_inst, line_metric);
+  EXPECT_NE(dynamic_cast<const LineScheduler*>(line_sched->underlying()),
+            nullptr);
+}
+
+// Seeded names are deterministic through the registry: same name + seed
+// gives the same schedule.
+TEST(Registry, SeedDeterminism) {
+  const Grid grid(4);
+  const Instance inst = uniform_instance(grid.graph, 9);
+  const DenseMetric metric(grid.graph);
+  for (const char* name : {"random-order", "grid", "greedy-ff"}) {
+    const Schedule a = make_scheduler_for(inst, name, 17)->run(inst, metric);
+    const Schedule b = make_scheduler_for(inst, name, 17)->run(inst, metric);
+    EXPECT_EQ(a.commit_time, b.commit_time) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dtm

@@ -20,11 +20,22 @@ Instance star_instance(const Star& star, std::uint64_t seed, std::size_t w,
 }
 
 TEST(StarScheduler, RejectsForeignGraphs) {
-  const Star a(3, 4), b(3, 4);
+  // Same node count (13), transposed parameters: structurally different.
+  const Star a(4, 3), b(3, 4);
   const Instance inst = star_instance(a, 1, 4, 2);
   const DenseMetric m(b.graph);
   StarScheduler sched(b);
   EXPECT_THROW(sched.run(inst, m), Error);
+}
+
+TEST(StarScheduler, AcceptsStructurallyIdenticalGraphs) {
+  // A rebuilt star of the same shape passes the structural check — the
+  // registry's recovered topologies (make_scheduler_for) rely on this.
+  const Star a(3, 4), b(3, 4);
+  const Instance inst = star_instance(a, 1, 4, 2);
+  const DenseMetric m(b.graph);
+  StarScheduler sched(b);
+  EXPECT_NO_THROW(sched.run(inst, m));
 }
 
 TEST(StarScheduler, CenterTransactionRunsFirst) {

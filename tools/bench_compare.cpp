@@ -1,6 +1,7 @@
 // bench_compare — diff two BENCH_*.json artifacts and flag regressions.
 //
 //   bench_compare BASELINE.json CANDIDATE.json [--threshold 25]
+//                 [--no-timers]
 //
 // Three layers of comparison:
 //  - series rows (the paper-style result tables) are seeded and
@@ -10,7 +11,10 @@
 //  - counters (counted work: queries, probes, legs moved) and phase-timer
 //    means/totals diff by percentage: growth beyond --threshold percent is
 //    a regression. Counters are deterministic for seeded benches; timers
-//    are wall-clock and need a generous threshold.
+//    are wall-clock and need a generous threshold. --no-timers drops the
+//    timer layer entirely — use it when baseline and candidate come from
+//    different machines or runs too short to time stably (CI gates on a
+//    committed baseline compare series + counters only).
 //  - environment-describing counters (pool.workers) are reported as "info"
 //    but never flagged — they describe the machine, not the work.
 // Exits 1 if any regression was found, 0 otherwise.
@@ -226,14 +230,17 @@ JsonValue load_artifact(const std::string& path) {
   return doc;
 }
 
-/// Flat metric map: counters by name, timers by mean and total.
-std::map<std::string, double> metrics_of(const JsonValue& doc) {
+/// Flat metric map: counters by name, timers by mean and total (timers
+/// omitted when `with_timers` is false).
+std::map<std::string, double> metrics_of(const JsonValue& doc,
+                                         bool with_timers) {
   std::map<std::string, double> out;
   if (const JsonValue* counters = doc.find("counters")) {
     for (const auto& [name, v] : counters->obj) {
       out["counter/" + name] = v.number;
     }
   }
+  if (!with_timers) return out;
   if (const JsonValue* timers = doc.find("timers")) {
     for (const auto& [name, t] : timers->obj) {
       if (const JsonValue* mean = t.find("mean_ns")) {
@@ -329,16 +336,17 @@ int main(int argc, char** argv) {
     const dtm::ArgParser args(argc, argv);
     const double threshold_pct =
         static_cast<double>(args.get_int("threshold", 25));
+    const bool with_timers = !args.has("no-timers");
     const auto files = args.positional();
     if (args.has("help") || files.size() != 2) {
       std::cerr << "usage: bench_compare BASELINE.json CANDIDATE.json "
-                   "[--threshold PCT]\n";
+                   "[--threshold PCT] [--no-timers]\n";
       return files.size() == 2 ? 0 : 2;
     }
     const JsonValue base = load_artifact(files[0]);
     const JsonValue cand = load_artifact(files[1]);
-    const auto base_m = metrics_of(base);
-    const auto cand_m = metrics_of(cand);
+    const auto base_m = metrics_of(base, with_timers);
+    const auto cand_m = metrics_of(cand, with_timers);
 
     int regressions = diff_series(base, cand);
 
