@@ -13,6 +13,7 @@
 #include "core/validate.hpp"
 #include "graph/metric.hpp"
 #include "sched/cluster.hpp"
+#include "sched/registry.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -38,15 +39,16 @@ void print_series() {
           Rng rng(seed * 71 + sigma);
           const Instance inst =
               generate_cluster_spread(topo, 3 * alpha, k, sigma, rng);
-          ClusterSchedulerOptions opts;
-          opts.approach = ClusterApproach::kRandomized;
-          opts.seed = seed;
-          ClusterScheduler sched(topo, opts);
-          const Schedule s = sched.run(inst, metric);
+          auto sched = make_scheduler_for(inst, "cluster-random", seed);
+          const Schedule s = sched->run(inst, metric);
           DTM_REQUIRE(validate(inst, metric, s).ok, "infeasible schedule");
-          rounds.add(static_cast<double>(sched.last_stats().total_rounds));
-          forced.add(static_cast<double>(sched.last_stats().forced_rounds));
-          phases.add(static_cast<double>(sched.last_stats().phases));
+          // The registry wrapper exposes the concrete scheduler (and its
+          // post-run round stats) through underlying().
+          const auto& cs =
+              dynamic_cast<const ClusterScheduler&>(*sched->underlying());
+          rounds.add(static_cast<double>(cs.last_stats().total_rounds));
+          forced.add(static_cast<double>(cs.last_stats().forced_rounds));
+          phases.add(static_cast<double>(cs.last_stats().phases));
         }
         const double m = static_cast<double>(
             std::max(topo.num_nodes(), std::size_t{3} * alpha));
@@ -70,10 +72,8 @@ void BM_RandomizedRounds(benchmark::State& state) {
   Rng rng(5);
   const Instance inst = generate_cluster_spread(topo, 24, 2, sigma, rng);
   for (auto _ : state) {
-    ClusterSchedulerOptions opts;
-    opts.approach = ClusterApproach::kRandomized;
-    ClusterScheduler sched(topo, opts);
-    const Schedule s = sched.run(inst, metric);
+    auto sched = make_scheduler_for(inst, "cluster-random");
+    const Schedule s = sched->run(inst, metric);
     benchmark::DoNotOptimize(s.commit_time.data());
   }
 }

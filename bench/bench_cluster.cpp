@@ -11,21 +11,12 @@
 
 #include "core/generators.hpp"
 #include "graph/topologies/cluster.hpp"
-#include "sched/cluster.hpp"
+#include "sched/registry.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using namespace dtm;
-
-std::unique_ptr<Scheduler> make_cluster_sched(const ClusterGraph& topo,
-                                              ClusterApproach ap,
-                                              std::uint64_t seed) {
-  ClusterSchedulerOptions opts;
-  opts.approach = ap;
-  opts.seed = seed;
-  return std::make_unique<ClusterScheduler>(topo, opts);
-}
 
 void crossover_series() {
   benchutil::print_header(
@@ -49,15 +40,15 @@ void crossover_series() {
         Rng rng(seed);
         return generate_cluster_spread(topo, 3 * alpha, k, sigma, rng);
       };
-      for (auto [name, ap] :
-           {std::pair{"greedy(A1)", ClusterApproach::kGreedy},
-            std::pair{"random(A2)", ClusterApproach::kRandomized},
-            std::pair{"auto", ClusterApproach::kAuto},
-            std::pair{"best(min)", ClusterApproach::kBest}}) {
+      for (auto [name, sched_name] :
+           {std::pair{"greedy(A1)", "cluster-greedy"},
+            std::pair{"random(A2)", "cluster-random"},
+            std::pair{"auto", "cluster"},
+            std::pair{"best(min)", "cluster-best"}}) {
         const auto summary = benchutil::run_trials(
             metric, make_inst,
-            [&](std::uint64_t seed) {
-              return make_cluster_sched(topo, ap, seed);
+            [&](const Instance& inst, std::uint64_t seed) {
+              return make_scheduler_for(inst, sched_name, seed);
             },
             /*trials=*/5, /*seed0=*/40 * beta + k);
         table.add_row(alpha, beta, beta, k, sigma, name,
@@ -86,8 +77,8 @@ void locality_series() {
           Rng rng(seed);
           return generate_cluster_local(topo, 4 * alpha, k, rng);
         },
-        [&](std::uint64_t seed) {
-          return make_cluster_sched(topo, ClusterApproach::kAuto, seed);
+        [&](const Instance& inst, std::uint64_t seed) {
+          return make_scheduler_for(inst, "cluster", seed);
         },
         /*trials=*/5, /*seed0=*/static_cast<std::uint64_t>(gamma));
     table.add_row(alpha, beta, gamma, summary.lower_bound.mean(),
@@ -121,12 +112,13 @@ void sigma_series() {
       }
       return inst;
     };
-    for (auto [name, ap] : {std::pair{"greedy(A1)", ClusterApproach::kGreedy},
-                            std::pair{"random(A2)", ClusterApproach::kRandomized}}) {
+    for (auto [name, sched_name] :
+         {std::pair{"greedy(A1)", "cluster-greedy"},
+          std::pair{"random(A2)", "cluster-random"}}) {
       const auto summary = benchutil::run_trials(
           metric, make_inst,
-          [&](std::uint64_t seed) {
-            return make_cluster_sched(topo, ap, seed);
+          [&](const Instance& inst, std::uint64_t seed) {
+            return make_scheduler_for(inst, sched_name, seed);
           },
           /*trials=*/5, /*seed0=*/17 * sigma + 1);
       table.add_row(sigma, realized.load(), name, summary.lower_bound.mean(),
@@ -144,10 +136,8 @@ void BM_ClusterScheduler(benchmark::State& state) {
   Rng rng(11);
   const Instance inst = generate_cluster_spread(topo, 24, 2, 4, rng);
   for (auto _ : state) {
-    auto sched = make_cluster_sched(
-        topo,
-        randomized ? ClusterApproach::kRandomized : ClusterApproach::kGreedy,
-        13);
+    auto sched = make_scheduler_for(
+        inst, randomized ? "cluster-random" : "cluster-greedy", 13);
     const Schedule s = sched->run(inst, metric);
     benchmark::DoNotOptimize(s.commit_time.data());
   }

@@ -144,7 +144,12 @@ std::vector<NodeId> reroute_path(const Graph& g, const FaultModel& model,
 }
 
 Time backoff_delay(const RecoveryPolicy& p, std::size_t attempt) {
-  if (attempt >= 62) return p.backoff_cap;
+  // Once base << attempt would exceed the cap the answer is the cap;
+  // checking via a right shift keeps the left shift free of signed
+  // overflow for any base, not just base == 1.
+  if (attempt >= 62 || (p.backoff_cap >> attempt) < p.backoff_base) {
+    return p.backoff_cap;
+  }
   return std::min<Time>(p.backoff_base << attempt, p.backoff_cap);
 }
 
@@ -334,7 +339,11 @@ SimResult simulate_with_faults(const Instance& inst, const Metric& metric,
         fail(os.str());
         continue;
       }
-      if (st.in_transit) ready = std::max(ready, st.arrival);
+      // Fold in the arrival unconditionally: for zero-distance handoffs
+      // (next home == current node) traverse() returns the releasing
+      // commit's realized time with in_transit false, and that release time
+      // still gates this commit. Never-launched first legs leave arrival 0.
+      ready = std::max(ready, st.arrival);
     }
     if (!structure_ok) continue;
     const Time realized = ready;

@@ -34,6 +34,7 @@
 
 #include "core/types.hpp"
 #include "graph/graph.hpp"
+#include "util/error.hpp"
 
 namespace dtm {
 
@@ -69,7 +70,10 @@ struct FaultConfig {
   /// (decided at send time; retried per RecoveryPolicy).
   double loss_rate = 0.0;
 
-  /// Time-window granularity for the outage/slowdown hashes.
+  /// Time-window granularity for the outage/slowdown hashes. Must be >= 2
+  /// when link_outage_rate > 0: an afflicted window is down for
+  /// min(outage_duration, window - 1) steps, so window == 1 would make
+  /// every outage zero-length (enforced by FaultModel's constructor).
   Time window = 8;
 
   std::uint64_t seed = 1;
@@ -112,7 +116,11 @@ struct FaultStats {
 /// are safe and replays are exact.
 class FaultModel {
  public:
-  explicit FaultModel(FaultConfig cfg) : cfg_(std::move(cfg)) {}
+  explicit FaultModel(FaultConfig cfg) : cfg_(std::move(cfg)) {
+    DTM_REQUIRE(cfg_.link_outage_rate <= 0 || cfg_.window >= 2,
+                "FaultConfig: window must be >= 2 when link_outage_rate > 0 "
+                "(an outage spans min(outage_duration, window - 1) steps)");
+  }
 
   const FaultConfig& config() const { return cfg_; }
 

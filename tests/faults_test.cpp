@@ -108,6 +108,18 @@ TEST(FaultModel, LastStepOfWindowStaysUsable) {
   EXPECT_EQ(model.link_up_at(0, 1, 7), 7);
 }
 
+// window == 1 would clamp every outage to zero length (the last step of a
+// window always stays usable), silently disabling the outage rate — the
+// constructor rejects the combination instead.
+TEST(FaultModel, RejectsDegenerateOutageWindow) {
+  FaultConfig cfg;
+  cfg.link_outage_rate = 0.5;
+  cfg.window = 1;
+  EXPECT_THROW(FaultModel{cfg}, Error);
+  cfg.link_outage_rate = 0.0;  // without outages, window = 1 is fine
+  EXPECT_NO_THROW(FaultModel{cfg});
+}
+
 TEST(FaultModel, ScheduledOutageActivatesAndEnds) {
   FaultConfig cfg;
   cfg.scheduled.push_back({2, 5, /*start=*/10, /*duration=*/4});
@@ -368,6 +380,67 @@ TEST(Recovery, RetransmissionExhaustionIsViolation) {
   // Backoff after attempts 0,1,2 shifts departure 1 -> 8; travel 2 more.
   EXPECT_EQ(r.faults.retries, 3u);
   EXPECT_EQ(r.realized_makespan, 10);
+}
+
+// Large attempt counts saturate at backoff_cap instead of shifting past
+// the width of Time (regression: backoff_base << attempt overflowed for
+// backoff_base > 1 once the shift grew large).
+TEST(Recovery, BackoffSaturatesAtCapForLargeAttemptCounts) {
+  const Line line(3);
+  InstanceBuilder b(line.graph, 1);
+  b.add_transaction(0, {0});
+  b.add_transaction(2, {0});
+  b.set_object_home(0, 0);
+  const Instance inst = b.build();
+  const DenseMetric m(line.graph);
+  const Schedule s = Schedule::from_commit_times(inst, {1, 3});
+
+  FaultConfig cfg;
+  cfg.loss_rate = 1.0;  // every send attempt is lost
+  const FaultModel model(cfg);
+  SimOptions opts;
+  opts.faults = &model;
+  opts.recovery.max_retries = 63;
+  opts.recovery.backoff_base = 16;
+  opts.recovery.backoff_cap = 64;
+  const SimResult r = simulate(inst, m, s, opts);
+  EXPECT_FALSE(r.ok);  // retransmissions exhausted
+  EXPECT_EQ(r.faults.retries, 64u);
+  // Delays: 16, 32, then the cap (64) for the remaining 62 attempts;
+  // departure 1 + 4016, plus travel 2 on the line.
+  EXPECT_EQ(r.realized_makespan, 1 + 16 + 32 + 62 * 64 + 2);
+}
+
+// A stalled commit gates every later requester of its objects: the
+// successor's realized commit waits for the predecessor's *realized*
+// release (not its planned one), so realized commit times never go
+// backwards along an object's visit chain.
+TEST(Recovery, StallPropagatesAlongObjectChain) {
+  const Line line(4);
+  InstanceBuilder b(line.graph, 2);
+  b.add_transaction(1, {0, 1});  // T0 @node1: o0 local, o1 from node 3
+  b.add_transaction(0, {0});     // T1 @node0: gets o0 after T0 releases it
+  b.set_object_home(0, 1);
+  b.set_object_home(1, 3);
+  const Instance inst = b.build();
+  const DenseMetric m(line.graph);
+  const Schedule s = Schedule::from_commit_times(inst, {3, 4});
+  ASSERT_TRUE(simulate(inst, m, s).ok);
+
+  FaultConfig cfg;
+  cfg.scheduled.push_back({2, 3, /*start=*/0, /*duration=*/5});
+  const FaultModel model(cfg);
+  SimOptions opts;
+  opts.faults = &model;
+  const SimResult r = simulate(inst, m, s, opts);
+  ASSERT_TRUE(r.ok) << r.summary();
+  // o1 waits out the outage at node 3 until step 5 and reaches node 1 at 7,
+  // so T0 commits at 7 (stall 4). o0 is only released then, arriving at
+  // node 0 at 8, so T1 is re-issued at 8 (stall 4) — not its planned step 4.
+  EXPECT_EQ(r.planned_makespan, 4);
+  EXPECT_EQ(r.realized_makespan, 8);
+  EXPECT_EQ(r.faults.degraded_commits, 2u);
+  EXPECT_EQ(r.faults.stall_steps, 8);
 }
 
 TEST(Recovery, EventLogAndStatsAreSeedDeterministic) {
