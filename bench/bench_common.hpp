@@ -19,16 +19,21 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/generators.hpp"
 #include "core/metrics.hpp"
 #include "core/validate.hpp"
 #include "lb/bounds.hpp"
+#include "sched/registry.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/capacity_sim.hpp"
 #include "trial_runner.hpp"
 #include "util/args.hpp"
 #include "util/json_writer.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/telemetry.hpp"
@@ -39,6 +44,99 @@ namespace dtm::benchutil {
 inline void print_header(const std::string& experiment,
                          const std::string& claim) {
   std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+/// Strips a boolean flag (e.g. --smoke) from argv before google-benchmark
+/// parses the remainder; returns whether the flag was present.
+inline bool strip_flag(int& argc, char** argv, const std::string& flag) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) {
+      found = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return found;
+}
+
+/// Seeded uniform-workload factory over a fixed graph — the instance shape
+/// shared by the congestion/fault sweep benches (E13/E18/E19).
+inline std::function<Instance(std::uint64_t)> uniform_workload(
+    const Graph& g, std::size_t num_objects = 12,
+    std::size_t objects_per_txn = 2) {
+  return [&g, num_objects, objects_per_txn](std::uint64_t seed) {
+    Rng rng(seed);
+    return generate_uniform(
+        g, {.num_objects = num_objects, .objects_per_txn = objects_per_txn},
+        rng);
+  };
+}
+
+/// Per-trial fault setup for a capacity sweep. Owns the FaultModel so the
+/// non-owning pointer inside CapacitySimOptions stays valid for the whole
+/// trial; a null model is the reliable substrate.
+struct TrialFaults {
+  std::unique_ptr<FaultModel> model;
+  RecoveryPolicy recovery{};
+
+  CapacitySimOptions options(std::size_t capacity) const {
+    CapacitySimOptions o;
+    o.capacity = capacity;
+    o.faults = model.get();
+    o.recovery = recovery;
+    return o;
+  }
+};
+
+/// Mean stats of one (workload, scheduler) capacity-sweep cell; every
+/// vector is parallel to the capacity list passed to run_capacity_cell.
+struct CapacityCellStats {
+  std::string scheduler;  // registry display name
+  std::vector<Stats> makespan;
+  std::vector<Stats> queue_wait;
+  std::vector<Stats> injected;
+  std::vector<Stats> reroutes;
+};
+
+/// The capacity-sweep trial loop shared by E13b and E19: per seeded trial,
+/// generate the workload, plan the schedule, then re-execute its visit
+/// orders under every capacity in `capacities` (0 = unbounded).
+/// `seed_schedulers` passes the trial seed to the registry (E18/E19 style);
+/// false keeps the registry's default seed (E13b's historic behavior).
+/// `faults_for`, when set, supplies the per-trial fault model/recovery.
+inline CapacityCellStats run_capacity_cell(
+    const Metric& metric,
+    const std::function<Instance(std::uint64_t)>& make_inst,
+    const std::string& sched_name, bool seed_schedulers,
+    const std::vector<std::size_t>& capacities, int trials,
+    const std::function<TrialFaults(std::uint64_t)>& faults_for = {}) {
+  CapacityCellStats cell;
+  cell.makespan.resize(capacities.size());
+  cell.queue_wait.resize(capacities.size());
+  cell.injected.resize(capacities.size());
+  cell.reroutes.resize(capacities.size());
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(trials);
+       ++seed) {
+    const Instance inst = make_inst(seed);
+    auto sched = seed_schedulers ? make_scheduler_for(inst, sched_name, seed)
+                                 : make_scheduler_for(inst, sched_name);
+    cell.scheduler = sched->name();
+    const Schedule s = sched->run(inst, metric);
+    const TrialFaults faults = faults_for ? faults_for(seed) : TrialFaults{};
+    for (std::size_t i = 0; i < capacities.size(); ++i) {
+      const CapacitySimResult r =
+          simulate_with_capacity(inst, metric, s, faults.options(capacities[i]));
+      DTM_REQUIRE(r.ok, "capacity sim failed: " << r.error);
+      cell.makespan[i].add(static_cast<double>(r.makespan));
+      cell.queue_wait[i].add(static_cast<double>(r.total_queue_wait));
+      cell.injected[i].add(static_cast<double>(r.faults.injected));
+      cell.reroutes[i].add(static_cast<double>(r.faults.reroutes));
+    }
+  }
+  return cell;
 }
 
 /// Series tables recorded for the JSON artifact (one per emit_table call).

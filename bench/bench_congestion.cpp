@@ -57,22 +57,14 @@ void print_series() {
   {
     const Line topo(64);
     const DenseMetric metric(topo.graph);
-    auto make_inst = [&](std::uint64_t seed) {
-      Rng rng(seed);
-      return generate_uniform(topo.graph,
-                              {.num_objects = 12, .objects_per_txn = 2}, rng);
-    };
+    const auto make_inst = benchutil::uniform_workload(topo.graph);
     measure("line64", topo.graph, metric, make_inst, "line", table);
     measure("line64", topo.graph, metric, make_inst, "greedy-ff", table);
   }
   {
     const Grid topo(12);
     const DenseMetric metric(topo.graph);
-    auto make_inst = [&](std::uint64_t seed) {
-      Rng rng(seed);
-      return generate_uniform(topo.graph,
-                              {.num_objects = 12, .objects_per_txn = 2}, rng);
-    };
+    const auto make_inst = benchutil::uniform_workload(topo.graph);
     measure("grid12", topo.graph, metric, make_inst, "grid", table);
     measure("grid12", topo.graph, metric, make_inst, "greedy-ff", table);
     measure("grid12", topo.graph, metric, make_inst, "serial", table);
@@ -80,11 +72,7 @@ void print_series() {
   {
     const Star topo(8, 8);
     const DenseMetric metric(topo.graph);
-    auto make_inst = [&](std::uint64_t seed) {
-      Rng rng(seed);
-      return generate_uniform(topo.graph,
-                              {.num_objects = 12, .objects_per_txn = 2}, rng);
-    };
+    const auto make_inst = benchutil::uniform_workload(topo.graph);
     measure("star8x8", topo.graph, metric, make_inst, "star", table);
     measure("star8x8", topo.graph, metric, make_inst, "greedy-ff", table);
   }
@@ -98,52 +86,30 @@ void capacity_series() {
       "C; stretch = makespan(C) / makespan(unbounded)");
   Table table({"topology", "scheduler", "unbounded", "C=4", "C=2", "C=1",
                "stretch C=1"});
+  // Capacity columns in the table's order; index 0 is the unbounded run.
+  const std::vector<std::size_t> caps = {0, 4, 2, 1};
   auto run_capacities = [&](const char* topology, const Graph& g,
                             const Metric& metric,
-                            const std::function<Instance(std::uint64_t)>& mk,
                             const std::string& sched_name) {
-    Stats unbounded, c4, c2, c1;
-    std::string display_name;
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-      const Instance inst = mk(seed);
-      auto sched = make_scheduler_for(inst, sched_name);
-      display_name = sched->name();
-      const Schedule s = sched->run(inst, metric);
-      for (auto [cap, stats] : {std::pair<std::size_t, Stats*>{0, &unbounded},
-                                {4, &c4},
-                                {2, &c2},
-                                {1, &c1}}) {
-        const CapacitySimResult r =
-            simulate_with_capacity(inst, metric, s, {.capacity = cap});
-        DTM_REQUIRE(r.ok, "capacity sim failed: " << r.error);
-        stats->add(static_cast<double>(r.makespan));
-      }
-    }
-    table.add_row(topology, display_name, unbounded.mean(), c4.mean(),
-                  c2.mean(), c1.mean(), c1.mean() / unbounded.mean());
-    (void)g;
+    const benchutil::CapacityCellStats cell = benchutil::run_capacity_cell(
+        metric, benchutil::uniform_workload(g), sched_name,
+        /*seed_schedulers=*/false, caps, /*trials=*/5);
+    table.add_row(topology, cell.scheduler, cell.makespan[0].mean(),
+                  cell.makespan[1].mean(), cell.makespan[2].mean(),
+                  cell.makespan[3].mean(),
+                  cell.makespan[3].mean() / cell.makespan[0].mean());
   };
   {
     const Grid topo(12);
     const DenseMetric metric(topo.graph);
-    auto mk = [&](std::uint64_t seed) {
-      Rng rng(seed);
-      return generate_uniform(topo.graph,
-                              {.num_objects = 12, .objects_per_txn = 2}, rng);
-    };
-    run_capacities("grid12", topo.graph, metric, mk, "grid");
-    run_capacities("grid12", topo.graph, metric, mk, "greedy-ff");
+    run_capacities("grid12", topo.graph, metric, "grid");
+    run_capacities("grid12", topo.graph, metric, "greedy-ff");
   }
   {
     const Star topo(8, 8);
     const DenseMetric metric(topo.graph);
-    auto mk = [&](std::uint64_t seed) {
-      Rng rng(seed);
-      return generate_uniform(topo.graph,
-                              {.num_objects = 12, .objects_per_txn = 2}, rng);
-    };
-    run_capacities("star8x8", topo.graph, metric, mk, "star");
-    run_capacities("star8x8", topo.graph, metric, mk, "greedy-ff");
+    run_capacities("star8x8", topo.graph, metric, "star");
+    run_capacities("star8x8", topo.graph, metric, "greedy-ff");
   }
   benchutil::emit_table("capacity", table);
 }

@@ -11,6 +11,11 @@
 // across rates (sim/faults.hpp) — and topologies with route diversity
 // (grid, clique) recover by rerouting while the line can only stall.
 //
+// E19 rides in the same binary: the faults × capacity sweep the unified
+// execution engine unlocked (sim/engine.hpp) — the same planned policies
+// re-executed with bounded-capacity FIFO links *and* the fault model at
+// once, a configuration no pre-engine simulator could express.
+//
 // --smoke runs a reduced rate sweep with fewer trials; the recorded
 // BENCH_faults.json baseline is the smoke artifact so CI can re-run and
 // bench_compare it cheaply.
@@ -39,11 +44,10 @@ struct CellStats {
 CellStats run_cell(const Graph& g, const Metric& metric,
                    const std::string& sched_name, double rate, int trials) {
   CellStats cs;
+  const auto make_inst = benchutil::uniform_workload(g);
   for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(trials);
        ++seed) {
-    Rng rng(seed);
-    const Instance inst = generate_uniform(
-        g, {.num_objects = 12, .objects_per_txn = 2}, rng);
+    const Instance inst = make_inst(seed);
     auto sched = make_scheduler_for(inst, sched_name, seed);
     const Schedule s = sched->run(inst, metric);
     DTM_REQUIRE(validate(inst, metric, s).ok, "infeasible schedule");
@@ -153,11 +157,10 @@ void policy_series(bool smoke) {
   for (const auto& c : cases) {
     for (const bool reroute : {true, false}) {
       Stats realized, inflation, reroutes, stalls;
+      const auto make_inst = benchutil::uniform_workload(*c.g);
       for (std::uint64_t seed = 1;
            seed <= static_cast<std::uint64_t>(trials); ++seed) {
-        Rng rng(seed);
-        const Instance inst = generate_uniform(
-            *c.g, {.num_objects = 12, .objects_per_txn = 2}, rng);
+        const Instance inst = make_inst(seed);
         auto sched = make_scheduler_for(inst, c.sched, seed);
         const Schedule s = sched->run(inst, *c.m);
         FaultConfig fc;
@@ -181,6 +184,71 @@ void policy_series(bool smoke) {
     }
   }
   benchutil::emit_table("policy", table);
+}
+
+// E19 — faults × capacity: the composed substrate (FaultyLinks over
+// BoundedCapacityLinks). Per cell the planned visit orders re-execute with
+// FIFO links of capacity C while outages (rate p) block or reroute queued
+// objects, slowdowns inflate traversals, and lossy sends back off before
+// entering the queues. Expected shape: the two stressors compound — queue
+// wait grows as capacity tightens, and faults on top of tight links cost
+// more than either alone.
+void faultcap_series(bool smoke) {
+  benchutil::print_header(
+      "E19 — faults x capacity (composed substrates)",
+      "visit orders re-executed on bounded FIFO links under the fault "
+      "model; makespan and queue wait vs outage rate p and capacity C");
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{0.0, 0.1}
+            : std::vector<double>{0.0, 0.05, 0.1, 0.2};
+  const std::vector<std::size_t> caps =
+      smoke ? std::vector<std::size_t>{0, 1}
+            : std::vector<std::size_t>{0, 4, 2, 1};
+  const int trials = smoke ? 2 : 5;
+
+  const Grid grid(8);
+  const ClusterGraph cluster(4, 8, 8);
+  const DenseMetric grid_m(grid.graph);
+  const DenseMetric cluster_m(cluster.graph);
+  const struct {
+    const char* label;
+    const Graph* g;
+    const Metric* m;
+    std::vector<std::string> scheds;
+  } cases[] = {
+      {"grid8", &grid.graph, &grid_m, {"grid", "greedy-ff"}},
+      {"cluster4x8", &cluster.graph, &cluster_m, {"cluster", "greedy-ff"}},
+  };
+
+  Table table({"topology", "scheduler", "rate", "capacity", "makespan(mean)",
+               "queue wait(mean)", "injected(mean)", "reroutes(mean)"});
+  for (const auto& c : cases) {
+    for (const std::string& sched_name : c.scheds) {
+      for (const double rate : rates) {
+        const auto faults_for = [rate](std::uint64_t seed) {
+          benchutil::TrialFaults tf;
+          if (rate > 0) {
+            FaultConfig fc;
+            fc.link_outage_rate = rate;
+            fc.loss_rate = rate / 4;
+            fc.seed = seed;
+            tf.model = std::make_unique<FaultModel>(fc);
+          }
+          return tf;
+        };
+        const benchutil::CapacityCellStats cell =
+            benchutil::run_capacity_cell(*c.m, benchutil::uniform_workload(*c.g),
+                                         sched_name, /*seed_schedulers=*/true,
+                                         caps, trials, faults_for);
+        for (std::size_t i = 0; i < caps.size(); ++i) {
+          table.add_row(c.label, sched_name, rate, caps[i],
+                        cell.makespan[i].mean(), cell.queue_wait[i].mean(),
+                        cell.injected[i].mean(), cell.reroutes[i].mean());
+        }
+      }
+    }
+  }
+  benchutil::emit_table("faultcap", table);
 }
 
 void BM_FaultSim(benchmark::State& state) {
@@ -209,19 +277,11 @@ BENCHMARK(BM_FaultSim)->Arg(0)->Arg(5)->Arg(20)->Unit(
 
 int main(int argc, char** argv) {
   // Strip --smoke before BenchMain / google-benchmark see the flag.
-  bool smoke = false;
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--smoke") {
-      smoke = true;
-      continue;
-    }
-    argv[out++] = argv[i];
-  }
-  argc = out;
+  const bool smoke = dtm::benchutil::strip_flag(argc, argv, "--smoke");
   dtm::benchutil::BenchMain bm("faults", argc, argv);
   print_series(smoke);
   policy_series(smoke);
+  faultcap_series(smoke);
   bm.write_artifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

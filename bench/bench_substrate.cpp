@@ -144,7 +144,7 @@ void BM_Simulator(benchmark::State& state) {
   const Schedule s = sched.run(inst, metric);
   for (auto _ : state) {
     const SimResult r = simulate(inst, metric, s);
-    benchmark::DoNotOptimize(r.makespan);
+    benchmark::DoNotOptimize(r.realized_makespan);
     DTM_ASSERT(r.ok);
   }
 }

@@ -227,14 +227,25 @@ int run(const ArgParser& args) {
     const ScheduleMetrics sm = compute_metrics(inst, *metric, schedule);
     const CongestionReport cong = analyze_congestion(inst, *metric, schedule);
     if (args.has("capacity")) {
+      // The --fault-* flags compose with --capacity: the replay runs the
+      // visit orders on bounded FIFO links *and* the faulty network at once.
       const auto cap = static_cast<std::size_t>(args.get_int("capacity", 1));
+      CapacitySimOptions cap_opts;
+      cap_opts.capacity = cap;
+      if (faults) cap_opts.faults = &*faults;
       const CapacitySimResult replay =
-          simulate_with_capacity(inst, *metric, schedule, {.capacity = cap});
+          simulate_with_capacity(inst, *metric, schedule, cap_opts);
       DTM_REQUIRE(replay.ok, "capacity replay failed: " << replay.error);
       std::cout << "capacity-" << cap << " replay: makespan "
                 << replay.makespan << ", queue wait "
                 << replay.total_queue_wait << ", max queue "
-                << replay.max_queue_length << "\n";
+                << replay.max_queue_length;
+      if (faults) {
+        std::cout << " (injected " << replay.faults.injected << ", retries "
+                  << replay.faults.retries << ", reroutes "
+                  << replay.faults.reroutes << ")";
+      }
+      std::cout << "\n";
     }
     const double ratio = static_cast<double>(sm.makespan) /
                          static_cast<double>(std::max<Time>(lb.makespan_lb, 1));

@@ -69,7 +69,7 @@ int main() {
   const SimResult sim = simulate(inst, metric, best, opts);
   DTM_REQUIRE(sim.ok, "simulation failed: " << sim.summary());
   std::cout << "\nfirst events of the best schedule (makespan "
-            << sim.makespan << "):\n";
+            << sim.realized_makespan << "):\n";
   std::size_t shown = 0;
   for (const SimEvent& e : sim.events) {
     if (shown++ >= 14) break;

@@ -1,39 +1,12 @@
 #include "sim/capacity_sim.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <unordered_map>
+
+#include "sim/engine.hpp"
+#include "sim/link_policy.hpp"
+#include "util/error.hpp"
 
 namespace dtm {
-
-namespace {
-
-std::uint64_t edge_key(NodeId a, NodeId b) {
-  if (a > b) std::swap(a, b);
-  return (static_cast<std::uint64_t>(a) << 32) | b;
-}
-
-struct ObjState {
-  enum class Phase { kIdle, kQueued, kOnEdge, kDone };
-  const std::vector<TxnId>* order = nullptr;
-  std::size_t leg = 0;            // index of the requester being served
-  std::vector<NodeId> path;       // node sequence of the current leg
-  std::size_t hop = 0;            // index of the current node in `path`
-  Phase phase = Phase::kDone;
-  Weight edge_remaining = 0;
-
-  NodeId at() const { return path[hop]; }
-  bool traveling() const {
-    return phase == Phase::kQueued || phase == Phase::kOnEdge;
-  }
-};
-
-struct EdgeChannel {
-  std::deque<ObjectId> queue;
-  std::size_t in_transit = 0;
-};
-
-}  // namespace
 
 CapacitySimResult simulate_with_capacity(const Instance& inst,
                                          const Metric& metric,
@@ -49,138 +22,32 @@ CapacitySimResult simulate_with_capacity(const Instance& inst,
                                               << "] is not a permutation");
   }
 
-  CapacitySimResult result;
-  const std::size_t n = inst.num_transactions();
-  const std::size_t w = inst.num_objects();
+  const bool faulty = opts.faults != nullptr && opts.faults->active();
+  EngineOptions eo;
+  eo.discipline = CommitDiscipline::kEarliest;
+  eo.max_steps = opts.max_steps;
+  // The capacity re-executor historically reported through its result
+  // struct only; keeping the fault-free run counter-silent keeps recorded
+  // bench counter totals stable.
+  eo.telemetry = faulty;
 
-  std::vector<ObjState> obj(w);
-  std::unordered_map<std::uint64_t, EdgeChannel> channels;
-  // present[t]: objects of t currently idle at t's home, targeting t.
-  std::vector<std::size_t> present(n, 0);
-  std::vector<char> committed(n, 0);
-  std::size_t committed_count = 0;
-  std::vector<TxnId> ready;
-
-  auto note_arrival = [&](ObjectId o) {
-    const TxnId target = (*obj[o].order)[obj[o].leg];
-    if (++present[target] == inst.txn(target).objects.size()) {
-      ready.push_back(target);
-    }
-  };
-
-  // Route object o toward its current leg's requester; marks it idle (and
-  // counts it as present) when it is already there.
-  auto start_leg = [&](ObjectId o, NodeId from) {
-    ObjState& st = obj[o];
-    const NodeId target = inst.txn((*st.order)[st.leg]).home;
-    if (from == target) {
-      st.path = {from};
-      st.hop = 0;
-      st.phase = ObjState::Phase::kIdle;
-      note_arrival(o);
-      return;
-    }
-    st.path = metric.path(from, target);
-    st.hop = 0;
-    st.phase = ObjState::Phase::kQueued;
-    channels[edge_key(st.path[0], st.path[1])].queue.push_back(o);
-  };
-
-  for (ObjectId o = 0; o < w; ++o) {
-    obj[o].order = &s.object_order[o];
-    if (obj[o].order->empty()) {
-      obj[o].phase = ObjState::Phase::kDone;
-      continue;
-    }
-    start_leg(o, inst.object_home(o));
-  }
-  // Transactions with no objects are trivially ready.
-  for (TxnId t = 0; t < n; ++t) {
-    if (inst.txn(t).objects.empty()) ready.push_back(t);
+  BoundedCapacityLinks bounded(metric, opts.capacity);
+  EngineResult r;
+  if (faulty) {
+    FaultyLinks links(metric, *opts.faults, opts.recovery, &bounded);
+    r = Engine(inst, metric, s, links, eo).run();
+  } else {
+    r = Engine(inst, metric, s, bounded, eo).run();
   }
 
-  auto admit = [&]() {
-    for (auto& [key, ch] : channels) {
-      (void)key;
-      while (!ch.queue.empty() &&
-             (opts.capacity == 0 || ch.in_transit < opts.capacity)) {
-        const ObjectId o = ch.queue.front();
-        ch.queue.pop_front();
-        ObjState& st = obj[o];
-        st.phase = ObjState::Phase::kOnEdge;
-        st.edge_remaining = metric.distance(st.path[st.hop], st.path[st.hop + 1]);
-        ++ch.in_transit;
-      }
-    }
-  };
-  auto account_queues = [&]() {
-    for (const auto& [key, ch] : channels) {
-      (void)key;
-      result.total_queue_wait += static_cast<Time>(ch.queue.size());
-      result.max_queue_length =
-          std::max(result.max_queue_length, ch.queue.size());
-    }
-  };
-
-  admit();  // departures at step 0 begin traversing during step 1
-  account_queues();
-
-  for (Time step = 1; committed_count < n; ++step) {
-    if (opts.max_steps > 0 && step > opts.max_steps) {
-      result.ok = false;
-      result.error = "exceeded max_steps=" + std::to_string(opts.max_steps);
-      return result;
-    }
-
-    // 1. Progress objects on edges; complete hops/legs.
-    for (ObjectId o = 0; o < w; ++o) {
-      ObjState& st = obj[o];
-      if (st.phase != ObjState::Phase::kOnEdge) continue;
-      if (--st.edge_remaining > 0) continue;
-      // Hop finished: leave the edge.
-      auto& ch = channels[edge_key(st.path[st.hop], st.path[st.hop + 1])];
-      DTM_ASSERT(ch.in_transit > 0);
-      --ch.in_transit;
-      ++st.hop;
-      if (st.hop + 1 == st.path.size()) {
-        st.phase = ObjState::Phase::kIdle;
-        note_arrival(o);
-      } else {
-        st.phase = ObjState::Phase::kQueued;
-        channels[edge_key(st.path[st.hop], st.path[st.hop + 1])].queue.push_back(o);
-      }
-    }
-
-    // 2. Commit every ready transaction (receive -> execute), then release
-    //    its objects toward their next requesters (-> forward).
-    std::vector<TxnId> committing;
-    committing.swap(ready);
-    for (TxnId t : committing) {
-      DTM_ASSERT(!committed[t]);
-      committed[t] = 1;
-      ++committed_count;
-      result.makespan = std::max(result.makespan, step);
-      for (ObjectId o : inst.txn(t).objects) {
-        ObjState& st = obj[o];
-        DTM_ASSERT(st.phase == ObjState::Phase::kIdle);
-        const NodeId here = st.at();
-        ++st.leg;
-        if (st.leg < st.order->size()) {
-          start_leg(o, here);
-        } else {
-          st.phase = ObjState::Phase::kDone;
-        }
-      }
-    }
-
-    // 3. Admit queued objects onto free links (traversal occupies steps
-    //    step+1 .. step+weight).
-    admit();
-
-    // Accounting: objects still queued after admission waited this step.
-    account_queues();
-  }
-  return result;
+  CapacitySimResult out;
+  out.ok = r.ok;
+  if (!r.ok) out.error = r.violations.front();
+  out.makespan = r.realized_makespan;
+  out.total_queue_wait = r.total_queue_wait;
+  out.max_queue_length = r.max_queue_length;
+  out.faults = r.faults;
+  return out;
 }
 
 }  // namespace dtm

@@ -10,9 +10,18 @@
 // commit times are discarded — only the visit orders matter, so the result
 // measures how much the policy's makespan stretches under congestion).
 //
+// With an active FaultModel in the options the same re-execution runs on
+// the faulty queued substrate: outages block or reroute queued objects,
+// slowdowns inflate traversals, and lost sends back off before entering
+// the queues — faults × capacity as one configuration.
+//
 // Guarantees: with capacity >= 1 and jointly-acyclic visit orders the
-// execution always terminates, and
+// fault-free execution always terminates, and
 //   makespan(capacity=∞) <= makespan(C) <= makespan(C') for C >= C'.
+//
+// simulate_with_capacity() is a thin façade over the execution engine
+// (sim/engine.hpp) running BoundedCapacityLinks — optionally wrapped by
+// FaultyLinks — under the earliest-commit discipline.
 #pragma once
 
 #include <string>
@@ -20,6 +29,7 @@
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
 #include "graph/metric.hpp"
+#include "sim/faults.hpp"
 
 namespace dtm {
 
@@ -30,6 +40,12 @@ struct CapacitySimOptions {
   /// Abort if this many steps elapse without completing (guards against
   /// accidental infinite loops; 0 = no limit).
   Time max_steps = 1 << 22;
+
+  /// Fault oracle (non-owning; must outlive the call). Null or inactive
+  /// keeps the reliable queued substrate — bit-identical to a fault-free
+  /// build. `recovery` is only consulted when faults are active.
+  const FaultModel* faults = nullptr;
+  RecoveryPolicy recovery{};
 };
 
 struct CapacitySimResult {
@@ -41,6 +57,8 @@ struct CapacitySimResult {
   Time total_queue_wait = 0;
   /// Largest queue observed on any link.
   std::size_t max_queue_length = 0;
+  /// Fault/recovery tallies (all zero on the reliable substrate).
+  FaultStats faults;
 
   explicit operator bool() const { return ok; }
 };

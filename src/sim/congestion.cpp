@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "sim/engine.hpp"
 #include "util/telemetry.hpp"
 
 namespace dtm {
@@ -51,28 +52,21 @@ CongestionReport analyze_congestion(const Instance& inst, const Metric& metric,
   CongestionReport report;
   std::unordered_map<std::uint64_t, PerEdge> edges;
 
-  // Walk each object's legs exactly as the simulator does: depart at the
-  // previous holder's commit (or step 0 from home), occupy each hop's edge
+  // Pure analysis pass over the schedule's planned leg trace (the same
+  // launches the engine would perform, object-major / leg-minor): each leg
+  // departs at the previous holder's commit and occupies each hop's edge
   // for `weight` consecutive steps.
-  for (ObjectId o = 0; o < inst.num_objects(); ++o) {
-    NodeId at = inst.object_home(o);
-    Time depart = 0;
-    for (TxnId t : s.object_order[o]) {
-      const NodeId target = inst.txn(t).home;
-      if (target != at) {
-        const auto path = metric.path(at, target);
-        Time clock = depart;
-        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-          const Weight hop = metric.distance(path[i], path[i + 1]);
-          edges[edge_key(path[i], path[i + 1])].traversals.push_back(
-              {clock + 1, clock + hop});
-          traversals.add();
-          clock += hop;
-          report.total_flow += hop;
-        }
-      }
-      at = target;
-      depart = s.commit_time[t];
+  for (const LegRecord& leg : planned_leg_trace(inst, s)) {
+    if (leg.from == leg.to) continue;  // instant handoff, no link pressure
+    const auto path = metric.path(leg.from, leg.to);
+    Time clock = leg.depart;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const Weight hop = metric.distance(path[i], path[i + 1]);
+      edges[edge_key(path[i], path[i + 1])].traversals.push_back(
+          {clock + 1, clock + hop});
+      traversals.add();
+      clock += hop;
+      report.total_flow += hop;
     }
   }
 

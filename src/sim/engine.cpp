@@ -1,0 +1,409 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/link_policy.hpp"
+#include "util/telemetry.hpp"
+
+namespace dtm {
+
+Engine::Engine(const Instance& inst, const Metric& metric,
+               const Schedule& schedule, LinkPolicy& links,
+               const EngineOptions& opts)
+    : inst_(&inst),
+      metric_(&metric),
+      s_(&schedule),
+      links_(&links),
+      opts_(opts) {}
+
+void Engine::fail(const std::string& msg) {
+  r_.ok = false;
+  r_.violations.push_back(msg);
+}
+
+void Engine::note_injected() {
+  r_.faults.injected += 1;
+  if (injected_ != nullptr) injected_->add();
+}
+
+void Engine::note_retry() {
+  r_.faults.retries += 1;
+  if (retries_ != nullptr) retries_->add();
+}
+
+void Engine::note_reroute() {
+  r_.faults.reroutes += 1;
+  if (reroutes_ != nullptr) reroutes_->add();
+}
+
+void Engine::object_arrived(ObjectId o) {
+  ObjectState& st = obj_[o];
+  st.in_transit = false;
+  const TxnId target = (*st.order)[st.next_leg];
+  if (++present_[target] == inst_->txn(target).objects.size()) {
+    ready_.push_back(target);
+  }
+}
+
+void Engine::account_queue(std::size_t queue_length) {
+  r_.total_queue_wait += static_cast<Time>(queue_length);
+  r_.max_queue_length = std::max(r_.max_queue_length, queue_length);
+}
+
+EngineResult Engine::run() {
+  if (init()) {
+    // The one stepping loop behind every simulator: analytic substrates
+    // jump from commit to commit, stepwise substrates tick the clock.
+    while (step()) {
+    }
+  }
+  finish();
+  return std::move(r_);
+}
+
+bool Engine::init() {
+  if (s_->commit_time.size() != inst_->num_transactions() ||
+      s_->object_order.size() != inst_->num_objects()) {
+    fail("schedule shape does not match instance");
+    return false;
+  }
+  if (opts_.telemetry) {
+    legs_moved_ = &telemetry::counter("sim.legs_moved");
+    commits_ = &telemetry::counter("sim.commits");
+    injected_ = &telemetry::counter("faults.injected");
+    retries_ = &telemetry::counter("faults.retries");
+    reroutes_ = &telemetry::counter("faults.reroutes");
+    degraded_ = &telemetry::counter("sim.degraded_commits");
+    inflation_ = &telemetry::counter("sim.makespan_inflation_steps");
+  }
+  stepwise_ = links_->stepwise();
+
+  const std::size_t w = inst_->num_objects();
+  obj_.resize(w);
+  for (ObjectId o = 0; o < w; ++o) {
+    obj_[o].order = &s_->object_order[o];
+    obj_[o].at = inst_->object_home(o);
+  }
+  return stepwise_ ? init_stepwise() : init_analytic();
+}
+
+bool Engine::init_analytic() {
+  // Leg 0 from each object's home; objects already at their first
+  // requester do not move (and record nothing, matching the historic
+  // simulators).
+  for (ObjectId o = 0; o < obj_.size(); ++o) {
+    ObjectState& st = obj_[o];
+    if (st.order->empty()) continue;
+    const NodeId target = inst_->txn(st.order->front()).home;
+    if (target == st.at) continue;
+    if (opts_.record_legs) r_.legs.push_back({o, 0, st.at, target, 0});
+    st.in_transit = true;
+    if (legs_moved_ != nullptr) legs_moved_->add();
+    st.arrival = links_->realize(*this, o, 0, st.at, target, 0);
+    st.at = target;
+  }
+
+  // Commits are processed in (commit_time, id) order; between commits the
+  // only activity is deterministic in-flight motion already resolved by
+  // the policy.
+  by_time_.resize(inst_->num_transactions());
+  for (TxnId t = 0; t < by_time_.size(); ++t) by_time_[t] = t;
+  std::sort(by_time_.begin(), by_time_.end(), [&](TxnId a, TxnId b) {
+    return s_->commit_time[a] != s_->commit_time[b]
+               ? s_->commit_time[a] < s_->commit_time[b]
+               : a < b;
+  });
+  return true;
+}
+
+bool Engine::init_stepwise() {
+  const std::size_t n = inst_->num_transactions();
+  present_.assign(n, 0);
+  committed_.assign(n, 0);
+  commit_blocked_.assign(n, 0);
+  commit_target_ = n;
+  if (opts_.discipline == CommitDiscipline::kPlannedDegraded) {
+    // Planned discipline on a queued substrate: commits scheduled before
+    // step 1 can never fire (same violation as the analytic executors);
+    // everything depending on them will run into the max_steps guard.
+    for (TxnId t = 0; t < n; ++t) {
+      if (s_->commit_time[t] < 1) {
+        std::ostringstream os;
+        os << "T" << t << " scheduled at step " << s_->commit_time[t]
+           << " (< 1)";
+        fail(os.str());
+        commit_blocked_[t] = 1;
+        --commit_target_;
+      }
+    }
+  }
+
+  for (ObjectId o = 0; o < obj_.size(); ++o) {
+    ObjectState& st = obj_[o];
+    if (st.order->empty()) continue;
+    const NodeId target = inst_->txn(st.order->front()).home;
+    if (target == st.at) {
+      object_arrived(o);
+      continue;
+    }
+    if (opts_.record_legs) r_.legs.push_back({o, 0, st.at, target, 0});
+    st.in_transit = true;
+    if (legs_moved_ != nullptr) legs_moved_->add();
+    links_->launch(*this, o, 0, st.at, target, 0);
+    st.at = target;
+  }
+  // Transactions with no objects are trivially assembled.
+  for (TxnId t = 0; t < n; ++t) {
+    if (inst_->txn(t).objects.empty()) ready_.push_back(t);
+  }
+
+  links_->admit(*this, 0);  // departures at step 0 traverse during step 1
+  links_->account(*this);
+  return true;
+}
+
+bool Engine::step() {
+  return stepwise_ ? step_stepwise() : step_analytic();
+}
+
+bool Engine::step_analytic() {
+  if (cursor_ >= by_time_.size()) return false;
+  process_planned_commit(by_time_[cursor_++]);
+  return true;
+}
+
+bool Engine::step_stepwise() {
+  if (committed_count_ >= commit_target_) return false;
+  ++clock_;
+  if (opts_.max_steps > 0 && clock_ > opts_.max_steps) {
+    fail("exceeded max_steps=" + std::to_string(opts_.max_steps));
+    return false;
+  }
+
+  // 1. Progress on-edge objects; completed legs report back through
+  //    object_arrived().
+  links_->progress(*this, clock_);
+
+  // 2. Commit assembled transactions (receive -> execute), then release
+  //    their objects toward the next requesters (-> forward).
+  std::vector<TxnId> committing;
+  if (opts_.discipline == CommitDiscipline::kEarliest) {
+    committing.swap(ready_);
+  } else {
+    // Planned-degraded: a transaction additionally waits for its
+    // scheduled commit step (never committing early, unlike kEarliest).
+    std::vector<TxnId> still_waiting;
+    for (TxnId t : ready_) {
+      if (commit_blocked_[t]) continue;
+      (s_->commit_time[t] <= clock_ ? committing : still_waiting)
+          .push_back(t);
+    }
+    ready_.swap(still_waiting);
+  }
+  for (TxnId t : committing) commit_stepwise(t, clock_);
+
+  // 3. Admit queued objects onto free links (a traversal admitted at
+  //    `clock_` occupies the edge through clock_+weight), then account
+  //    objects that stayed queued.
+  links_->admit(*this, clock_);
+  links_->account(*this);
+  return true;
+}
+
+void Engine::process_planned_commit(TxnId t) {
+  const Time planned = s_->commit_time[t];
+  if (planned < 1) {
+    std::ostringstream os;
+    os << "T" << t << " scheduled at step " << planned << " (< 1)";
+    fail(os.str());
+    return;
+  }
+  const NodeId home = inst_->txn(t).home;
+  const bool strict = opts_.discipline == CommitDiscipline::kPlannedStrict;
+
+  // Presence/structure check. Strict discipline also requires objects to
+  // have physically arrived by the scheduled step; degraded discipline
+  // folds late arrivals into the realized commit time instead.
+  bool all_ok = true;
+  Time ready = planned;
+  for (ObjectId o : inst_->txn(t).objects) {
+    ObjectState& st = obj_[o];
+    if (strict && st.in_transit && st.arrival <= planned) {
+      st.in_transit = false;
+    }
+    const bool here = (!strict || !st.in_transit) &&
+                      st.next_leg < st.order->size() &&
+                      (*st.order)[st.next_leg] == t && st.at == home;
+    if (!here) {
+      all_ok = false;
+      std::ostringstream os;
+      os << "T" << t << " @node " << home << " step " << planned
+         << ": object o" << o << (strict ? " absent (" : " misrouted (");
+      if (strict && st.in_transit) {
+        os << "in transit, arrives at step " << st.arrival;
+      } else if (st.next_leg >= st.order->size()) {
+        os << "already finished its chain";
+      } else if ((*st.order)[st.next_leg] != t) {
+        os << "next leg targets T" << (*st.order)[st.next_leg];
+      } else {
+        os << (strict ? "at node " : "headed to node ") << st.at;
+      }
+      os << ")";
+      fail(os.str());
+      continue;
+    }
+    // Fold in the arrival unconditionally: for zero-distance handoffs the
+    // policy returns the releasing commit's realized time, and that
+    // release time still gates this commit. Never-launched first legs
+    // leave arrival 0.
+    if (!strict) ready = std::max(ready, st.arrival);
+  }
+  if (!all_ok) return;
+
+  Time realized = planned;
+  if (!strict) {
+    realized = ready;
+    const Time stall = realized - planned;
+    if (stall > 0) {
+      r_.faults.degraded_commits += 1;
+      if (degraded_ != nullptr) degraded_->add();
+      r_.faults.stall_steps += stall;
+      if (inflation_ != nullptr) {
+        inflation_->add(static_cast<std::uint64_t>(stall));
+      }
+      if (stall > opts_.max_commit_stall) {
+        std::ostringstream os;
+        os << "T" << t << " stalled " << stall
+           << " steps (> max_commit_stall " << opts_.max_commit_stall << ")";
+        fail(os.str());
+      }
+    }
+  }
+  if (opts_.record_events) {
+    r_.events.push_back(
+        {realized, SimEvent::Kind::kCommit, kInvalidObject, t, home});
+  }
+  if (commits_ != nullptr) commits_->add();
+  r_.planned_makespan = std::max(r_.planned_makespan, planned);
+  r_.realized_makespan = std::max(r_.realized_makespan, realized);
+
+  // Commit: release each object toward its next requester in the same
+  // (realized) step — receive -> execute -> forward.
+  for (ObjectId o : inst_->txn(t).objects) {
+    ObjectState& st = obj_[o];
+    st.in_transit = false;
+    ++st.next_leg;
+    if (st.next_leg < st.order->size()) launch_release_leg(o, realized);
+  }
+}
+
+void Engine::commit_stepwise(TxnId t, Time now) {
+  DTM_ASSERT(!committed_[t]);
+  committed_[t] = 1;
+  ++committed_count_;
+  if (opts_.discipline == CommitDiscipline::kPlannedDegraded) {
+    const Time planned = s_->commit_time[t];
+    const Time stall = now - planned;
+    if (stall > 0) {
+      r_.faults.degraded_commits += 1;
+      if (degraded_ != nullptr) degraded_->add();
+      r_.faults.stall_steps += stall;
+      if (inflation_ != nullptr) {
+        inflation_->add(static_cast<std::uint64_t>(stall));
+      }
+      if (stall > opts_.max_commit_stall) {
+        std::ostringstream os;
+        os << "T" << t << " stalled " << stall
+           << " steps (> max_commit_stall " << opts_.max_commit_stall << ")";
+        fail(os.str());
+      }
+    }
+    r_.planned_makespan = std::max(r_.planned_makespan, planned);
+  }
+  if (opts_.record_events) {
+    r_.events.push_back({now, SimEvent::Kind::kCommit, kInvalidObject, t,
+                         inst_->txn(t).home});
+  }
+  if (commits_ != nullptr) commits_->add();
+  r_.realized_makespan = std::max(r_.realized_makespan, now);
+
+  for (ObjectId o : inst_->txn(t).objects) {
+    ObjectState& st = obj_[o];
+    DTM_ASSERT(!st.in_transit);
+    ++st.next_leg;
+    if (st.next_leg < st.order->size()) launch_release_leg(o, now);
+  }
+}
+
+void Engine::launch_release_leg(ObjectId o, Time now) {
+  ObjectState& st = obj_[o];
+  const NodeId from = st.at;
+  const NodeId target = inst_->txn((*st.order)[st.next_leg]).home;
+  if (opts_.record_legs) {
+    r_.legs.push_back({o, st.next_leg, from, target, now});
+  }
+  if (stepwise_) {
+    if (target == from) {
+      // Instant handoff: the object is already at the next requester.
+      if (opts_.record_events) {
+        r_.events.push_back(
+            {now, SimEvent::Kind::kDepart, o, kInvalidTxn, from});
+        r_.events.push_back(
+            {now, SimEvent::Kind::kArrive, o, kInvalidTxn, target});
+      }
+      object_arrived(o);
+      return;
+    }
+    st.in_transit = true;
+    if (legs_moved_ != nullptr) legs_moved_->add();
+    links_->launch(*this, o, st.next_leg, from, target, now);
+    st.at = target;
+    return;
+  }
+  if (legs_moved_ != nullptr) legs_moved_->add();
+  st.arrival = links_->realize(*this, o, st.next_leg, from, target, now);
+  st.in_transit = target != from;
+  st.at = target;
+}
+
+void Engine::finish() {
+  if (opts_.record_events) {
+    if (opts_.telemetry) {
+      telemetry::count("sim.events_recorded", r_.events.size());
+    }
+    std::stable_sort(r_.events.begin(), r_.events.end(),
+                     [](const SimEvent& a, const SimEvent& b) {
+                       return a.time < b.time;
+                     });
+  }
+  // On a strict run the realized execution is the planned one.
+  if (opts_.discipline == CommitDiscipline::kPlannedStrict) {
+    r_.planned_makespan = r_.realized_makespan;
+  }
+}
+
+std::vector<LegRecord> planned_leg_trace(const Instance& inst,
+                                         const Schedule& s) {
+  std::vector<LegRecord> trace;
+  for (ObjectId o = 0; o < inst.num_objects(); ++o) {
+    NodeId at = inst.object_home(o);
+    Time depart = 0;
+    std::size_t leg = 0;
+    for (TxnId t : s.object_order[o]) {
+      const NodeId target = inst.txn(t).home;
+      // Leg 0 is skipped when the object starts at its first requester;
+      // later zero-distance handoffs are recorded like the engine records
+      // them (the analyzer skips from == to).
+      if (leg > 0 || target != at) {
+        trace.push_back({o, leg, at, target, depart});
+      }
+      at = target;
+      depart = s.commit_time[t];
+      ++leg;
+    }
+  }
+  return trace;
+}
+
+}  // namespace dtm

@@ -1,0 +1,236 @@
+// The unified execution engine behind every simulator in this repo.
+//
+// The paper's §2.1 operational model — objects travel hop-by-hop along
+// shortest paths (an edge of weight d takes d steps), a node can receive
+// objects, execute its transaction, and forward objects within one step —
+// used to be implemented three times: the reliable/faulty schedule
+// simulator, the bounded-capacity re-executor, and the congestion
+// analyzer's leg walker. This engine is the single time-ordered core that
+// advances object *legs* (depart -> hops -> arrive) and transaction
+// commits over one shared timeline; everything substrate-specific (how
+// long a leg takes, whether it queues, what faults do to it) lives behind
+// the LinkPolicy interface (sim/link_policy.hpp).
+//
+// Two driving modes, selected by the policy:
+//  * analytic  — the policy resolves each leg to an absolute arrival time
+//    at launch (UnboundedLinks, FaultyLinks), so the engine jumps from
+//    commit to commit in scheduled order without touching the steps in
+//    between;
+//  * stepwise  — the policy queues legs on links with bounded capacity
+//    (BoundedCapacityLinks, optionally wrapped by FaultyLinks) and the
+//    engine drives the clock one step at a time: progress traversals,
+//    fire commits, admit queued objects.
+//
+// Commit disciplines:
+//  * kPlannedStrict   — a transaction commits exactly at its scheduled
+//    step or the run records a violation (the validator's operational
+//    twin; the reliable simulate() path);
+//  * kPlannedDegraded — late objects stall the commit to the first
+//    feasible step instead of violating; the realized-vs-planned gap is
+//    tallied (fault recovery, and planned execution under capacity);
+//  * kEarliest        — scheduled times are ignored; a transaction
+//    commits at the first step all its objects have assembled (the
+//    capacity re-executor's semantics).
+//
+// The engine also emits the artifacts the façades are built from: the
+// SimEvent log (depart/hop/arrive/commit), the per-leg trace consumed by
+// the congestion analyzer, telemetry counters, and fault/recovery tallies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "graph/metric.hpp"
+#include "sim/faults.hpp"
+
+namespace dtm {
+
+struct SimEvent {
+  /// kNone is the explicit "empty" kind: a default-constructed event is
+  /// inert and cannot masquerade as a commit in event-log consumers.
+  enum class Kind { kNone, kDepart, kHop, kArrive, kCommit };
+  Time time = 0;
+  Kind kind = Kind::kNone;
+  ObjectId object = kInvalidObject;  // kInvalidObject for pure commits
+  TxnId txn = kInvalidTxn;           // kInvalidTxn for moves
+  NodeId node = kInvalidNode;        // position after the event
+
+  friend bool operator==(const SimEvent&, const SimEvent&) = default;
+};
+
+/// One object-transfer leg: object `object` serves requester index `leg`
+/// of its visit chain, departing `from` at step `depart` toward `to`.
+/// Zero-distance handoffs (from == to) are included so the trace mirrors
+/// the engine's launches one-to-one; analyses skip them.
+struct LegRecord {
+  ObjectId object = kInvalidObject;
+  std::size_t leg = 0;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  Time depart = 0;
+
+  friend bool operator==(const LegRecord&, const LegRecord&) = default;
+};
+
+enum class CommitDiscipline { kPlannedStrict, kPlannedDegraded, kEarliest };
+
+struct EngineOptions {
+  CommitDiscipline discipline = CommitDiscipline::kPlannedStrict;
+
+  /// Record leg-level SimEvents (depart/arrive/commit); kHop events are
+  /// added too when `record_hops` is set (costly on weighted graphs).
+  bool record_events = false;
+  bool record_hops = false;
+
+  /// Emit a LegRecord per launched leg (the congestion analyzer's input).
+  bool record_legs = false;
+
+  /// When false the run touches no telemetry counters at all — the
+  /// capacity façade historically reported nothing, and keeping it silent
+  /// keeps recorded bench counter totals stable.
+  bool telemetry = true;
+
+  /// Stepwise guard: abort (with a violation) if this many steps elapse
+  /// without completing; 0 = no limit. Ignored by analytic policies.
+  Time max_steps = static_cast<Time>(1) << 22;
+
+  /// kPlannedDegraded only: a commit stalled beyond this bound is reported
+  /// as a violation (RecoveryPolicy::max_commit_stall's seat in the
+  /// engine).
+  Time max_commit_stall = static_cast<Time>(1) << 20;
+};
+
+struct EngineResult {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  /// Last *scheduled* commit step among executed transactions; 0 under
+  /// kEarliest for never-scheduled work (see façades for the mapping).
+  Time planned_makespan = 0;
+  /// Last commit step actually realized on the substrate.
+  Time realized_makespan = 0;
+
+  /// Total realized distance traveled by all objects (detours and
+  /// slowdown surcharges count).
+  Weight object_travel = 0;
+
+  std::vector<SimEvent> events;
+  std::vector<LegRecord> legs;
+
+  /// Fault/recovery tallies (all zero on reliable substrates).
+  FaultStats faults;
+
+  /// Stepwise queue accounting (zero for analytic policies).
+  Time total_queue_wait = 0;
+  std::size_t max_queue_length = 0;
+};
+
+class LinkPolicy;
+class TelemetryCounter;
+
+/// One engine run: single-use (construct, run(), read the result).
+///
+/// The public hook block below result-mapping is the narrow mutation API
+/// lent to LinkPolicy implementations for the duration of run(); it is not
+/// meant for other callers.
+class Engine {
+ public:
+  Engine(const Instance& inst, const Metric& metric, const Schedule& schedule,
+         LinkPolicy& links, const EngineOptions& opts);
+
+  EngineResult run();
+
+  // --- hooks for LinkPolicy implementations --------------------------
+  const Metric& metric() const { return *metric_; }
+  bool recording_events() const { return opts_.record_events; }
+  bool recording_hops() const { return opts_.record_hops; }
+  void push_event(const SimEvent& e) { r_.events.push_back(e); }
+  void add_travel(Weight w) { r_.object_travel += w; }
+  /// Records a violation; the run keeps executing (matching the historic
+  /// simulators, which report everything they can salvage).
+  void fail(const std::string& msg);
+  /// Fault tallies: bump both the result's FaultStats and (when telemetry
+  /// is on) the corresponding global counter.
+  void note_injected();
+  void note_retry();
+  void note_reroute();
+  /// Stepwise arrival: object `o` completed its current leg and now sits
+  /// at its requester's node.
+  void object_arrived(ObjectId o);
+  /// Stepwise queue accounting, called once per step by the policy.
+  void account_queue(std::size_t queue_length);
+
+ private:
+  struct ObjectState {
+    const std::vector<TxnId>* order = nullptr;
+    std::size_t next_leg = 0;
+    NodeId at = kInvalidNode;
+    bool in_transit = false;
+    Time arrival = 0;
+  };
+
+  bool init();
+  bool step();
+  void finish();
+
+  bool init_analytic();
+  bool init_stepwise();
+  bool step_analytic();
+  bool step_stepwise();
+
+  /// Launches object o's next leg at `now` (analytic: realized by the
+  /// policy immediately; stepwise: enqueued). Instant handoffs
+  /// (target == current node) are completed in place on stepwise
+  /// substrates; analytic policies record them as zero-length legs like
+  /// the historic simulators did.
+  void launch_release_leg(ObjectId o, Time now);
+
+  void process_planned_commit(TxnId t);
+  void commit_stepwise(TxnId t, Time now);
+
+  const Instance* inst_;
+  const Metric* metric_;
+  const Schedule* s_;
+  LinkPolicy* links_;
+  EngineOptions opts_;
+
+  EngineResult r_;
+  std::vector<ObjectState> obj_;
+
+  // Analytic mode: commits processed in (commit_time, id) order.
+  std::vector<TxnId> by_time_;
+  std::size_t cursor_ = 0;
+
+  // Stepwise mode: synchronous clock plus assembly bookkeeping.
+  bool stepwise_ = false;
+  Time clock_ = 0;
+  std::vector<std::size_t> present_;
+  std::vector<TxnId> ready_;
+  std::size_t committed_count_ = 0;
+  std::size_t commit_target_ = 0;
+  std::vector<char> committed_;
+  std::vector<char> commit_blocked_;  // scheduled before step 1 (violation)
+
+  // Telemetry handles (null when opts_.telemetry is off).
+  TelemetryCounter* legs_moved_ = nullptr;
+  TelemetryCounter* commits_ = nullptr;
+  TelemetryCounter* injected_ = nullptr;
+  TelemetryCounter* retries_ = nullptr;
+  TelemetryCounter* reroutes_ = nullptr;
+  TelemetryCounter* degraded_ = nullptr;
+  TelemetryCounter* inflation_ = nullptr;
+};
+
+/// The schedule's *planned* leg trace: every transfer the §2.1 execution
+/// would perform, in object-major / leg-minor order, departing each
+/// requester at its scheduled commit step (step 0 from home). Pure
+/// bookkeeping over the schedule — defined even for infeasible schedules,
+/// which is what the congestion analyzer wants (it measures the plan's
+/// link pressure, not the execution's success).
+std::vector<LegRecord> planned_leg_trace(const Instance& inst,
+                                         const Schedule& schedule);
+
+}  // namespace dtm

@@ -1,12 +1,7 @@
 #include "sim/faults.hpp"
 
 #include <algorithm>
-#include <queue>
-#include <sstream>
-#include <vector>
-
-#include "sim/simulator.hpp"
-#include "util/telemetry.hpp"
+#include <utility>
 
 namespace dtm {
 
@@ -98,301 +93,4 @@ bool FaultModel::transfer_lost(ObjectId o, std::size_t leg,
   return hash01(cfg_.seed, kSaltLoss, o, leg, attempt) < cfg_.loss_rate;
 }
 
-namespace detail {
-namespace {
-
-Weight edge_weight(const Graph& g, NodeId u, NodeId v) {
-  for (const Arc& arc : g.neighbors(u)) {
-    if (arc.to == v) return arc.weight;
-  }
-  DTM_REQUIRE(false, "edge_weight: " << u << " and " << v << " not adjacent");
-  return kInfiniteWeight;
-}
-
-/// Shortest path from -> to over the links usable at step `now` (links that
-/// fail later, mid-journey, are handled at their own hop). Empty when no
-/// such route exists.
-std::vector<NodeId> reroute_path(const Graph& g, const FaultModel& model,
-                                 NodeId from, NodeId to, Time now) {
-  const std::size_t n = g.num_nodes();
-  std::vector<Weight> dist(n, kInfiniteWeight);
-  std::vector<NodeId> parent(n, kInvalidNode);
-  using Item = std::pair<Weight, NodeId>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
-  dist[from] = 0;
-  heap.push({0, from});
-  while (!heap.empty()) {
-    const auto [d, u] = heap.top();
-    heap.pop();
-    if (d != dist[u]) continue;
-    if (u == to) break;
-    for (const Arc& arc : g.neighbors(u)) {
-      if (model.link_down(u, arc.to, now)) continue;
-      const Weight nd = d + arc.weight;
-      if (nd < dist[arc.to]) {
-        dist[arc.to] = nd;
-        parent[arc.to] = u;
-        heap.push({nd, arc.to});
-      }
-    }
-  }
-  if (dist[to] == kInfiniteWeight) return {};
-  std::vector<NodeId> path;
-  for (NodeId v = to; v != kInvalidNode; v = parent[v]) path.push_back(v);
-  std::reverse(path.begin(), path.end());
-  return path;
-}
-
-Time backoff_delay(const RecoveryPolicy& p, std::size_t attempt) {
-  // Once base << attempt would exceed the cap the answer is the cap;
-  // checking via a right shift keeps the left shift free of signed
-  // overflow for any base, not just base == 1.
-  if (attempt >= 62 || (p.backoff_cap >> attempt) < p.backoff_base) {
-    return p.backoff_cap;
-  }
-  return std::min<Time>(p.backoff_base << attempt, p.backoff_cap);
-}
-
-/// Motion state of one object along its visit chain (fault-aware variant:
-/// arrivals are absolute realized times computed at launch).
-struct ObjectState {
-  const std::vector<TxnId>* order = nullptr;
-  std::size_t next_leg = 0;
-  NodeId at = kInvalidNode;
-  bool in_transit = false;
-  Time arrival = 0;
-};
-
-}  // namespace
-
-SimResult simulate_with_faults(const Instance& inst, const Metric& metric,
-                               const Schedule& s, const SimOptions& opts) {
-  ScopedPhaseTimer phase_timer("phase.simulate");
-  TelemetryCounter& legs_moved = telemetry::counter("sim.legs_moved");
-  TelemetryCounter& commits = telemetry::counter("sim.commits");
-  TelemetryCounter& injected = telemetry::counter("faults.injected");
-  TelemetryCounter& retries = telemetry::counter("faults.retries");
-  TelemetryCounter& reroutes = telemetry::counter("faults.reroutes");
-  TelemetryCounter& degraded = telemetry::counter("sim.degraded_commits");
-  TelemetryCounter& inflation =
-      telemetry::counter("sim.makespan_inflation_steps");
-
-  const FaultModel& model = *opts.faults;
-  const RecoveryPolicy& policy = opts.recovery;
-  const Graph& g = metric.graph();
-
-  SimResult r;
-  auto fail = [&](const std::string& msg) {
-    r.ok = false;
-    r.violations.push_back(msg);
-  };
-  if (s.commit_time.size() != inst.num_transactions() ||
-      s.object_order.size() != inst.num_objects()) {
-    fail("schedule shape does not match instance");
-    return r;
-  }
-
-  const std::size_t w = inst.num_objects();
-
-  // Realized traversal of one transfer leg: loss/backoff at send time, then
-  // hop-by-hop motion with outage rerouting/stalling and slowdowns.
-  // Returns the absolute arrival time.
-  auto traverse = [&](ObjectId o, std::size_t leg, NodeId from, NodeId to,
-                      Time depart) -> Time {
-    if (from == to) {
-      if (opts.record_events) {
-        r.events.push_back(
-            {depart, SimEvent::Kind::kDepart, o, kInvalidTxn, from});
-        r.events.push_back(
-            {depart, SimEvent::Kind::kArrive, o, kInvalidTxn, to});
-      }
-      return depart;
-    }
-    // Loss is decided at send time (the transfer is dropped at the source
-    // and re-sent after exponential backoff), so retries only shift the
-    // departure.
-    Time start = depart;
-    bool sent = false;
-    for (std::size_t attempt = 0; attempt <= policy.max_retries; ++attempt) {
-      if (!model.transfer_lost(o, leg, attempt)) {
-        sent = true;
-        break;
-      }
-      r.faults.injected += 1;
-      injected.add();
-      r.faults.retries += 1;
-      retries.add();
-      start += backoff_delay(policy, attempt);
-    }
-    if (!sent) {
-      std::ostringstream os;
-      os << "object o" << o << " leg " << leg << " lost after "
-         << policy.max_retries << " retransmissions";
-      fail(os.str());
-      // Keep executing (as if the final retry got through) so the rest of
-      // the run is still reported; r.ok already records the failure.
-    }
-    if (opts.record_events) {
-      r.events.push_back(
-          {start, SimEvent::Kind::kDepart, o, kInvalidTxn, from});
-    }
-    NodeId cur = from;
-    Time now = start;
-    std::vector<NodeId> path = metric.path(cur, to);
-    std::size_t idx = 1;
-    while (cur != to) {
-      NodeId next = path[idx];
-      if (model.link_down(cur, next, now)) {
-        r.faults.injected += 1;
-        injected.add();
-        bool rerouted = false;
-        if (policy.reroute) {
-          auto alt = reroute_path(g, model, cur, to, now);
-          if (!alt.empty()) {
-            path = std::move(alt);
-            idx = 1;
-            r.faults.reroutes += 1;
-            reroutes.add();
-            rerouted = true;
-          }
-        }
-        if (!rerouted) now = model.link_up_at(cur, next, now);
-        continue;  // re-check the (possibly new) next link at the new time
-      }
-      const Weight base = edge_weight(g, cur, next);
-      const Weight cost = model.hop_cost(cur, next, base, now);
-      if (cost != base) {
-        r.faults.injected += 1;
-        injected.add();
-      }
-      r.object_travel += cost;
-      now += cost;
-      cur = next;
-      ++idx;
-      if (opts.record_events && opts.record_hops && cur != to) {
-        r.events.push_back({now, SimEvent::Kind::kHop, o, kInvalidTxn, cur});
-      }
-    }
-    if (opts.record_events) {
-      r.events.push_back({now, SimEvent::Kind::kArrive, o, kInvalidTxn, to});
-    }
-    return now;
-  };
-
-  // Initialize object motion: leg 0 from the object's home.
-  std::vector<ObjectState> obj(w);
-  for (ObjectId o = 0; o < w; ++o) {
-    obj[o].order = &s.object_order[o];
-    obj[o].at = inst.object_home(o);
-    if (obj[o].order->empty()) continue;
-    const NodeId target = inst.txn(obj[o].order->front()).home;
-    if (target != obj[o].at) {
-      obj[o].in_transit = true;
-      obj[o].arrival = traverse(o, 0, obj[o].at, target, 0);
-      obj[o].at = target;
-      legs_moved.add();
-    }
-  }
-
-  // Process commits in planned time order. An object's visit chain is
-  // sorted by planned commit time, so when transaction t is reached every
-  // earlier requester of its objects has already been re-issued and its
-  // legs launched with realized departure times.
-  std::vector<TxnId> by_time(inst.num_transactions());
-  for (TxnId t = 0; t < by_time.size(); ++t) by_time[t] = t;
-  std::sort(by_time.begin(), by_time.end(), [&](TxnId a, TxnId b) {
-    return s.commit_time[a] != s.commit_time[b]
-               ? s.commit_time[a] < s.commit_time[b]
-               : a < b;
-  });
-
-  for (TxnId t : by_time) {
-    const Time planned = s.commit_time[t];
-    if (planned < 1) {
-      std::ostringstream os;
-      os << "T" << t << " scheduled at step " << planned << " (< 1)";
-      fail(os.str());
-      continue;
-    }
-    const NodeId home = inst.txn(t).home;
-    // Structural checks are the same as on the reliable path; lateness is
-    // not a violation here (degraded mode re-issues the commit instead).
-    bool structure_ok = true;
-    Time ready = planned;
-    for (ObjectId o : inst.txn(t).objects) {
-      ObjectState& st = obj[o];
-      const bool here = st.next_leg < st.order->size() &&
-                        (*st.order)[st.next_leg] == t && st.at == home;
-      if (!here) {
-        structure_ok = false;
-        std::ostringstream os;
-        os << "T" << t << " @node " << home << " step " << planned
-           << ": object o" << o << " misrouted (";
-        if (st.next_leg >= st.order->size()) {
-          os << "already finished its chain";
-        } else if ((*st.order)[st.next_leg] != t) {
-          os << "next leg targets T" << (*st.order)[st.next_leg];
-        } else {
-          os << "headed to node " << st.at;
-        }
-        os << ")";
-        fail(os.str());
-        continue;
-      }
-      // Fold in the arrival unconditionally: for zero-distance handoffs
-      // (next home == current node) traverse() returns the releasing
-      // commit's realized time with in_transit false, and that release time
-      // still gates this commit. Never-launched first legs leave arrival 0.
-      ready = std::max(ready, st.arrival);
-    }
-    if (!structure_ok) continue;
-    const Time realized = ready;
-    const Time stall = realized - planned;
-    if (stall > 0) {
-      r.faults.degraded_commits += 1;
-      degraded.add();
-      r.faults.stall_steps += stall;
-      inflation.add(static_cast<std::uint64_t>(stall));
-      if (stall > policy.max_commit_stall) {
-        std::ostringstream os;
-        os << "T" << t << " stalled " << stall << " steps (> max_commit_stall "
-           << policy.max_commit_stall << ")";
-        fail(os.str());
-      }
-    }
-    if (opts.record_events) {
-      r.events.push_back(
-          {realized, SimEvent::Kind::kCommit, kInvalidObject, t, home});
-    }
-    commits.add();
-    r.planned_makespan = std::max(r.planned_makespan, planned);
-    r.realized_makespan = std::max(r.realized_makespan, realized);
-    // Commit: release each object toward its next requester in the same
-    // (realized) step.
-    for (ObjectId o : inst.txn(t).objects) {
-      ObjectState& st = obj[o];
-      st.in_transit = false;
-      ++st.next_leg;
-      if (st.next_leg < st.order->size()) {
-        const NodeId target = inst.txn((*st.order)[st.next_leg]).home;
-        legs_moved.add();
-        st.arrival = traverse(o, st.next_leg, st.at, target, realized);
-        st.in_transit = target != st.at;
-        st.at = target;
-      }
-    }
-  }
-
-  if (opts.record_events) {
-    telemetry::count("sim.events_recorded", r.events.size());
-    std::stable_sort(r.events.begin(), r.events.end(),
-                     [](const SimEvent& a, const SimEvent& b) {
-                       return a.time < b.time;
-                     });
-  }
-  r.makespan = r.realized_makespan;
-  return r;
-}
-
-}  // namespace detail
 }  // namespace dtm

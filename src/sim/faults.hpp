@@ -38,12 +38,6 @@
 
 namespace dtm {
 
-class Instance;
-class Metric;
-struct Schedule;
-struct SimOptions;
-struct SimResult;
-
 /// A hand-placed outage: link {u, v} is down for steps
 /// [start, start + duration). Used by tests that need a fault at an exact
 /// place and time (e.g. to check a hand-computed reroute).
@@ -148,16 +142,5 @@ class FaultModel {
  private:
   FaultConfig cfg_;
 };
-
-namespace detail {
-
-/// Fault/recovery-aware execution; reached through simulate() when
-/// opts.faults is active. Same structural checks as the reliable path, but
-/// late objects stall commits (degraded mode) instead of violating.
-SimResult simulate_with_faults(const Instance& inst, const Metric& metric,
-                               const Schedule& schedule,
-                               const SimOptions& opts);
-
-}  // namespace detail
 
 }  // namespace dtm

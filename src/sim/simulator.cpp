@@ -2,28 +2,28 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
+#include "sim/link_policy.hpp"
 #include "util/telemetry.hpp"
 
 namespace dtm {
 
 namespace {
 
-/// Motion state of one object along its visit chain.
-struct ObjectState {
-  /// Visit chain: schedule.object_order[o] (indices into inst.txns).
-  const std::vector<TxnId>* order = nullptr;
-  /// Index of the next requester to reach (== order->size() when done).
-  std::size_t next_leg = 0;
-  /// Node the object currently occupies (when !in_transit).
-  NodeId at = kInvalidNode;
-  /// Transit bookkeeping: departure time and distance of the current leg.
-  bool in_transit = false;
-  Time depart_time = 0;
-  Weight leg_distance = 0;
-
-  Time arrival_time() const { return depart_time + leg_distance; }
-};
+SimResult from_engine(EngineResult&& r) {
+  SimResult out;
+  out.ok = r.ok;
+  out.violations = std::move(r.violations);
+  out.planned_makespan = r.planned_makespan;
+  out.realized_makespan = r.realized_makespan;
+  out.object_travel = r.object_travel;
+  out.events = std::move(r.events);
+  out.faults = r.faults;
+  out.total_queue_wait = r.total_queue_wait;
+  out.max_queue_length = r.max_queue_length;
+  return out;
+}
 
 }  // namespace
 
@@ -45,152 +45,54 @@ std::string SimResult::summary() const {
 
 SimResult simulate(const Instance& inst, const Metric& metric,
                    const Schedule& s, const SimOptions& opts) {
-  // Reliable path below; the fault-aware executor only runs when faults can
-  // actually fire, so fault-free callers get bit-identical output.
-  if (opts.faults != nullptr && opts.faults->active()) {
-    return detail::simulate_with_faults(inst, metric, s, opts);
-  }
   ScopedPhaseTimer phase_timer("phase.simulate");
-  TelemetryCounter& legs_moved = telemetry::counter("sim.legs_moved");
-  TelemetryCounter& commits = telemetry::counter("sim.commits");
-  SimResult r;
-  auto fail = [&](const std::string& msg) {
-    r.ok = false;
-    r.violations.push_back(msg);
-  };
-  if (s.commit_time.size() != inst.num_transactions() ||
-      s.object_order.size() != inst.num_objects()) {
-    fail("schedule shape does not match instance");
-    return r;
+  const bool faulty = opts.faults != nullptr && opts.faults->active();
+
+  EngineOptions eo;
+  eo.record_events = opts.record_events;
+  eo.record_hops = opts.record_hops;
+  eo.max_commit_stall = opts.recovery.max_commit_stall;
+
+  if (opts.capacity == 0) {
+    if (faulty) {
+      // Planned schedule on the faulty analytic substrate: late arrivals
+      // stall commits (degraded mode) instead of violating.
+      eo.discipline = CommitDiscipline::kPlannedDegraded;
+      FaultyLinks links(metric, *opts.faults, opts.recovery);
+      return from_engine(Engine(inst, metric, s, links, eo).run());
+    }
+    // Reliable §2.1 path: strict discipline, absent objects violate.
+    eo.discipline = CommitDiscipline::kPlannedStrict;
+    UnboundedLinks links(metric);
+    return from_engine(Engine(inst, metric, s, links, eo).run());
   }
 
-  const std::size_t w = inst.num_objects();
-
-  // `leg_distance` is the caller's already-computed metric.distance(from,
-  // to) — passing it in keeps the arrival event from re-querying the
-  // metric (which double-counted metric.distance_queries per leg).
-  auto record_leg = [&](Time depart, ObjectId o, NodeId from, NodeId to,
-                        Weight leg_distance) {
-    if (!opts.record_events) return;
-    r.events.push_back({depart, SimEvent::Kind::kDepart, o, kInvalidTxn, from});
-    if (opts.record_hops && from != to) {
-      const auto path = metric.path(from, to);
-      Time clock = depart;
-      for (std::size_t i = 1; i + 1 < path.size(); ++i) {
-        clock += metric.distance(path[i - 1], path[i]);
-        r.events.push_back({clock, SimEvent::Kind::kHop, o, kInvalidTxn, path[i]});
-      }
-    }
-    r.events.push_back({depart + leg_distance, SimEvent::Kind::kArrive, o,
-                        kInvalidTxn, to});
-  };
-
-  // Initialize object motion: leg 0 from the object's home.
-  std::vector<ObjectState> obj(w);
-  for (ObjectId o = 0; o < w; ++o) {
-    obj[o].order = &s.object_order[o];
-    obj[o].at = inst.object_home(o);
-    if (obj[o].order->empty()) {
-      obj[o].next_leg = 0;
-      continue;
-    }
-    const NodeId target = inst.txn(obj[o].order->front()).home;
-    if (target != obj[o].at) {
-      obj[o].in_transit = true;
-      obj[o].depart_time = 0;
-      obj[o].leg_distance = metric.distance(obj[o].at, target);
-      r.object_travel += obj[o].leg_distance;
-      legs_moved.add();
-      record_leg(0, o, obj[o].at, target, obj[o].leg_distance);
-    }
-  }
-
-  // Process commits in time order (event-driven; between commits the only
-  // activity is deterministic in-transit motion).
-  std::vector<TxnId> by_time(inst.num_transactions());
-  for (TxnId t = 0; t < by_time.size(); ++t) by_time[t] = t;
-  std::sort(by_time.begin(), by_time.end(), [&](TxnId a, TxnId b) {
-    return s.commit_time[a] != s.commit_time[b]
-               ? s.commit_time[a] < s.commit_time[b]
-               : a < b;
-  });
-
-  for (TxnId t : by_time) {
-    const Time now = s.commit_time[t];
-    if (now < 1) {
-      std::ostringstream os;
-      os << "T" << t << " scheduled at step " << now << " (< 1)";
-      fail(os.str());
-      continue;
-    }
-    const NodeId home = inst.txn(t).home;
-    bool all_present = true;
-    for (ObjectId o : inst.txn(t).objects) {
-      ObjectState& st = obj[o];
-      // Complete the leg if the object arrives by `now`.
-      if (st.in_transit && st.arrival_time() <= now) {
-        st.in_transit = false;
-        st.at = inst.txn((*st.order)[st.next_leg]).home;
-      }
-      const bool here = !st.in_transit && st.at == home &&
-                        st.next_leg < st.order->size() &&
-                        (*st.order)[st.next_leg] == t;
-      if (!here) {
-        all_present = false;
+  // Bounded capacity: planned execution on FIFO queued links; the stepwise
+  // engine only terminates when orders are sane, so check the validator's
+  // permutation precondition up front (as a violation, not a throw — this
+  // entry point reports problems through SimResult).
+  if (s.object_order.size() == inst.num_objects()) {
+    for (ObjectId o = 0; o < inst.num_objects(); ++o) {
+      auto sorted = s.object_order[o];
+      std::sort(sorted.begin(), sorted.end());
+      if (sorted != inst.requesters(o)) {
+        SimResult out;
+        out.ok = false;
         std::ostringstream os;
-        os << "T" << t << " @node " << home << " step " << now << ": object o"
-           << o << " absent (";
-        if (st.in_transit) {
-          os << "in transit, arrives at step " << st.arrival_time();
-        } else if (st.next_leg >= st.order->size()) {
-          os << "already finished its chain";
-        } else if ((*st.order)[st.next_leg] != t) {
-          os << "next leg targets T" << (*st.order)[st.next_leg];
-        } else {
-          os << "at node " << st.at;
-        }
-        os << ")";
-        fail(os.str());
-      }
-    }
-    if (!all_present) continue;
-    // Commit: release each object toward its next requester in the same
-    // step (receive -> execute -> forward).
-    if (opts.record_events) {
-      r.events.push_back({now, SimEvent::Kind::kCommit, kInvalidObject, t, home});
-    }
-    commits.add();
-    r.makespan = std::max(r.makespan, now);
-    for (ObjectId o : inst.txn(t).objects) {
-      ObjectState& st = obj[o];
-      ++st.next_leg;
-      if (st.next_leg < st.order->size()) {
-        const NodeId target = inst.txn((*st.order)[st.next_leg]).home;
-        st.in_transit = true;
-        st.depart_time = now;
-        st.leg_distance = metric.distance(st.at, target);
-        r.object_travel += st.leg_distance;
-        legs_moved.add();
-        record_leg(now, o, st.at, target, st.leg_distance);
-        if (st.leg_distance == 0) {
-          st.in_transit = false;
-          st.at = target;
-        }
+        os << "object_order[" << o << "] is not a permutation of o" << o
+           << "'s requesters";
+        out.violations.push_back(os.str());
+        return out;
       }
     }
   }
-
-  if (opts.record_events) {
-    telemetry::count("sim.events_recorded", r.events.size());
-    std::stable_sort(r.events.begin(), r.events.end(),
-                     [](const SimEvent& a, const SimEvent& b) {
-                       return a.time < b.time;
-                     });
+  eo.discipline = CommitDiscipline::kPlannedDegraded;
+  BoundedCapacityLinks bounded(metric, opts.capacity);
+  if (faulty) {
+    FaultyLinks links(metric, *opts.faults, opts.recovery, &bounded);
+    return from_engine(Engine(inst, metric, s, links, eo).run());
   }
-  // On the reliable network the realized execution is the planned one.
-  r.planned_makespan = r.makespan;
-  r.realized_makespan = r.makespan;
-  return r;
+  return from_engine(Engine(inst, metric, s, bounded, eo).run());
 }
 
 }  // namespace dtm

@@ -12,13 +12,22 @@
 // so a bug in one of the two is caught by the other. It also measures the
 // realized makespan and per-object travel.
 //
-// With an active FaultModel in SimOptions, the simulator instead executes
-// the planned schedule on the faulty substrate (sim/faults.hpp): objects
-// route around or stall at down links, lost transfers are retransmitted,
-// and late commits are re-issued at the first feasible step, so
+// With an active FaultModel in SimOptions, the planned schedule executes
+// on the faulty substrate (sim/faults.hpp): objects route around or stall
+// at down links, lost transfers are retransmitted, and late commits are
+// re-issued at the first feasible step, so
 // realized_makespan >= planned_makespan measures the inflation. Without
 // faults the two are equal and the output is bit-identical to the reliable
 // simulator.
+//
+// With a nonzero `capacity`, the same planned execution runs on links
+// carrying at most `capacity` objects at once (sim/link_policy.hpp);
+// commits stall until their objects clear the queues, and faults compose
+// on top when both are set.
+//
+// simulate() is a thin façade over the execution engine (sim/engine.hpp):
+// it picks the LinkPolicy and commit discipline matching the options and
+// maps the engine's result into SimResult.
 #pragma once
 
 #include <string>
@@ -27,22 +36,10 @@
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
 #include "graph/metric.hpp"
+#include "sim/engine.hpp"
 #include "sim/faults.hpp"
 
 namespace dtm {
-
-struct SimEvent {
-  /// kNone is the explicit "empty" kind: a default-constructed event is
-  /// inert and cannot masquerade as a commit in event-log consumers.
-  enum class Kind { kNone, kDepart, kHop, kArrive, kCommit };
-  Time time = 0;
-  Kind kind = Kind::kNone;
-  ObjectId object = kInvalidObject;  // kInvalidObject for pure commits
-  TxnId txn = kInvalidTxn;           // kInvalidTxn for moves
-  NodeId node = kInvalidNode;        // position after the event
-
-  friend bool operator==(const SimEvent&, const SimEvent&) = default;
-};
 
 struct SimOptions {
   /// Record leg-level events (depart/arrive/commit). Hop-level kHop events
@@ -55,6 +52,11 @@ struct SimOptions {
   /// build. `recovery` is only consulted when faults are active.
   const FaultModel* faults = nullptr;
   RecoveryPolicy recovery{};
+
+  /// Max concurrent traversals per link (both directions combined).
+  /// 0 keeps the §2.1 unbounded-capacity substrate; nonzero executes the
+  /// planned schedule on FIFO bounded links (composes with `faults`).
+  std::size_t capacity = 0;
 };
 
 struct SimResult {
@@ -64,30 +66,32 @@ struct SimResult {
   /// Last *scheduled* commit step among executed transactions (what the
   /// scheduler promised). Only meaningful when ok.
   Time planned_makespan = 0;
-  /// Last commit step actually realized on the (possibly faulty) substrate;
-  /// == planned_makespan on a reliable network.
+  /// Last commit step actually realized on the (possibly faulty or
+  /// capacity-bounded) substrate; == planned_makespan on a reliable
+  /// unbounded network.
   Time realized_makespan = 0;
-  /// Deprecated alias for realized_makespan, kept one release so existing
-  /// callers compile; prefer the explicit fields above.
-  Time makespan = 0;
 
   /// Total distance traveled by all objects (realized distance: detours
   /// taken while rerouting and slowdown surcharges count).
   Weight object_travel = 0;
   std::vector<SimEvent> events;
 
-  /// Fault/recovery tallies (all zero on the reliable path).
+  /// Fault/recovery tallies; on a fault-free capacity run the degraded
+  /// fields measure pure queueing inflation.
   FaultStats faults;
+
+  /// Queueing stats (capacity > 0 only; zero on unbounded substrates).
+  Time total_queue_wait = 0;
+  std::size_t max_queue_length = 0;
 
   explicit operator bool() const { return ok; }
   std::string summary() const;
 };
 
-/// Runs the schedule to completion (or first inconsistency). Event-driven
-/// internally — between commit steps the only activity is deterministic
-/// object motion, so the simulator jumps from commit time to commit time
-/// while keeping exact per-step positions. Dispatches to the
-/// fault/recovery-aware executor when opts.faults is active.
+/// Runs the schedule to completion (or first inconsistency) on the engine,
+/// jumping from commit to commit on analytic substrates and ticking the
+/// clock on queued ones. Dispatches on opts: unbounded reliable, faulty,
+/// bounded-capacity, or faulty × bounded.
 SimResult simulate(const Instance& inst, const Metric& metric,
                    const Schedule& schedule, const SimOptions& opts = {});
 

@@ -87,6 +87,55 @@ TEST(CapacitySim, MakespanMonotoneInCapacity) {
   }
 }
 
+// Tightening capacity never helps, on any topology: for every fixture and
+// seed, makespan(unbounded) <= makespan(C) <= makespan(C') whenever
+// C >= C'. (The single-workload test above is the smoke version; this is
+// the property across topology × seed.)
+TEST(CapacitySim, MakespanMonotoneAcrossTopologiesAndSeeds) {
+  const Line line(12);
+  const Grid grid(6);
+  const Star star(4, 3);
+  const struct {
+    const char* name;
+    const Graph* g;
+  } topologies[] = {
+      {"line12", &line.graph}, {"grid6", &grid.graph}, {"star4x3", &star.graph}};
+  for (const auto& topo : topologies) {
+    const DenseMetric m(*topo.g);
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      Rng rng(seed);
+      const Instance inst = generate_uniform(
+          *topo.g, {.num_objects = 8, .objects_per_txn = 2}, rng);
+      GreedyOptions o;
+      o.rule = ColoringRule::kFirstFit;
+      GreedyScheduler sched(o);
+      const Schedule s = sched.run(inst, m);
+      // Capacities from loosest to tightest; 0 = unbounded comes first so
+      // every bounded makespan is checked against it too.
+      Time unbounded = 0;
+      Time prev = 0;
+      for (const std::size_t cap : {std::size_t{0}, std::size_t{8},
+                                    std::size_t{4}, std::size_t{2},
+                                    std::size_t{1}}) {
+        const CapacitySimResult r =
+            simulate_with_capacity(inst, m, s, {.capacity = cap});
+        ASSERT_TRUE(r.ok)
+            << topo.name << " seed " << seed << " capacity " << cap;
+        if (cap == 0) {
+          unbounded = r.makespan;
+          EXPECT_EQ(r.total_queue_wait, 0) << topo.name << " seed " << seed;
+        } else {
+          EXPECT_GE(r.makespan, prev)
+              << topo.name << " seed " << seed << " capacity " << cap;
+          EXPECT_GE(r.makespan, unbounded)
+              << topo.name << " seed " << seed << " capacity " << cap;
+        }
+        prev = r.makespan;
+      }
+    }
+  }
+}
+
 TEST(CapacitySim, StretchBoundedByPeakCongestion) {
   // Realized makespan under capacity 1 is at most (unbounded makespan) ×
   // (1 + peak congestion): every queueing delay is caused by at most

@@ -198,7 +198,6 @@ void expect_identical(const SimResult& a, const SimResult& b,
   EXPECT_EQ(a.violations, b.violations) << label;
   EXPECT_EQ(a.planned_makespan, b.planned_makespan) << label;
   EXPECT_EQ(a.realized_makespan, b.realized_makespan) << label;
-  EXPECT_EQ(a.makespan, b.makespan) << label;
   EXPECT_EQ(a.object_travel, b.object_travel) << label;
   EXPECT_TRUE(a.events == b.events) << label;
   EXPECT_TRUE(a.faults == b.faults) << label;
@@ -221,7 +220,6 @@ TEST_P(FaultFreeBitIdentity, InactiveModelKeepsReliablePath) {
   const SimResult reliable = simulate(inst, metric, s, plain);
   ASSERT_TRUE(reliable.ok) << topo.name << ": " << reliable.summary();
   EXPECT_EQ(reliable.planned_makespan, reliable.realized_makespan);
-  EXPECT_EQ(reliable.makespan, reliable.realized_makespan);
   EXPECT_TRUE(reliable.faults == FaultStats{});
 
   // An all-zero-rate model is inactive: identical output, same code path.
@@ -306,7 +304,6 @@ TEST(Recovery, ReroutesAroundScheduledOutage) {
   // arrival 5, so T1 is re-issued at 5 instead of its planned step 3.
   EXPECT_EQ(r.planned_makespan, 3);
   EXPECT_EQ(r.realized_makespan, 5);
-  EXPECT_EQ(r.makespan, 5);
   EXPECT_EQ(r.object_travel, 4);
   EXPECT_EQ(r.faults.injected, 1u);
   EXPECT_EQ(r.faults.reroutes, 1u);

@@ -32,7 +32,7 @@ TEST(Simulator, RunsFeasibleSchedule) {
   const Schedule s = Schedule::from_commit_times(inst, {1, 3, 5});
   const SimResult r = simulate(inst, m, s);
   EXPECT_TRUE(r.ok) << r.summary();
-  EXPECT_EQ(r.makespan, 5);
+  EXPECT_EQ(r.realized_makespan, 5);
   EXPECT_EQ(r.object_travel, 6);
 }
 
@@ -65,7 +65,7 @@ TEST(Simulator, SlackSchedulesStillRun) {
   const Schedule s = Schedule::from_commit_times(inst, {10, 30, 50});
   const SimResult r = simulate(inst, m, s);
   EXPECT_TRUE(r.ok) << r.summary();
-  EXPECT_EQ(r.makespan, 50);
+  EXPECT_EQ(r.realized_makespan, 50);
 }
 
 TEST(Simulator, EventLogIsChronologicalAndComplete) {
@@ -118,7 +118,7 @@ TEST(Simulator, ZeroTransactionInstance) {
   s.object_order.resize(1);
   const SimResult r = simulate(inst, m, s);
   EXPECT_TRUE(r.ok);
-  EXPECT_EQ(r.makespan, 0);
+  EXPECT_EQ(r.realized_makespan, 0);
 }
 
 // Property: on random instances and random (but acyclic) orders, the
@@ -148,7 +148,7 @@ TEST_P(SimulatorAgreement, ValidatorAndSimulatorAgree) {
   EXPECT_TRUE(validate(inst, m, good).ok);
   const SimResult sim_good = simulate(inst, m, good);
   EXPECT_TRUE(sim_good.ok) << sim_good.summary();
-  EXPECT_EQ(sim_good.makespan, good.makespan());
+  EXPECT_EQ(sim_good.realized_makespan, good.makespan());
 
   // Shrink one commit time: both must reject (the perturbed transaction has
   // at least one object constraint binding unless it was already at slack 0

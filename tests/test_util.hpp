@@ -27,7 +27,7 @@ inline Schedule run_and_check(Scheduler& sched, const Instance& inst,
   EXPECT_TRUE(sim.ok) << sched.name() << ": " << sim.summary() << '\n'
                       << inst.describe();
   if (vr.ok && sim.ok && inst.num_transactions() > 0) {
-    EXPECT_EQ(sim.makespan, s.makespan()) << sched.name();
+    EXPECT_EQ(sim.realized_makespan, s.makespan()) << sched.name();
   }
   return s;
 }
