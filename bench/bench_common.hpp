@@ -33,6 +33,7 @@
 #include "trial_runner.hpp"
 #include "util/args.hpp"
 #include "util/json_writer.hpp"
+#include "util/provenance.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -60,6 +61,30 @@ inline bool strip_flag(int& argc, char** argv, const std::string& flag) {
   }
   argc = out;
   return found;
+}
+
+/// Strips `--flag VALUE` / `--flag=VALUE` from argv before google-benchmark
+/// parses the remainder; returns VALUE, or "" when the flag was absent.
+inline std::string strip_value_flag(int& argc, char** argv,
+                                    const std::string& flag) {
+  std::string value;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    if (tok == flag) {
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      }
+      continue;
+    }
+    if (tok.rfind(flag + "=", 0) == 0) {
+      value = tok.substr(flag.size() + 1);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return value;
 }
 
 /// Seeded uniform-workload factory over a fixed graph — the instance shape
@@ -152,13 +177,20 @@ class BenchReport {
   }
 
   /// Serializes series + telemetry snapshot as the BENCH_<name>.json schema
-  /// ("dtm-bench-v1", see EXPERIMENTS.md).
-  std::string to_json(const std::string& bench_name) const {
+  /// ("dtm-bench-v1", see EXPERIMENTS.md). The provenance object (git sha,
+  /// build type, compiler, invocation) is informational: bench_compare
+  /// ignores top-level keys it does not know.
+  std::string to_json(const std::string& bench_name,
+                      const std::string& invocation = "") const {
     const TelemetrySnapshot snap = TelemetryRegistry::global().snapshot();
     JsonWriter w;
     w.begin_object();
     w.key("schema").value("dtm-bench-v1");
     w.key("bench").value(bench_name);
+    w.key("provenance").begin_object();
+    for (const auto& [k, v] : build_provenance()) w.key(k).value(v);
+    if (!invocation.empty()) w.key("invocation").value(invocation);
+    w.end_object();
     w.key("series").begin_array();
     for (const auto& t : tables_) {
       w.begin_object();
@@ -191,6 +223,7 @@ class BenchReport {
       w.key("max_ns").value(ts.max_ns);
       w.key("p50_ns").value(ts.p50_ns);
       w.key("p90_ns").value(ts.p90_ns);
+      w.key("p95_ns").value(ts.p95_ns);
       w.key("p99_ns").value(ts.p99_ns);
       w.end_object();
     }
@@ -223,6 +256,8 @@ class BenchMain {
  public:
   BenchMain(std::string bench_name, int& argc, char** argv)
       : name_(std::move(bench_name)) {
+    invocation_ = argv[0] == nullptr ? name_ : std::string(argv[0]);
+    for (int i = 1; i < argc; ++i) invocation_ += std::string(" ") + argv[i];
     const ArgParser args(argc, argv);
     if (args.has("json-out")) {
       json_path_ = args.get("json-out", "BENCH_" + name_ + ".json");
@@ -249,14 +284,16 @@ class BenchMain {
     if (json_path_.empty()) return;
     std::ofstream out(json_path_);
     DTM_REQUIRE(out.good(), "cannot open --json-out file " << json_path_);
-    out << BenchReport::instance().to_json(name_) << '\n';
+    out << BenchReport::instance().to_json(name_, invocation_) << '\n';
     std::cout << "\nwrote " << json_path_ << "\n";
   }
 
   const std::string& json_path() const { return json_path_; }
+  const std::string& invocation() const { return invocation_; }
 
  private:
   std::string name_;
+  std::string invocation_;
   std::string json_path_;  // empty = no artifact requested
 };
 

@@ -29,6 +29,7 @@
 #include "sched/registry.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -251,6 +252,48 @@ void faultcap_series(bool smoke) {
   benchutil::emit_table("faultcap", table);
 }
 
+// --trace-out: one dedicated composed run (grid8, greedy-ff, outage rate
+// 0.1 + loss 0.025, capacity-1 FIFO links, seed 1) recorded as a Chrome
+// trace. It runs AFTER write_artifact so the artifact's counters stay
+// identical to an untraced run; CI validates the file with
+// `trace_summarize --validate` and uploads it.
+void write_smoke_trace(const std::string& path, const std::string& invocation) {
+  const Grid grid(8);
+  const DenseMetric metric(grid.graph);
+  const Instance inst = benchutil::uniform_workload(grid.graph)(1);
+
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.clear();
+  rec.set_provenance({
+      {"bench", "faults"},
+      {"invocation", invocation},
+      {"scheduler", "greedy-ff"},
+      {"seed", "1"},
+      {"topology", "grid8"},
+  });
+  rec.set_enabled(true);
+
+  auto sched = make_scheduler_for(inst, "greedy-ff", 1);
+  const Schedule s = sched->run(inst, metric);
+  DTM_REQUIRE(validate(inst, metric, s).ok, "infeasible schedule");
+  FaultConfig fc;
+  fc.link_outage_rate = 0.1;
+  fc.loss_rate = 0.025;
+  fc.seed = 1;
+  const FaultModel model(fc);
+  CapacitySimOptions opts;
+  opts.capacity = 1;
+  opts.faults = &model;
+  const CapacitySimResult r = simulate_with_capacity(inst, metric, s, opts);
+  rec.set_enabled(false);
+  DTM_REQUIRE(r.ok, "traced run failed: " << r.error);
+
+  std::ofstream out(path);
+  DTM_REQUIRE(out.good(), "cannot open --trace-out file " << path);
+  out << rec.to_chrome_json();
+  std::cout << "wrote " << rec.size() << "-event trace to " << path << "\n";
+}
+
 void BM_FaultSim(benchmark::State& state) {
   const Grid topo(8);
   const DenseMetric metric(topo.graph);
@@ -276,13 +319,17 @@ BENCHMARK(BM_FaultSim)->Arg(0)->Arg(5)->Arg(20)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --smoke before BenchMain / google-benchmark see the flag.
+  // Strip --smoke / --trace-out before BenchMain / google-benchmark see
+  // the flags.
   const bool smoke = dtm::benchutil::strip_flag(argc, argv, "--smoke");
+  const std::string trace_out =
+      dtm::benchutil::strip_value_flag(argc, argv, "--trace-out");
   dtm::benchutil::BenchMain bm("faults", argc, argv);
   print_series(smoke);
   policy_series(smoke);
   faultcap_series(smoke);
   bm.write_artifact();
+  if (!trace_out.empty()) write_smoke_trace(trace_out, bm.invocation());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

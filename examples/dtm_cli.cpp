@@ -18,6 +18,7 @@
 //   dtm_cli --topology grid --n 8 --fault-rate 0.05 --loss-rate 0.01
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -46,6 +47,7 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/telemetry.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -182,9 +184,34 @@ std::optional<FaultModel> build_fault_model(const ArgParser& args,
   return model;
 }
 
-int run(const ArgParser& args) {
+int run(const ArgParser& args, const std::string& invocation) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const auto trials = static_cast<int>(args.get_int("trials", 1));
+
+  // --trace-out records trial 0 (the seeded, reproducible one) and writes a
+  // Chrome trace-event file (or deterministic JSONL) after the run. Later
+  // trials and the capacity replay share the recorder's sim timeline, so
+  // tracing is switched off for them to keep one coherent span tree.
+  const bool tracing = args.has("trace-out");
+  const std::string trace_path = args.get("trace-out", "");
+  const std::string trace_format = args.get("trace-format", "chrome");
+  DTM_REQUIRE(trace_format == "chrome" || trace_format == "jsonl",
+              "unknown --trace-format '" << trace_format
+                                         << "' (chrome|jsonl)");
+  TraceRecorder& recorder = TraceRecorder::global();
+  if (tracing) {
+    DTM_REQUIRE(!trace_path.empty(), "--trace-out needs a file path");
+    recorder.clear();
+    recorder.set_provenance({
+        {"invocation", invocation},
+        {"scheduler", args.get("scheduler", "auto")},
+        {"seed", std::to_string(seed)},
+        {"topology", args.get("topology", "grid")},
+        {"workload", args.get("workload", "uniform")},
+    });
+    recorder.set_enabled(true);
+  }
+
   const TopologyBundle topo = build_topology(args);
   const auto metric = make_metric(topo.graph());
   const std::optional<FaultModel> faults = build_fault_model(args, seed);
@@ -229,6 +256,10 @@ int run(const ArgParser& args) {
     if (args.has("capacity")) {
       // The --fault-* flags compose with --capacity: the replay runs the
       // visit orders on bounded FIFO links *and* the faulty network at once.
+      // The replay re-executes the same sim timeline, so pause tracing to
+      // keep the trace a single-execution record.
+      const bool pause_trace = recorder.enabled();
+      if (pause_trace) recorder.set_enabled(false);
       const auto cap = static_cast<std::size_t>(args.get_int("capacity", 1));
       CapacitySimOptions cap_opts;
       cap_opts.capacity = cap;
@@ -246,6 +277,7 @@ int run(const ArgParser& args) {
                   << replay.faults.reroutes << ")";
       }
       std::cout << "\n";
+      if (pause_trace) recorder.set_enabled(true);
     }
     const double ratio = static_cast<double>(sm.makespan) /
                          static_cast<double>(std::max<Time>(lb.makespan_lb, 1));
@@ -275,14 +307,27 @@ int run(const ArgParser& args) {
         std::ofstream out(args.get("save-schedule", ""));
         write_schedule(out, schedule);
       }
+      // Only trial 0 is recorded; keep later trials off the trace.
+      if (tracing) recorder.set_enabled(false);
     }
   }
   table.print(std::cout);
 
+  if (tracing) {
+    std::ofstream out(trace_path);
+    DTM_REQUIRE(out.good(), "cannot open --trace-out file " << trace_path);
+    out << (trace_format == "jsonl" ? recorder.to_jsonl()
+                                    : recorder.to_chrome_json());
+    std::cout << "wrote " << recorder.size() << "-event " << trace_format
+              << " trace to " << trace_path << '\n';
+  }
+
   if (args.has("telemetry")) {
-    // Bare --telemetry dumps to stdout; --telemetry FILE writes the file.
+    // Bare --telemetry dumps to stdout; --telemetry=FILE writes the file.
+    // get_optional: a following positional stays positional — only the
+    // attached =FILE form supplies a path.
     const std::string json = TelemetryRegistry::global().snapshot().to_json();
-    const std::string path = args.get("telemetry", "-");
+    const std::string path = args.get_optional("telemetry", "-");
     if (path == "-") {
       std::cout << "\ntelemetry:\n" << json << '\n';
     } else {
@@ -319,7 +364,8 @@ int main(int argc, char** argv) {
           "star-best|online-fifo|online-batch|greedy-paper|greedy-ff|"
           "greedy-compact|id-order|random-order|serial|exact]\n"
           "  [--seed S] [--trials T] [--window W] [--capacity C] "
-          "[--csv FILE] [--telemetry [FILE]]\n"
+          "[--csv FILE] [--telemetry[=FILE]]\n"
+          "  [--trace-out FILE] [--trace-format chrome|jsonl]\n"
           "  [--fault-rate P] [--fault-duration D] [--fault-window W] "
           "[--slowdown-rate P] [--slowdown-factor F]\n"
           "  [--loss-rate P] [--fault-seed S]\n"
@@ -327,7 +373,9 @@ int main(int argc, char** argv) {
           "[--save-schedule FILE]\n";
       return 0;
     }
-    return run(args);
+    std::string invocation = "dtm_cli";
+    for (int i = 1; i < argc; ++i) invocation += std::string(" ") + argv[i];
+    return run(args, invocation);
   } catch (const dtm::Error& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

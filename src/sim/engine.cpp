@@ -5,8 +5,39 @@
 
 #include "sim/link_policy.hpp"
 #include "util/telemetry.hpp"
+#include "util/trace.hpp"
 
 namespace dtm {
+
+namespace {
+
+// Trace track names. Links are undirected, so both directions of a
+// transfer share one canonical track. (Concatenation is spelled with
+// append — gcc 12 raises a bogus -Wrestrict on `const char* + string&&`.)
+std::string link_track(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  std::string out = "link ";
+  out += std::to_string(a);
+  out += '-';
+  out += std::to_string(b);
+  return out;
+}
+
+std::string node_track(NodeId n) {
+  std::string out = "node ";
+  out += std::to_string(n);
+  return out;
+}
+
+std::string leg_name(ObjectId o, std::size_t leg) {
+  std::string out = "o";
+  out += std::to_string(o);
+  out += '#';
+  out += std::to_string(leg);
+  return out;
+}
+
+}  // namespace
 
 Engine::Engine(const Instance& inst, const Metric& metric,
                const Schedule& schedule, LinkPolicy& links,
@@ -40,15 +71,93 @@ void Engine::note_reroute() {
 void Engine::object_arrived(ObjectId o) {
   ObjectState& st = obj_[o];
   st.in_transit = false;
+  if (st.span != 0) {
+    trace_->end_span(st.span, static_cast<double>(clock_));
+    st.span = 0;
+  }
   const TxnId target = (*st.order)[st.next_leg];
   if (++present_[target] == inst_->txn(target).objects.size()) {
     ready_.push_back(target);
+    if (!assembled_.empty()) assembled_[target] = clock_;
   }
 }
 
 void Engine::account_queue(std::size_t queue_length) {
   r_.total_queue_wait += static_cast<Time>(queue_length);
   r_.max_queue_length = std::max(r_.max_queue_length, queue_length);
+}
+
+void Engine::trace_fault(const char* kind, std::int64_t object, NodeId u,
+                         NodeId v, Time t) {
+  if (trace_ == nullptr) return;
+  trace_->instant(TraceCat::kFault, link_track(u, v), kind,
+                  static_cast<double>(t),
+                  {{"object", object},
+                   {"u", static_cast<std::int64_t>(u)},
+                   {"v", static_cast<std::int64_t>(v)}});
+}
+
+void Engine::trace_queue_wait(ObjectId o, std::size_t leg, NodeId u, NodeId v,
+                              Time queued_since, Time now) {
+  if (trace_ == nullptr || now <= queued_since) return;
+  std::string name = "o";
+  name += std::to_string(o);
+  name += " wait";
+  trace_->span(TraceCat::kQueue, link_track(u, v), std::move(name),
+               static_cast<double>(queued_since), static_cast<double>(now),
+               {{"leg", static_cast<std::int64_t>(leg)},
+                {"object", static_cast<std::int64_t>(o)}});
+}
+
+void Engine::trace_leg(ObjectId o, std::size_t leg, std::int64_t prev,
+                       NodeId from, NodeId to, Time depart, Time arrive) {
+  if (trace_ == nullptr) return;
+  // Zero-length handoffs are recorded too: the critical-path walk follows
+  // the chain of legs backwards and must not find a hole where an object
+  // changed owners without moving.
+  trace_->span(TraceCat::kLeg, link_track(from, to), leg_name(o, leg),
+               static_cast<double>(depart), static_cast<double>(arrive),
+               {{"from", static_cast<std::int64_t>(from)},
+                {"leg", static_cast<std::int64_t>(leg)},
+                {"object", static_cast<std::int64_t>(o)},
+                {"prev", prev},
+                {"to", static_cast<std::int64_t>(to)},
+                {"txn", static_cast<std::int64_t>((*obj_[o].order)[leg])}});
+}
+
+void Engine::trace_leg_begin(ObjectId o, std::size_t leg, std::int64_t prev,
+                             NodeId from, NodeId to, Time depart) {
+  if (trace_ == nullptr) return;
+  obj_[o].span = trace_->begin_span(
+      TraceCat::kLeg, link_track(from, to), leg_name(o, leg),
+      static_cast<double>(depart),
+      {{"from", static_cast<std::int64_t>(from)},
+       {"leg", static_cast<std::int64_t>(leg)},
+       {"object", static_cast<std::int64_t>(o)},
+       {"prev", prev},
+       {"to", static_cast<std::int64_t>(to)},
+       {"txn", static_cast<std::int64_t>((*obj_[o].order)[leg])}});
+}
+
+void Engine::trace_commit(TxnId t, Time assembled, Time planned,
+                          Time realized) {
+  if (trace_ == nullptr) return;
+  const NodeId home = inst_->txn(t).home;
+  std::string name = "T";
+  name += std::to_string(t);
+  trace_->span(TraceCat::kTxn, node_track(home), std::move(name),
+               static_cast<double>(assembled), static_cast<double>(realized),
+               {{"planned", static_cast<std::int64_t>(planned)},
+                {"txn", static_cast<std::int64_t>(t)}});
+  // kEarliest ignores the schedule, so a commit past its planned step is
+  // business as usual there, not degradation.
+  if (opts_.discipline != CommitDiscipline::kEarliest && realized > planned &&
+      planned >= 1) {
+    trace_->instant(TraceCat::kFault, node_track(home), "degraded",
+                    static_cast<double>(realized),
+                    {{"stall", static_cast<std::int64_t>(realized - planned)},
+                     {"txn", static_cast<std::int64_t>(t)}});
+  }
 }
 
 EngineResult Engine::run() {
@@ -69,14 +178,28 @@ bool Engine::init() {
     return false;
   }
   if (opts_.telemetry) {
-    legs_moved_ = &telemetry::counter("sim.legs_moved");
-    commits_ = &telemetry::counter("sim.commits");
-    injected_ = &telemetry::counter("faults.injected");
-    retries_ = &telemetry::counter("faults.retries");
-    reroutes_ = &telemetry::counter("faults.reroutes");
-    degraded_ = &telemetry::counter("sim.degraded_commits");
-    inflation_ = &telemetry::counter("sim.makespan_inflation_steps");
+    // Handles are stable for the registry's life (telemetry.hpp contract),
+    // so resolve them once per process instead of once per simulate() —
+    // trial sweeps used to serialize on the registry mutex here.
+    static TelemetryCounter& legs_moved = telemetry::counter("sim.legs_moved");
+    static TelemetryCounter& commits = telemetry::counter("sim.commits");
+    static TelemetryCounter& injected = telemetry::counter("faults.injected");
+    static TelemetryCounter& retries = telemetry::counter("faults.retries");
+    static TelemetryCounter& reroutes = telemetry::counter("faults.reroutes");
+    static TelemetryCounter& degraded =
+        telemetry::counter("sim.degraded_commits");
+    static TelemetryCounter& inflation =
+        telemetry::counter("sim.makespan_inflation_steps");
+    legs_moved_ = &legs_moved;
+    commits_ = &commits;
+    injected_ = &injected;
+    retries_ = &retries;
+    reroutes_ = &reroutes;
+    degraded_ = &degraded;
+    inflation_ = &inflation;
   }
+  trace_ =
+      TraceRecorder::global().enabled() ? &TraceRecorder::global() : nullptr;
   stepwise_ = links_->stepwise();
 
   const std::size_t w = inst_->num_objects();
@@ -100,8 +223,10 @@ bool Engine::init_analytic() {
     if (opts_.record_legs) r_.legs.push_back({o, 0, st.at, target, 0});
     st.in_transit = true;
     if (legs_moved_ != nullptr) legs_moved_->add();
-    st.arrival = links_->realize(*this, o, 0, st.at, target, 0);
+    const NodeId from = st.at;
+    st.arrival = links_->realize(*this, o, 0, from, target, 0);
     st.at = target;
+    trace_leg(o, 0, -1, from, target, 0, st.arrival);
   }
 
   // Commits are processed in (commit_time, id) order; between commits the
@@ -122,6 +247,7 @@ bool Engine::init_stepwise() {
   present_.assign(n, 0);
   committed_.assign(n, 0);
   commit_blocked_.assign(n, 0);
+  if (trace_ != nullptr) assembled_.assign(n, 0);
   commit_target_ = n;
   if (opts_.discipline == CommitDiscipline::kPlannedDegraded) {
     // Planned discipline on a queued substrate: commits scheduled before
@@ -150,6 +276,7 @@ bool Engine::init_stepwise() {
     if (opts_.record_legs) r_.legs.push_back({o, 0, st.at, target, 0});
     st.in_transit = true;
     if (legs_moved_ != nullptr) legs_moved_->add();
+    trace_leg_begin(o, 0, -1, st.at, target, 0);
     links_->launch(*this, o, 0, st.at, target, 0);
     st.at = target;
   }
@@ -227,6 +354,7 @@ void Engine::process_planned_commit(TxnId t) {
   // folds late arrivals into the realized commit time instead.
   bool all_ok = true;
   Time ready = planned;
+  Time assembled = 0;
   for (ObjectId o : inst_->txn(t).objects) {
     ObjectState& st = obj_[o];
     if (strict && st.in_transit && st.arrival <= planned) {
@@ -258,6 +386,7 @@ void Engine::process_planned_commit(TxnId t) {
     // release time still gates this commit. Never-launched first legs
     // leave arrival 0.
     if (!strict) ready = std::max(ready, st.arrival);
+    assembled = std::max(assembled, st.arrival);
   }
   if (!all_ok) return;
 
@@ -285,6 +414,7 @@ void Engine::process_planned_commit(TxnId t) {
         {realized, SimEvent::Kind::kCommit, kInvalidObject, t, home});
   }
   if (commits_ != nullptr) commits_->add();
+  trace_commit(t, assembled, planned, realized);
   r_.planned_makespan = std::max(r_.planned_makespan, planned);
   r_.realized_makespan = std::max(r_.realized_makespan, realized);
 
@@ -326,6 +456,8 @@ void Engine::commit_stepwise(TxnId t, Time now) {
                          inst_->txn(t).home});
   }
   if (commits_ != nullptr) commits_->add();
+  trace_commit(t, assembled_.empty() ? 0 : assembled_[t], s_->commit_time[t],
+               now);
   r_.realized_makespan = std::max(r_.realized_makespan, now);
 
   for (ObjectId o : inst_->txn(t).objects) {
@@ -340,6 +472,9 @@ void Engine::launch_release_leg(ObjectId o, Time now) {
   ObjectState& st = obj_[o];
   const NodeId from = st.at;
   const NodeId target = inst_->txn((*st.order)[st.next_leg]).home;
+  // The leg is released by the commit that just fired — its chain
+  // predecessor in the trace.
+  const auto prev = static_cast<std::int64_t>((*st.order)[st.next_leg - 1]);
   if (opts_.record_legs) {
     r_.legs.push_back({o, st.next_leg, from, target, now});
   }
@@ -352,11 +487,13 @@ void Engine::launch_release_leg(ObjectId o, Time now) {
         r_.events.push_back(
             {now, SimEvent::Kind::kArrive, o, kInvalidTxn, target});
       }
+      trace_leg(o, st.next_leg, prev, from, target, now, now);
       object_arrived(o);
       return;
     }
     st.in_transit = true;
     if (legs_moved_ != nullptr) legs_moved_->add();
+    trace_leg_begin(o, st.next_leg, prev, from, target, now);
     links_->launch(*this, o, st.next_leg, from, target, now);
     st.at = target;
     return;
@@ -365,6 +502,7 @@ void Engine::launch_release_leg(ObjectId o, Time now) {
   st.arrival = links_->realize(*this, o, st.next_leg, from, target, now);
   st.in_transit = target != from;
   st.at = target;
+  trace_leg(o, st.next_leg, prev, from, target, now, st.arrival);
 }
 
 void Engine::finish() {

@@ -130,6 +130,7 @@ struct EngineResult {
 
 class LinkPolicy;
 class TelemetryCounter;
+class TraceRecorder;
 
 /// One engine run: single-use (construct, run(), read the result).
 ///
@@ -162,6 +163,19 @@ class Engine {
   void object_arrived(ObjectId o);
   /// Stepwise queue accounting, called once per step by the policy.
   void account_queue(std::size_t queue_length);
+  /// True when this run feeds the global TraceRecorder; policies gate
+  /// their own emission on it (the engine resolves the recorder once at
+  /// init, so a disabled run costs nothing here).
+  bool tracing() const { return trace_ != nullptr; }
+  /// Fault instant marker on link {u, v} at step `t`; kind is one of
+  /// "outage", "reroute", "loss", "slowdown". `object` is -1 when the
+  /// fault is not attributable to a specific object (slowdown admission).
+  void trace_fault(const char* kind, std::int64_t object, NodeId u, NodeId v,
+                   Time t);
+  /// Queue-wait span on link {u, v}: object `o` (chain index `leg`) sat
+  /// queued from `queued_since` until admitted at `now`.
+  void trace_queue_wait(ObjectId o, std::size_t leg, NodeId u, NodeId v,
+                        Time queued_since, Time now);
 
  private:
   struct ObjectState {
@@ -170,6 +184,7 @@ class Engine {
     NodeId at = kInvalidNode;
     bool in_transit = false;
     Time arrival = 0;
+    std::uint64_t span = 0;  // open stepwise leg span (0 = none)
   };
 
   bool init();
@@ -190,6 +205,17 @@ class Engine {
 
   void process_planned_commit(TxnId t);
   void commit_stepwise(TxnId t, Time now);
+
+  /// Complete leg span (analytic mode and instant handoffs). `prev` is the
+  /// txn whose commit released the leg, -1 for first legs from home.
+  void trace_leg(ObjectId o, std::size_t leg, std::int64_t prev, NodeId from,
+                 NodeId to, Time depart, Time arrive);
+  /// Open leg span at launch (stepwise mode); closed in object_arrived().
+  void trace_leg_begin(ObjectId o, std::size_t leg, std::int64_t prev,
+                       NodeId from, NodeId to, Time depart);
+  /// Transaction lifetime span [assembled, realized] plus a degraded
+  /// instant when the commit stalled past its planned step.
+  void trace_commit(TxnId t, Time assembled, Time planned, Time realized);
 
   const Instance* inst_;
   const Metric* metric_;
@@ -213,6 +239,7 @@ class Engine {
   std::size_t commit_target_ = 0;
   std::vector<char> committed_;
   std::vector<char> commit_blocked_;  // scheduled before step 1 (violation)
+  std::vector<Time> assembled_;       // per-txn assembly step (tracing only)
 
   // Telemetry handles (null when opts_.telemetry is off).
   TelemetryCounter* legs_moved_ = nullptr;
@@ -222,6 +249,9 @@ class Engine {
   TelemetryCounter* reroutes_ = nullptr;
   TelemetryCounter* degraded_ = nullptr;
   TelemetryCounter* inflation_ = nullptr;
+
+  // Global trace recorder when tracing is on for this run, else null.
+  TraceRecorder* trace_ = nullptr;
 };
 
 /// The schedule's *planned* leg trace: every transfer the §2.1 execution

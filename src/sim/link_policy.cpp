@@ -123,7 +123,7 @@ BoundedCapacityLinks::BoundedCapacityLinks(const Metric& metric,
 }
 
 void BoundedCapacityLinks::launch(Engine&, ObjectId o, std::size_t leg,
-                                  NodeId from, NodeId to, Time) {
+                                  NodeId from, NodeId to, Time now) {
   if (o >= routes_.size()) routes_.resize(o + 1);
   Route& rt = routes_[o];
   rt.leg = leg;
@@ -131,6 +131,7 @@ void BoundedCapacityLinks::launch(Engine&, ObjectId o, std::size_t leg,
   rt.hop = 0;
   rt.phase = Route::Phase::kQueued;
   rt.departed = false;
+  rt.queued_since = now;
   channels_[edge_key(rt.path[0], rt.path[1])].queue.push_back(o);
 }
 
@@ -153,6 +154,7 @@ void BoundedCapacityLinks::progress(Engine& eng, Time now) {
       eng.object_arrived(o);
     } else {
       rt.phase = Route::Phase::kQueued;
+      rt.queued_since = now;
       if (eng.recording_events() && eng.recording_hops()) {
         eng.push_event(
             {now, SimEvent::Kind::kHop, o, kInvalidTxn, rt.path[rt.hop]});
@@ -196,6 +198,9 @@ void BoundedCapacityLinks::admit(Engine& eng, Time now) {
       rt.edge_remaining = oracle_->enter_cost(u, v, base, now);
       eng.add_travel(rt.edge_remaining);
       ++ch.in_transit;
+      if (eng.tracing()) {
+        eng.trace_queue_wait(o, rt.leg, u, v, rt.queued_since, now);
+      }
       if (eng.recording_events() && !rt.departed) {
         eng.push_event({now, SimEvent::Kind::kDepart, o, kInvalidTxn, u});
       }
@@ -221,7 +226,7 @@ FaultyLinks::FaultyLinks(const Metric& metric, const FaultModel& model,
 }
 
 Time FaultyLinks::lossy_depart(Engine& eng, ObjectId o, std::size_t leg,
-                               Time depart) {
+                               NodeId from, NodeId to, Time depart) {
   // Loss is decided at send time (the transfer is dropped at the source
   // and re-sent after exponential backoff), so retries only shift the
   // departure.
@@ -234,6 +239,9 @@ Time FaultyLinks::lossy_depart(Engine& eng, ObjectId o, std::size_t leg,
     }
     eng.note_injected();
     eng.note_retry();
+    if (eng.tracing()) {
+      eng.trace_fault("loss", static_cast<std::int64_t>(o), from, to, start);
+    }
     start += detail::backoff_delay(recovery_, attempt);
   }
   if (!sent) {
@@ -258,7 +266,7 @@ Time FaultyLinks::realize(Engine& eng, ObjectId o, std::size_t leg,
     return depart;
   }
   const Graph& g = metric_->graph();
-  const Time start = lossy_depart(eng, o, leg, depart);
+  const Time start = lossy_depart(eng, o, leg, from, to, depart);
   if (eng.recording_events()) {
     eng.push_event({start, SimEvent::Kind::kDepart, o, kInvalidTxn, from});
   }
@@ -271,6 +279,10 @@ Time FaultyLinks::realize(Engine& eng, ObjectId o, std::size_t leg,
     NodeId next = path[idx];
     if (model_->link_down(cur, next, now)) {
       eng.note_injected();
+      if (eng.tracing()) {
+        eng.trace_fault("outage", static_cast<std::int64_t>(o), cur, next,
+                        now);
+      }
       bool rerouted = false;
       if (recovery_.reroute) {
         auto alt = detail::reroute_path(g, *model_, cur, to, now);
@@ -278,6 +290,10 @@ Time FaultyLinks::realize(Engine& eng, ObjectId o, std::size_t leg,
           path = std::move(alt);
           idx = 1;
           eng.note_reroute();
+          if (eng.tracing()) {
+            eng.trace_fault("reroute", static_cast<std::int64_t>(o), cur,
+                            next, now);
+          }
           rerouted = true;
         }
       }
@@ -286,7 +302,13 @@ Time FaultyLinks::realize(Engine& eng, ObjectId o, std::size_t leg,
     }
     const Weight base = detail::edge_weight(g, cur, next);
     const Weight cost = model_->hop_cost(cur, next, base, now);
-    if (cost != base) eng.note_injected();
+    if (cost != base) {
+      eng.note_injected();
+      if (eng.tracing()) {
+        eng.trace_fault("slowdown", static_cast<std::int64_t>(o), cur, next,
+                        now);
+      }
+    }
     eng.add_travel(cost);
     now += cost;
     cur = next;
@@ -305,7 +327,7 @@ void FaultyLinks::launch(Engine& eng, ObjectId o, std::size_t leg,
                          NodeId from, NodeId to, Time now) {
   DTM_ASSERT(inner_ != nullptr);
   eng_ = &eng;
-  const Time start = lossy_depart(eng, o, leg, now);
+  const Time start = lossy_depart(eng, o, leg, from, to, now);
   if (start <= now) {
     inner_->launch(eng, o, leg, from, to, now);
   } else {
@@ -355,11 +377,17 @@ bool FaultyLinks::may_enter(ObjectId o, NodeId u, NodeId v, NodeId target,
   if (fresh || it->second != key) {
     it->second = key;
     eng_->note_injected();
+    if (eng_->tracing()) {
+      eng_->trace_fault("outage", static_cast<std::int64_t>(o), u, v, now);
+    }
   }
   if (recovery_.reroute) {
     auto alt = detail::reroute_path(metric_->graph(), *model_, u, target, now);
     if (alt.size() >= 2) {
       eng_->note_reroute();
+      if (eng_->tracing()) {
+        eng_->trace_fault("reroute", static_cast<std::int64_t>(o), u, v, now);
+      }
       blocked_on_.erase(o);
       *reroute = std::move(alt);
     }
@@ -369,7 +397,12 @@ bool FaultyLinks::may_enter(ObjectId o, NodeId u, NodeId v, NodeId target,
 
 Weight FaultyLinks::enter_cost(NodeId u, NodeId v, Weight base, Time now) {
   const Weight cost = model_->hop_cost(u, v, base, now);
-  if (cost != base) eng_->note_injected();
+  if (cost != base) {
+    eng_->note_injected();
+    // Slowdowns are decided per admission, not per object — the admitting
+    // object id is not visible through the oracle seam.
+    if (eng_->tracing()) eng_->trace_fault("slowdown", -1, u, v, now);
+  }
   return cost;
 }
 

@@ -139,6 +139,10 @@ class BoundedCapacityLinks final : public LinkPolicy, public AdmissionOracle {
     /// t + 1 — pinning this beats letting the admit sweep's channel order
     /// decide whether the detour starts the same step.
     Time not_before = 0;
+    /// Step the object entered its current queue (reroutes keep it: the
+    /// object has been waiting at this node since then). Feeds the
+    /// queue-wait trace span emitted on admission.
+    Time queued_since = 0;
   };
   struct Channel {
     std::deque<ObjectId> queue;
@@ -179,9 +183,11 @@ class FaultyLinks final : public LinkPolicy, public AdmissionOracle {
 
  private:
   /// Departure step of the send once transfer loss and retransmission
-  /// backoff are accounted for (tallies injected/retries; reports loss
-  /// exhaustion as a violation while letting the final send through).
-  Time lossy_depart(Engine& eng, ObjectId o, std::size_t leg, Time depart);
+  /// backoff are accounted for (tallies injected/retries and drops "loss"
+  /// trace markers on link {from, to}; reports loss exhaustion as a
+  /// violation while letting the final send through).
+  Time lossy_depart(Engine& eng, ObjectId o, std::size_t leg, NodeId from,
+                    NodeId to, Time depart);
 
   struct Pending {
     ObjectId object;

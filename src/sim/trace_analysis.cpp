@@ -1,0 +1,183 @@
+#include "sim/trace_analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace dtm {
+
+namespace {
+
+std::int64_t arg_of(const TraceSpanRecord& rec, const char* key,
+                    std::int64_t fallback) {
+  for (const TraceArg& a : rec.args) {
+    if (a.key == key) return a.value;
+  }
+  return fallback;
+}
+
+Time as_time(double t) { return static_cast<Time>(t); }
+
+}  // namespace
+
+TraceSummary summarize_trace(const std::vector<TraceSpanRecord>& events,
+                             std::size_t top_k) {
+  TraceSummary out;
+
+  // Index the sim-domain events: commits by txn, legs by served txn.
+  std::map<std::int64_t, const TraceSpanRecord*> txn_spans;
+  std::map<std::int64_t, std::vector<const TraceSpanRecord*>> legs_by_txn;
+  std::map<std::string, LinkUtilization> links;
+  for (const TraceSpanRecord& e : events) {
+    if (e.wall) continue;
+    if (e.cat == TraceCat::kTxn && !e.instant) {
+      const std::int64_t t = arg_of(e, "txn", -1);
+      txn_spans[t] = &e;
+      TxnSlack s;
+      s.txn = t;
+      s.assembled = as_time(e.begin);
+      s.planned = static_cast<Time>(arg_of(e, "planned", 0));
+      s.realized = as_time(e.end);
+      s.slack = s.realized - s.assembled;
+      out.slack.push_back(s);
+    } else if (e.cat == TraceCat::kLeg && !e.instant) {
+      legs_by_txn[arg_of(e, "txn", -1)].push_back(&e);
+      LinkUtilization& lu = links[e.track];
+      lu.track = e.track;
+      lu.busy += as_time(e.end) - as_time(e.begin);
+      lu.legs += 1;
+    } else if (e.cat == TraceCat::kQueue && !e.instant) {
+      QueueWaitEntry q;
+      q.track = e.track;
+      q.object = arg_of(e, "object", -1);
+      q.leg = arg_of(e, "leg", -1);
+      q.begin = as_time(e.begin);
+      q.end = as_time(e.end);
+      out.queue_waits.push_back(q);
+    }
+  }
+
+  for (auto& [track, lu] : links) out.links.push_back(lu);
+  std::stable_sort(out.links.begin(), out.links.end(),
+                   [](const LinkUtilization& a, const LinkUtilization& b) {
+                     return a.busy != b.busy ? a.busy > b.busy
+                                             : a.track < b.track;
+                   });
+  std::stable_sort(out.queue_waits.begin(), out.queue_waits.end(),
+                   [](const QueueWaitEntry& a, const QueueWaitEntry& b) {
+                     return a.length() > b.length();
+                   });
+  if (out.queue_waits.size() > top_k) out.queue_waits.resize(top_k);
+  std::stable_sort(out.slack.begin(), out.slack.end(),
+                   [](const TxnSlack& a, const TxnSlack& b) {
+                     return a.slack != b.slack ? a.slack > b.slack
+                                               : a.txn < b.txn;
+                   });
+
+  // The makespan witness: the last realized commit.
+  const TraceSpanRecord* cur = nullptr;
+  for (const auto& [t, rec] : txn_spans) {
+    if (cur == nullptr || rec->end > cur->end) cur = rec;
+  }
+  if (cur == nullptr) return out;  // no commits, nothing to walk
+  out.makespan = as_time(cur->end);
+
+  // Walk backwards from that commit to time 0 (see header).
+  const auto problem = [&out](const std::string& msg) {
+    out.problems.push_back(msg);
+  };
+  std::size_t guard = txn_spans.size() + 1;
+  while (cur != nullptr) {
+    if (guard-- == 0) {
+      problem("critical-path walk exceeded the transaction count (cycle?)");
+      break;
+    }
+    const std::int64_t txn = arg_of(*cur, "txn", -1);
+    const Time commit = as_time(cur->end);
+
+    const auto legs_it = legs_by_txn.find(txn);
+    if (legs_it == legs_by_txn.end() || legs_it->second.empty()) {
+      // Every object was already in place (arrival step 0): the whole
+      // interval up to the commit is commit-side wait.
+      if (commit > 0) {
+        CriticalSegment w;
+        w.kind = CriticalSegment::Kind::kWait;
+        w.begin = 0;
+        w.end = commit;
+        w.txn = txn;
+        out.critical_path.push_back(w);
+      }
+      break;
+    }
+    const TraceSpanRecord* gate = nullptr;
+    for (const TraceSpanRecord* leg : legs_it->second) {
+      if (gate == nullptr || leg->end > gate->end ||
+          (leg->end == gate->end &&
+           arg_of(*leg, "object", -1) < arg_of(*gate, "object", -1))) {
+        gate = leg;
+      }
+    }
+    const Time arrive = as_time(gate->end);
+    const Time depart = as_time(gate->begin);
+    if (arrive > commit) {
+      std::ostringstream os;
+      os << "T" << txn << " committed at " << commit
+         << " before its gating object arrived at " << arrive;
+      problem(os.str());
+    }
+    if (commit > arrive) {
+      CriticalSegment w;
+      w.kind = CriticalSegment::Kind::kWait;
+      w.begin = arrive;
+      w.end = commit;
+      w.txn = txn;
+      out.critical_path.push_back(w);
+    }
+    CriticalSegment tr;
+    tr.kind = CriticalSegment::Kind::kTransfer;
+    tr.begin = depart;
+    tr.end = arrive;
+    tr.txn = txn;
+    tr.object = arg_of(*gate, "object", -1);
+    tr.leg = arg_of(*gate, "leg", -1);
+    tr.from = arg_of(*gate, "from", -1);
+    tr.to = arg_of(*gate, "to", -1);
+    out.critical_path.push_back(tr);
+
+    const std::int64_t prev = arg_of(*gate, "prev", -1);
+    if (prev < 0) {
+      // First leg of the chain: departs from home at step 0.
+      if (depart != 0) {
+        std::ostringstream os;
+        os << "first leg of o" << tr.object << " departs at " << depart
+           << " (expected 0)";
+        problem(os.str());
+      }
+      break;
+    }
+    const auto prev_it = txn_spans.find(prev);
+    if (prev_it == txn_spans.end()) {
+      std::ostringstream os;
+      os << "o" << tr.object << "#" << tr.leg << " was released by T" << prev
+         << " which has no commit span";
+      problem(os.str());
+      break;
+    }
+    if (as_time(prev_it->second->end) != depart) {
+      std::ostringstream os;
+      os << "o" << tr.object << "#" << tr.leg << " departs at " << depart
+         << " but T" << prev << " committed at "
+         << as_time(prev_it->second->end);
+      problem(os.str());
+    }
+    cur = prev_it->second;
+  }
+
+  std::reverse(out.critical_path.begin(), out.critical_path.end());
+  for (const CriticalSegment& s : out.critical_path) {
+    out.critical_total += s.length();
+  }
+  return out;
+}
+
+}  // namespace dtm

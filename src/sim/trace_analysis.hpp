@@ -1,0 +1,95 @@
+// Post-run analysis over a TraceRecorder event stream: critical-path
+// reconstruction, per-link utilization, top-k queue waits, and
+// per-transaction slack. Shared by tools/trace_summarize and the tests
+// that pin the critical-path invariant.
+//
+// The critical path is rebuilt backwards from the last-committing
+// transaction: each commit is gated by the latest-arriving of its object
+// legs (a WAIT segment covers any gap between that arrival and the
+// commit, absorbing schedule slack, stepwise commit-processing steps, and
+// degraded stalls; a TRANSFER segment covers the leg itself, queue time
+// included), and each released leg departs exactly at its predecessor
+// transaction's realized commit — so the segments tile [0, makespan]
+// exactly and their lengths sum to the realized makespan. Any violation
+// of that chain (missing spans, depart != predecessor commit) lands in
+// `problems` instead of being silently bridged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/trace.hpp"
+
+namespace dtm {
+
+struct CriticalSegment {
+  enum class Kind { kTransfer, kWait };
+  Kind kind = Kind::kWait;
+  Time begin = 0;
+  Time end = 0;
+  /// The commit this segment feeds.
+  std::int64_t txn = -1;
+  /// Gating object / leg (kTransfer only; -1 on waits).
+  std::int64_t object = -1;
+  std::int64_t leg = -1;
+  std::int64_t from = -1;
+  std::int64_t to = -1;
+
+  Time length() const { return end - begin; }
+};
+
+struct LinkUtilization {
+  std::string track;
+  Time busy = 0;  // summed leg-span lengths (queue time included)
+  std::size_t legs = 0;
+};
+
+struct QueueWaitEntry {
+  std::string track;
+  std::int64_t object = -1;
+  std::int64_t leg = -1;
+  Time begin = 0;
+  Time end = 0;
+
+  Time length() const { return end - begin; }
+};
+
+struct TxnSlack {
+  std::int64_t txn = -1;
+  Time assembled = 0;
+  Time planned = 0;
+  Time realized = 0;
+  /// Commit-side wait: how long the transaction sat fully assembled
+  /// before it committed (schedule slack + stepwise commit gaps).
+  Time slack = 0;
+};
+
+struct TraceSummary {
+  /// Realized makespan as witnessed by the trace (max commit-span end).
+  Time makespan = 0;
+
+  /// Chronological critical path; segment lengths sum to `critical_total`.
+  std::vector<CriticalSegment> critical_path;
+  Time critical_total = 0;
+
+  std::vector<LinkUtilization> links;         // sorted by busy desc
+  std::vector<QueueWaitEntry> queue_waits;    // sorted by length desc, top-k
+  std::vector<TxnSlack> slack;                // sorted by slack desc
+
+  /// Chain violations found while walking (empty on a healthy trace; a
+  /// non-empty list means critical_total is not trustworthy).
+  std::vector<std::string> problems;
+
+  bool consistent() const {
+    return problems.empty() && critical_total == makespan;
+  }
+};
+
+/// Analyzes the sim-domain events of one engine run. Wall-domain (phase)
+/// events are ignored. `top_k` bounds the queue-wait list only.
+TraceSummary summarize_trace(const std::vector<TraceSpanRecord>& events,
+                             std::size_t top_k = 10);
+
+}  // namespace dtm

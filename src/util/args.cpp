@@ -57,6 +57,28 @@ std::string ArgParser::get(const std::string& name,
   return e.value;
 }
 
+std::string ArgParser::get_optional(const std::string& name,
+                                    const std::string& fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const Entry& e = it->second;
+  switch (e.bind) {
+    case Bind::kAttached:
+      // Optional-value flags never take a space-separated value; hand the
+      // tentatively bound token back to the positional list.
+      e.bind = Bind::kReleased;
+      return fallback;
+    case Bind::kReleased:
+      return fallback;
+    case Bind::kConsumed:
+      return e.value;  // an earlier get() already claimed the token
+    case Bind::kNoToken:
+      return e.value.empty() ? fallback : e.value;
+  }
+  return fallback;
+}
+
 std::int64_t ArgParser::get_int(const std::string& name,
                                 std::int64_t fallback) const {
   queried_[name] = true;

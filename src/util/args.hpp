@@ -33,6 +33,14 @@ class ArgParser {
   /// non-numeric values and on a present-but-valueless flag.
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
 
+  /// Value of --name for OPTIONAL-value flags (e.g. `--telemetry[=FILE]`):
+  /// only the `=` form supplies a value. A bare `--name` — even when a
+  /// token follows it — yields `fallback` and leaves the token positional,
+  /// so `--telemetry out.json` keeps out.json as a positional instead of
+  /// swallowing it. Check presence with has().
+  std::string get_optional(const std::string& name,
+                           const std::string& fallback) const;
+
   /// Flags that were passed but never queried via has/get/get_int — used
   /// to reject typos: call after all lookups.
   std::vector<std::string> unknown_flags() const;

@@ -1,0 +1,57 @@
+// Minimal recursive-descent JSON reader (objects, arrays, strings,
+// numbers, bools, null) — enough for the dtm-bench-v1 and dtm-trace-*
+// schemas, no third-party deps. Hoisted out of tools/bench_compare so
+// trace_summarize and tests can share it.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dtm {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const {
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  /// Parses the whole input as one document; throws dtm::Error on
+  /// malformed input or trailing garbage.
+  JsonValue parse();
+
+ private:
+  void skip_ws();
+  char peek();
+  void expect(char c);
+  bool try_consume(char c);
+  void expect_literal(const std::string& lit);
+  JsonValue parse_value();
+  JsonValue parse_object();
+  JsonValue parse_array();
+  std::string parse_string();
+  JsonValue parse_number();
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Reads and parses a whole JSON file; throws dtm::Error when the file is
+/// unreadable or malformed.
+JsonValue load_json_file(const std::string& path);
+
+}  // namespace dtm

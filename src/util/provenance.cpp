@@ -1,0 +1,33 @@
+#include "util/provenance.hpp"
+
+#include "util/json_writer.hpp"
+
+#ifndef DTM_GIT_SHA
+#define DTM_GIT_SHA "unknown"
+#endif
+#ifndef DTM_BUILD_TYPE
+#define DTM_BUILD_TYPE "unknown"
+#endif
+#ifndef DTM_COMPILER
+#define DTM_COMPILER "unknown"
+#endif
+
+namespace dtm {
+
+std::map<std::string, std::string> build_provenance() {
+  return {
+      {"git_sha", DTM_GIT_SHA},
+      {"build_type", DTM_BUILD_TYPE},
+      {"compiler", DTM_COMPILER},
+  };
+}
+
+std::string provenance_json(const std::map<std::string, std::string>& fields) {
+  JsonWriter w;
+  w.begin_object();
+  for (const auto& [k, v] : fields) w.key(k).value(v);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace dtm

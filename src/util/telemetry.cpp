@@ -62,6 +62,7 @@ TelemetrySnapshot TelemetryRegistry::snapshot() const {
     ts.max_ns = sorted.back();
     ts.p50_ns = percentile_of_sorted(sorted, 50);
     ts.p90_ns = percentile_of_sorted(sorted, 90);
+    ts.p95_ns = percentile_of_sorted(sorted, 95);
     ts.p99_ns = percentile_of_sorted(sorted, 99);
     snap.timers[name] = ts;
   }
@@ -95,6 +96,7 @@ std::string TelemetrySnapshot::to_json() const {
     w.key("max_ns").value(ts.max_ns);
     w.key("p50_ns").value(ts.p50_ns);
     w.key("p90_ns").value(ts.p90_ns);
+    w.key("p95_ns").value(ts.p95_ns);
     w.key("p99_ns").value(ts.p99_ns);
     w.end_object();
   }

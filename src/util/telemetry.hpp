@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "util/trace.hpp"
+
 namespace dtm {
 
 class TelemetryRegistry;
@@ -66,6 +68,7 @@ struct TimerStats {
   double max_ns = 0;
   double p50_ns = 0;
   double p90_ns = 0;
+  double p95_ns = 0;
   double p99_ns = 0;
 };
 
@@ -75,7 +78,7 @@ struct TelemetrySnapshot {
   std::map<std::string, TimerStats> timers;
 
   /// Serializes as {"counters": {...}, "timers": {name: {count, total_ns,
-  /// mean_ns, min_ns, max_ns, p50_ns, p90_ns, p99_ns}, ...}}.
+  /// mean_ns, min_ns, max_ns, p50_ns, p90_ns, p95_ns, p99_ns}, ...}}.
   std::string to_json() const;
 };
 
@@ -119,7 +122,9 @@ class TelemetryRegistry {
 
 /// RAII wall-clock timer: records elapsed ns into `registry` under `name`
 /// when the scope exits. Records nothing if the registry was disabled at
-/// construction time.
+/// construction time. Every timed phase doubles as a wall-domain span in
+/// the global TraceRecorder when tracing is on, so schedulers, APSP,
+/// bounds, and simulate() all show up as phase spans for free.
 class ScopedPhaseTimer {
  public:
   explicit ScopedPhaseTimer(std::string name,
@@ -127,13 +132,19 @@ class ScopedPhaseTimer {
       : name_(std::move(name)),
         reg_(&reg),
         active_(reg.enabled()),
+        traced_(TraceRecorder::global().enabled()),
         start_(std::chrono::steady_clock::now()) {}
 
   ~ScopedPhaseTimer() {
+    if (!active_ && !traced_) return;
+    const auto stop = std::chrono::steady_clock::now();
+    if (traced_) {
+      TraceRecorder::global().wall_span(TraceCat::kPhase, name_, start_, stop);
+    }
     if (!active_) return;
-    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now() - start_)
-                        .count();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start_)
+            .count();
     reg_->record_timer(name_, static_cast<std::uint64_t>(ns));
   }
 
@@ -144,6 +155,7 @@ class ScopedPhaseTimer {
   std::string name_;
   TelemetryRegistry* reg_;
   bool active_;
+  bool traced_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -78,7 +78,10 @@ ThreadPool& shared_pool() {
   return pool;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  // Phase spans recorded from this thread (ScopedPhaseTimer inside pool
+  // tasks) land on a per-worker trace track instead of all piling on "main".
+  TraceRecorder::set_thread_track("worker " + std::to_string(index));
   for (;;) {
     std::function<void()> task;
     {

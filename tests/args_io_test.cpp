@@ -80,6 +80,30 @@ TEST(Args, EmptyEqualsValueUsesFallback) {
   EXPECT_THROW(a.get("name", ""), Error);
 }
 
+TEST(Args, GetOptionalKeepsFollowingPositional) {
+  // Regression: bare `--telemetry out.csv` used to swallow out.csv as the
+  // flag's value because dtm_cli read it with get(). get_optional only
+  // accepts the attached `=` form, so the token stays positional.
+  const ArgParser a = parse({"--telemetry", "out.csv"});
+  EXPECT_TRUE(a.has("telemetry"));
+  EXPECT_EQ(a.get_optional("telemetry", "-"), "-");
+  ASSERT_EQ(a.positional().size(), 1u);
+  EXPECT_EQ(a.positional()[0], "out.csv");
+}
+
+TEST(Args, GetOptionalAttachedValue) {
+  const ArgParser a = parse({"--telemetry=tel.json"});
+  EXPECT_EQ(a.get_optional("telemetry", "-"), "tel.json");
+  EXPECT_TRUE(a.positional().empty());
+}
+
+TEST(Args, GetOptionalAbsentOrBareFallsBack) {
+  const ArgParser a = parse({"--telemetry"});
+  EXPECT_TRUE(a.has("telemetry"));
+  EXPECT_EQ(a.get_optional("telemetry", "-"), "-");
+  EXPECT_EQ(a.get_optional("absent", "x"), "x");
+}
+
 TEST(Args, RejectsNonNumeric) {
   const ArgParser a = parse({"--n", "abc"});
   EXPECT_THROW(a.get_int("n", 0), Error);

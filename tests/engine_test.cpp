@@ -36,7 +36,9 @@
 #include "sim/engine.hpp"
 #include "sim/link_policy.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace_analysis.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace dtm {
 namespace {
@@ -358,6 +360,79 @@ TEST(FaultsTimesCapacity, ComposedRunDominatesIdealSubstrate) {
     EXPECT_GE(r.makespan, ideal.makespan) << "cap " << cap;
     EXPECT_GT(r.faults.injected, 0u) << "cap " << cap;
   }
+}
+
+// ------------------------------------------------------------------------
+// Critical path on a hand-computable diamond.
+
+// Diamond 0-1:1, 1-3:1, 0-2:2, 2-3:2. One object homed at 0 serves T0 at
+// node 1 (planned commit 1) and then T1 at node 3 (planned commit 3).
+// The realized timeline is forced: leg 0 crosses 0-1 during [0,1], T0
+// commits at 1 and releases leg 1, which crosses 1-3 during [1,2]; T1 sits
+// assembled for one step of schedule slack and commits at 3. The critical
+// path must therefore be exactly transfer [0,1], transfer [1,2], wait
+// [2,3] — tiling [0, makespan] with total 3.
+TEST(CriticalPath, HandComputedDiamondChain) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 3, 1);
+  b.add_edge(0, 2, 2);
+  b.add_edge(2, 3, 2);
+  const Graph g = b.build();
+  const DenseMetric m(g);
+  InstanceBuilder ib(g, 1);
+  ib.set_object_home(0, 0);
+  ib.add_transaction(1, {0});  // T0 at node 1
+  ib.add_transaction(3, {0});  // T1 at node 3
+  const Instance inst = ib.build();
+  const Schedule s = Schedule::from_commit_times(inst, {1, 3});
+
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.clear();
+  rec.set_enabled(true);
+  const SimResult r = simulate(inst, m, s);
+  rec.set_enabled(false);
+  ASSERT_TRUE(r.ok) << r.summary();
+  ASSERT_EQ(r.realized_makespan, 3);
+
+  const TraceSummary sum = summarize_trace(rec.events());
+  EXPECT_TRUE(sum.problems.empty())
+      << "first problem: " << sum.problems.front();
+  EXPECT_EQ(sum.makespan, 3);
+  EXPECT_EQ(sum.critical_total, 3);
+  ASSERT_EQ(sum.critical_path.size(), 3u);
+
+  const CriticalSegment& first = sum.critical_path[0];
+  EXPECT_EQ(first.kind, CriticalSegment::Kind::kTransfer);
+  EXPECT_EQ(first.begin, 0);
+  EXPECT_EQ(first.end, 1);
+  EXPECT_EQ(first.txn, 0);
+  EXPECT_EQ(first.object, 0);
+  EXPECT_EQ(first.leg, 0);
+  EXPECT_EQ(first.from, 0);
+  EXPECT_EQ(first.to, 1);
+
+  const CriticalSegment& second = sum.critical_path[1];
+  EXPECT_EQ(second.kind, CriticalSegment::Kind::kTransfer);
+  EXPECT_EQ(second.begin, 1);
+  EXPECT_EQ(second.end, 2);
+  EXPECT_EQ(second.txn, 1);
+  EXPECT_EQ(second.object, 0);
+  EXPECT_EQ(second.leg, 1);
+  EXPECT_EQ(second.from, 1);
+  EXPECT_EQ(second.to, 3);
+
+  const CriticalSegment& wait = sum.critical_path[2];
+  EXPECT_EQ(wait.kind, CriticalSegment::Kind::kWait);
+  EXPECT_EQ(wait.begin, 2);
+  EXPECT_EQ(wait.end, 3);
+  EXPECT_EQ(wait.txn, 1);
+
+  // Per-txn slack: T1 sat assembled for one step; T0 committed on arrival.
+  ASSERT_EQ(sum.slack.size(), 2u);
+  EXPECT_EQ(sum.slack[0].txn, 1);
+  EXPECT_EQ(sum.slack[0].slack, 1);
+  EXPECT_EQ(sum.slack[1].slack, 0);
 }
 
 }  // namespace

@@ -15,223 +15,41 @@
 //    timer layer entirely — use it when baseline and candidate come from
 //    different machines or runs too short to time stably (CI gates on a
 //    committed baseline compare series + counters only).
-//  - environment-describing counters (pool.workers) are reported as "info"
-//    but never flagged — they describe the machine, not the work.
+//  - environment-describing counters (pool.workers) and per-phase timer
+//    percentiles (p50/p95/max) are reported as "info" but never flagged —
+//    the former describe the machine, the latter are shape diagnostics
+//    too noisy to gate on.
 // Exits 1 if any regression was found, 0 otherwise.
-//
-// Contains a deliberately minimal recursive-descent JSON reader (objects,
-// arrays, strings, numbers, bools, null) — enough for the dtm-bench-v1
-// schema, no third-party deps.
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 #include <iostream>
 #include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "util/args.hpp"
 #include "util/error.hpp"
+#include "util/json_reader.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using dtm::Error;
-
-// ----------------------------------------------------------- JSON reader
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string str;
-  std::vector<JsonValue> arr;
-  std::map<std::string, JsonValue> obj;
-
-  const JsonValue* find(const std::string& key) const {
-    const auto it = obj.find(key);
-    return it == obj.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = parse_value();
-    skip_ws();
-    DTM_REQUIRE(pos_ == text_.size(), "JSON: trailing garbage at " << pos_);
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    DTM_REQUIRE(pos_ < text_.size(), "JSON: unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    DTM_REQUIRE(peek() == c, "JSON: expected '" << c << "' at " << pos_);
-    ++pos_;
-  }
-
-  bool try_consume(char c) {
-    if (peek() == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  void expect_literal(const std::string& lit) {
-    DTM_REQUIRE(text_.compare(pos_, lit.size(), lit) == 0,
-                "JSON: bad literal at " << pos_);
-    pos_ += lit.size();
-  }
-
-  JsonValue parse_value() {
-    switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': {
-        JsonValue v;
-        v.kind = JsonValue::Kind::kString;
-        v.str = parse_string();
-        return v;
-      }
-      case 't': {
-        expect_literal("true");
-        JsonValue v;
-        v.kind = JsonValue::Kind::kBool;
-        v.boolean = true;
-        return v;
-      }
-      case 'f': {
-        expect_literal("false");
-        JsonValue v;
-        v.kind = JsonValue::Kind::kBool;
-        return v;
-      }
-      case 'n': {
-        expect_literal("null");
-        return JsonValue{};
-      }
-      default: return parse_number();
-    }
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    if (try_consume('}')) return v;
-    for (;;) {
-      const std::string key = (peek(), parse_string());
-      expect(':');
-      v.obj.emplace(key, parse_value());
-      if (try_consume('}')) return v;
-      expect(',');
-    }
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    if (try_consume(']')) return v;
-    for (;;) {
-      v.arr.push_back(parse_value());
-      if (try_consume(']')) return v;
-      expect(',');
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      DTM_REQUIRE(pos_ < text_.size(), "JSON: dangling escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          DTM_REQUIRE(pos_ + 4 <= text_.size(), "JSON: short \\u escape");
-          const unsigned code =
-              static_cast<unsigned>(std::stoul(text_.substr(pos_, 4), nullptr, 16));
-          pos_ += 4;
-          // BENCH artifacts only escape ASCII control chars; reject the rest
-          // rather than mis-decoding surrogate pairs.
-          DTM_REQUIRE(code < 0x80, "JSON: non-ASCII \\u escape unsupported");
-          out += static_cast<char>(code);
-          break;
-        }
-        default: throw Error("JSON: bad escape character");
-      }
-    }
-    expect('"');
-    return out;
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    DTM_REQUIRE(pos_ > start, "JSON: expected a value at " << start);
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    v.number = std::stod(text_.substr(start, pos_ - start));
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+using dtm::JsonValue;
 
 // ------------------------------------------------------------- comparison
 
 JsonValue load_artifact(const std::string& path) {
-  std::ifstream in(path);
-  DTM_REQUIRE(in.good(), "cannot open " << path);
-  std::stringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
-  JsonValue doc = JsonReader(text).parse();
+  JsonValue doc = dtm::load_json_file(path);
   const JsonValue* schema = doc.find("schema");
   DTM_REQUIRE(schema != nullptr && schema->str == "dtm-bench-v1",
               path << ": not a dtm-bench-v1 artifact");
   return doc;
 }
 
-/// Flat metric map: counters by name, timers by mean and total (timers
-/// omitted when `with_timers` is false).
+/// Flat metric map: counters by name, timers by mean/total plus the
+/// informational p50/p95/max percentiles (timers omitted when
+/// `with_timers` is false).
 std::map<std::string, double> metrics_of(const JsonValue& doc,
                                          bool with_timers) {
   std::map<std::string, double> out;
@@ -249,14 +67,24 @@ std::map<std::string, double> metrics_of(const JsonValue& doc,
       if (const JsonValue* total = t.find("total_ns")) {
         out["timer_total_ns/" + name] = total->number;
       }
+      for (const char* pct : {"p50_ns", "p95_ns", "max_ns"}) {
+        if (const JsonValue* v = t.find(pct)) {
+          out[std::string("timer_") + pct + "/" + name] = v->number;
+        }
+      }
     }
   }
   return out;
 }
 
 /// Environment-describing metrics: reported on change, never a regression.
+/// Timer percentiles ride along for visibility but single-sample phases
+/// make p50 == max, so gating on them would just re-gate the mean.
 bool informational(const std::string& name) {
-  return name == "counter/pool.workers";
+  return name == "counter/pool.workers" ||
+         name.rfind("timer_p50_ns/", 0) == 0 ||
+         name.rfind("timer_p95_ns/", 0) == 0 ||
+         name.rfind("timer_max_ns/", 0) == 0;
 }
 
 /// Exact cell-for-cell diff of the `series` arrays. Returns the number of
