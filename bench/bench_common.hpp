@@ -176,6 +176,11 @@ class BenchReport {
     tables_.push_back({name, t.header(), t.data()});
   }
 
+  /// Drops every recorded series. A binary that emits a second artifact
+  /// (e.g. bench_faults' E20 reschedule sweep) clears the report after the
+  /// first write_artifact so the two JSON files do not share series.
+  void clear() { tables_.clear(); }
+
   /// Serializes series + telemetry snapshot as the BENCH_<name>.json schema
   /// ("dtm-bench-v1", see EXPERIMENTS.md). The provenance object (git sha,
   /// build type, compiler, invocation) is informational: bench_compare

@@ -39,6 +39,7 @@
 #include "lb/bounds.hpp"
 #include "sched/online.hpp"
 #include "sched/registry.hpp"
+#include "sched/reschedule.hpp"
 #include "sim/capacity_sim.hpp"
 #include "sim/congestion.hpp"
 #include "sim/simulator.hpp"
@@ -189,10 +190,12 @@ int run(const ArgParser& args, const std::string& invocation) {
   const auto trials = static_cast<int>(args.get_int("trials", 1));
 
   // --trace-out records trial 0 (the seeded, reproducible one) and writes a
-  // Chrome trace-event file (or deterministic JSONL) after the run. Later
-  // trials and the capacity replay share the recorder's sim timeline, so
-  // tracing is switched off for them to keep one coherent span tree.
+  // Chrome trace-event file (or deterministic JSONL) after the run. Only
+  // one execution per run is recorded to keep a single coherent span tree:
+  // with --capacity that is the capacity replay (whose makespan is the one
+  // printed), otherwise the plain trial-0 run.
   const bool tracing = args.has("trace-out");
+  const bool trace_replay = tracing && args.has("capacity");
   const std::string trace_path = args.get("trace-out", "");
   const std::string trace_format = args.get("trace-format", "chrome");
   DTM_REQUIRE(trace_format == "chrome" || trace_format == "jsonl",
@@ -218,6 +221,29 @@ int run(const ArgParser& args, const std::string& invocation) {
   SimOptions sim_opts;
   if (faults) sim_opts.faults = &*faults;
 
+  // --reschedule[=NAME] splices replacement schedules in mid-run whenever
+  // the realized lag exceeds --slack-threshold (sched/reschedule.hpp).
+  // Bare --reschedule reuses the --scheduler name; online-* schedulers are
+  // stateful and cannot restart from partial state, so they are rejected.
+  const bool resched = args.has("reschedule");
+  std::string resched_name;
+  if (resched) {
+    resched_name =
+        args.get_optional("reschedule", args.get("scheduler", "auto"));
+    if (resched_name == "auto") {
+      if (topo.line) resched_name = "line";
+      else if (topo.grid) resched_name = "grid";
+      else if (topo.cluster) resched_name = "cluster";
+      else if (topo.star) resched_name = "star";
+      else resched_name = "greedy-paper";
+    }
+    DTM_REQUIRE(resched_name.rfind("online-", 0) != 0,
+                "--reschedule cannot use online schedulers (got '"
+                    << resched_name << "')");
+    sim_opts.reschedule_policy.slack_threshold = args.get_int(
+        "slack-threshold", sim_opts.reschedule_policy.slack_threshold);
+  }
+
   Table table({"trial", "scheduler", "txns", "makespan", "LB", "ratio",
                "communication", "peak link load"});
   std::optional<CsvWriter> csv;
@@ -238,8 +264,23 @@ int run(const ArgParser& args, const std::string& invocation) {
     const ValidationResult vr = validate(inst, *metric, schedule);
     DTM_REQUIRE(vr.ok, "scheduler produced infeasible schedule:\n"
                            << vr.summary());
+    if (resched) {
+      // Rebuilt per trial: the hook captures this trial's instance.
+      sim_opts.reschedule = make_rescheduler(
+          inst, *metric, resched_name,
+          seed + static_cast<std::uint64_t>(trial));
+    }
+    // With --capacity the replay below is the traced execution; keep the
+    // plain run off the recorder so the trace matches the printed makespan.
+    const bool pause_plain = trace_replay && recorder.enabled();
+    if (pause_plain) recorder.set_enabled(false);
     const SimResult sim = simulate(inst, *metric, schedule, sim_opts);
+    if (pause_plain) recorder.set_enabled(true);
     DTM_REQUIRE(sim.ok, "simulation failed:\n" << sim.summary());
+    if (resched && sim.reschedules > 0) {
+      std::cout << "trial " << trial << " reschedules: " << sim.reschedules
+                << " (realized makespan " << sim.realized_makespan << ")\n";
+    }
     if (faults) {
       std::cout << "trial " << trial << " faults: planned makespan "
                 << sim.planned_makespan << " -> realized "
@@ -256,10 +297,8 @@ int run(const ArgParser& args, const std::string& invocation) {
     if (args.has("capacity")) {
       // The --fault-* flags compose with --capacity: the replay runs the
       // visit orders on bounded FIFO links *and* the faulty network at once.
-      // The replay re-executes the same sim timeline, so pause tracing to
-      // keep the trace a single-execution record.
-      const bool pause_trace = recorder.enabled();
-      if (pause_trace) recorder.set_enabled(false);
+      // This replay is the recorded execution when tracing (its makespan is
+      // the printed one); the plain run above was kept off the recorder.
       const auto cap = static_cast<std::size_t>(args.get_int("capacity", 1));
       CapacitySimOptions cap_opts;
       cap_opts.capacity = cap;
@@ -277,7 +316,6 @@ int run(const ArgParser& args, const std::string& invocation) {
                   << replay.faults.reroutes << ")";
       }
       std::cout << "\n";
-      if (pause_trace) recorder.set_enabled(true);
     }
     const double ratio = static_cast<double>(sm.makespan) /
                          static_cast<double>(std::max<Time>(lb.makespan_lb, 1));
@@ -323,9 +361,8 @@ int run(const ArgParser& args, const std::string& invocation) {
   }
 
   if (args.has("telemetry")) {
-    // Bare --telemetry dumps to stdout; --telemetry=FILE writes the file.
-    // get_optional: a following positional stays positional — only the
-    // attached =FILE form supplies a path.
+    // Bare --telemetry dumps to stdout; --telemetry=FILE (or
+    // `--telemetry FILE`) writes the file.
     const std::string json = TelemetryRegistry::global().snapshot().to_json();
     const std::string path = args.get_optional("telemetry", "-");
     if (path == "-") {
@@ -366,6 +403,7 @@ int main(int argc, char** argv) {
           "  [--seed S] [--trials T] [--window W] [--capacity C] "
           "[--csv FILE] [--telemetry[=FILE]]\n"
           "  [--trace-out FILE] [--trace-format chrome|jsonl]\n"
+          "  [--reschedule[=NAME]] [--slack-threshold T]\n"
           "  [--fault-rate P] [--fault-duration D] [--fault-window W] "
           "[--slowdown-rate P] [--slowdown-factor F]\n"
           "  [--loss-rate P] [--fault-seed S]\n"

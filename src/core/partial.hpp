@@ -1,0 +1,56 @@
+// Partially-executed instance state: the scheduler-facing snapshot an
+// engine hands to a rescheduler mid-run.
+//
+// A reschedule happens at the commit-discipline seam: some transactions
+// have committed (their object accesses are history), every object sits
+// at a known node — either parked after its last committed requester or
+// about to finish an in-flight leg — and the uncommitted suffix is a
+// fresh scheduling problem whose only twist is that objects no longer
+// start at their homes. `PartialExecution` captures exactly that state;
+// `RescheduleFn` is the pluggable policy that turns it into a replacement
+// schedule (or nullptr to keep the current one).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace dtm {
+
+/// Snapshot of a stepwise execution at a reschedule point. All vectors are
+/// indexed by the ORIGINAL instance's ids; a rescheduler must keep the
+/// committed prefix (orders and realized commit times) intact and is only
+/// free to reorder and retime the uncommitted suffix.
+struct PartialExecution {
+  /// Engine clock at the snapshot; new commits must land strictly later.
+  Time now = 0;
+  /// committed[t] != 0 iff transaction t has already committed.
+  std::vector<char> committed;
+  /// Realized commit step per committed transaction (0 for uncommitted).
+  std::vector<Time> commit_realized;
+  /// Current (or imminent) node of each object: the holder for parked
+  /// objects, the in-flight leg's destination for moving ones.
+  std::vector<NodeId> object_at;
+  /// Earliest step at which the object can depart `object_at` — `now` for
+  /// parked objects, a conservative arrival estimate for in-flight ones.
+  std::vector<Time> object_free_at;
+  /// served[o] is o's committed-prefix requester sequence, in commit
+  /// order. A spliced schedule's object_order[o] must start with exactly
+  /// this prefix.
+  std::vector<std::vector<TxnId>> served;
+  /// The incumbent plan's full visit orders (committed prefix + pending
+  /// suffix). Reschedulers use this to project what staying the course
+  /// would cost and decline (return nullptr) unless they beat it.
+  std::vector<std::vector<TxnId>> order;
+};
+
+/// Reschedule policy hook: given the partial state, produce a full
+/// replacement Schedule (committed prefix preserved verbatim) or nullptr
+/// to decline and keep executing the current one.
+using RescheduleFn =
+    std::function<std::unique_ptr<Schedule>(const PartialExecution&)>;
+
+}  // namespace dtm

@@ -1,0 +1,71 @@
+// Partial-state scheduler restarts: run any Scheduler on the uncommitted
+// suffix of a partially-executed instance (core/partial.hpp).
+//
+// The contract (see DESIGN.md "Rescheduling"):
+//  * committed transactions are history — their realized commit times and
+//    their positions in the object orders are copied into the result
+//    verbatim;
+//  * every object starts from where the execution pinned it
+//    (PartialExecution::object_at), not from its original home, and may
+//    not depart before object_free_at (in-flight legs complete first);
+//  * the scheduler only decides the ORDER of the uncommitted suffix; its
+//    commit times are discarded and recomputed by a longest-path retimer
+//    (the precedence.cpp machinery with the snapshot's source
+//    constraints), floored at now + 1 so every pending commit lands
+//    strictly in the future.
+//
+// The result is a full Schedule over the ORIGINAL instance, ready to be
+// spliced in by the engine — feasible by construction (triangle
+// inequality: free_at + dist(at, next) dominates the boundary constraint
+// from the last committed requester).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/partial.hpp"
+#include "core/rw.hpp"
+#include "graph/metric.hpp"
+#include "sched/rw_greedy.hpp"
+#include "sched/scheduler.hpp"
+
+namespace dtm {
+
+/// Builds the residual instance (uncommitted transactions, objects homed
+/// at their current holders), runs `sched` on it, and splices the
+/// resulting orders behind the committed prefixes with retimed commit
+/// times. Returns nullptr when nothing is left to schedule, or when the
+/// new orders do not project a strictly earlier completion than retiming
+/// the incumbent orders (px.order) from the same snapshot — splicing a
+/// no-better plan only refreshes commit-time floors and slows the run.
+std::unique_ptr<Schedule> reschedule_from(const Instance& inst,
+                                          const Metric& metric,
+                                          Scheduler& sched,
+                                          const PartialExecution& px);
+
+/// Engine-ready RescheduleFn wrapping a registry scheduler (any
+/// make_scheduler_for name — topology-specific names work because the
+/// residual instance keeps the original graph). The scheduler is built
+/// once and reused across splices, so a seeded run reschedules
+/// deterministically. `inst` and `metric` must outlive the returned
+/// function.
+RescheduleFn make_rescheduler(const Instance& inst, const Metric& metric,
+                              const std::string& scheduler,
+                              std::uint64_t seed = 1);
+
+/// Read/write variant of the partial-state restart: reschedules the
+/// uncommitted suffix of an rw workload with schedule_rw_greedy on the
+/// residual instance (objects pinned at `object_at`, committed
+/// transactions and their accesses removed). The result is over ORIGINAL
+/// transaction ids and covers the uncommitted transactions only:
+/// committed entries keep commit_realized and appear in no writer chain
+/// or reader-source list; uncommitted commit times are shifted past
+/// max(now, object_free_at) so the suffix composes with the history.
+RwSchedule reschedule_rw_from(const Instance& inst, const WriteSets& writes,
+                              const Metric& metric,
+                              const PartialExecution& px,
+                              const RwGreedyOptions& opts = {});
+
+}  // namespace dtm

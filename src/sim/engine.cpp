@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "sim/link_policy.hpp"
+#include "sim/trace_analysis.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
@@ -48,6 +49,8 @@ Engine::Engine(const Instance& inst, const Metric& metric,
       links_(&links),
       opts_(opts) {}
 
+Engine::~Engine() = default;  // out-of-line for the SlackMonitor pimpl
+
 void Engine::fail(const std::string& msg) {
   r_.ok = false;
   r_.violations.push_back(msg);
@@ -76,6 +79,13 @@ void Engine::object_arrived(ObjectId o) {
     st.span = 0;
   }
   const TxnId target = (*st.order)[st.next_leg];
+  // After a splice the object may have been flying toward a requester the
+  // new schedule no longer serves next (in-flight legs complete first);
+  // forward it to the new target instead of marking it present.
+  if (resched_count_ > 0 && st.at != inst_->txn(target).home) {
+    launch_redirect_leg(o, clock_);
+    return;
+  }
   if (++present_[target] == inst_->txn(target).objects.size()) {
     ready_.push_back(target);
     if (!assembled_.empty()) assembled_[target] = clock_;
@@ -126,17 +136,21 @@ void Engine::trace_leg(ObjectId o, std::size_t leg, std::int64_t prev,
 }
 
 void Engine::trace_leg_begin(ObjectId o, std::size_t leg, std::int64_t prev,
-                             NodeId from, NodeId to, Time depart) {
+                             NodeId from, NodeId to, Time depart,
+                             bool redirect) {
   if (trace_ == nullptr) return;
-  obj_[o].span = trace_->begin_span(
-      TraceCat::kLeg, link_track(from, to), leg_name(o, leg),
-      static_cast<double>(depart),
-      {{"from", static_cast<std::int64_t>(from)},
-       {"leg", static_cast<std::int64_t>(leg)},
-       {"object", static_cast<std::int64_t>(o)},
-       {"prev", prev},
-       {"to", static_cast<std::int64_t>(to)},
-       {"txn", static_cast<std::int64_t>((*obj_[o].order)[leg])}});
+  std::vector<TraceArg> args = {
+      {"from", static_cast<std::int64_t>(from)},
+      {"leg", static_cast<std::int64_t>(leg)},
+      {"object", static_cast<std::int64_t>(o)},
+      {"prev", prev},
+      {"to", static_cast<std::int64_t>(to)},
+      {"txn", static_cast<std::int64_t>((*obj_[o].order)[leg])}};
+  if (redirect) args.push_back({"redirect", 1});
+  obj_[o].span = trace_->begin_span(TraceCat::kLeg, link_track(from, to),
+                                    leg_name(o, leg),
+                                    static_cast<double>(depart),
+                                    std::move(args));
 }
 
 void Engine::trace_commit(TxnId t, Time assembled, Time planned,
@@ -201,6 +215,11 @@ bool Engine::init() {
   trace_ =
       TraceRecorder::global().enabled() ? &TraceRecorder::global() : nullptr;
   stepwise_ = links_->stepwise();
+  // Rescheduling needs the synchronous clock (stepwise) and planned times
+  // that still mean something (kPlannedDegraded); anywhere else the hook
+  // is ignored and the engine is byte-for-byte the baseline one.
+  resched_enabled_ = stepwise_ && opts_.reschedule_fn != nullptr &&
+                     opts_.discipline == CommitDiscipline::kPlannedDegraded;
 
   const std::size_t w = inst_->num_objects();
   obj_.resize(w);
@@ -265,6 +284,14 @@ bool Engine::init_stepwise() {
     }
   }
 
+  if (resched_enabled_) {
+    realized_commit_.assign(n, 0);
+    monitor_ = std::make_unique<SlackMonitor>();
+    // Pre-step-1 casualties count as done for lag purposes: they never
+    // commit unless a splice revives them with a sane time.
+    monitor_->reset(s_->commit_time, commit_blocked_);
+  }
+
   for (ObjectId o = 0; o < obj_.size(); ++o) {
     ObjectState& st = obj_[o];
     if (st.order->empty()) continue;
@@ -275,6 +302,8 @@ bool Engine::init_stepwise() {
     }
     if (opts_.record_legs) r_.legs.push_back({o, 0, st.at, target, 0});
     st.in_transit = true;
+    st.leg_from = st.at;
+    st.leg_depart = 0;
     if (legs_moved_ != nullptr) legs_moved_->add();
     trace_leg_begin(o, 0, -1, st.at, target, 0);
     links_->launch(*this, o, 0, st.at, target, 0);
@@ -329,6 +358,12 @@ bool Engine::step_stepwise() {
     ready_.swap(still_waiting);
   }
   for (TxnId t : committing) commit_stepwise(t, clock_);
+
+  // 2b. Reschedule seam: with the step's commits in, measure the realized
+  //     lag and splice in a replacement schedule when it runs away.
+  //     Redirect legs launched here are admitted below like any other
+  //     same-step release.
+  if (resched_enabled_) maybe_reschedule();
 
   // 3. Admit queued objects onto free links (a traversal admitted at
   //    `clock_` occupies the edge through clock_+weight), then account
@@ -432,6 +467,10 @@ void Engine::commit_stepwise(TxnId t, Time now) {
   DTM_ASSERT(!committed_[t]);
   committed_[t] = 1;
   ++committed_count_;
+  if (resched_enabled_) {
+    realized_commit_[t] = now;
+    monitor_->on_commit(t, std::max<Time>(now - s_->commit_time[t], 0));
+  }
   if (opts_.discipline == CommitDiscipline::kPlannedDegraded) {
     const Time planned = s_->commit_time[t];
     const Time stall = now - planned;
@@ -492,6 +531,8 @@ void Engine::launch_release_leg(ObjectId o, Time now) {
       return;
     }
     st.in_transit = true;
+    st.leg_from = from;
+    st.leg_depart = now;
     if (legs_moved_ != nullptr) legs_moved_->add();
     trace_leg_begin(o, st.next_leg, prev, from, target, now);
     links_->launch(*this, o, st.next_leg, from, target, now);
@@ -503,6 +544,151 @@ void Engine::launch_release_leg(ObjectId o, Time now) {
   st.in_transit = target != from;
   st.at = target;
   trace_leg(o, st.next_leg, prev, from, target, now, st.arrival);
+}
+
+void Engine::maybe_reschedule() {
+  if (resched_count_ >= opts_.reschedule.max_reschedules) return;
+  if (committed_count_ >= commit_target_) return;  // run is over
+  if (clock_ < next_resched_) return;              // cooling down
+  const Time lag = monitor_->lag(clock_);
+  if (lag <= opts_.reschedule.slack_threshold) return;
+  next_resched_ = clock_ + opts_.reschedule.cooldown;
+
+  PartialExecution px;
+  px.now = clock_;
+  px.committed.assign(committed_.begin(), committed_.end());
+  px.commit_realized = realized_commit_;
+  const std::size_t w = obj_.size();
+  px.object_at.resize(w);
+  px.object_free_at.resize(w);
+  px.served.resize(w);
+  for (ObjectId o = 0; o < w; ++o) {
+    const ObjectState& st = obj_[o];
+    px.object_at[o] = st.at;
+    // In-flight legs complete first: the earliest the object can leave its
+    // leg target is the unobstructed arrival estimate (queueing and faults
+    // only push the real arrival later; kPlannedDegraded absorbs that as
+    // commit stall).
+    px.object_free_at[o] =
+        st.in_transit
+            ? std::max(st.leg_depart + metric_->distance(st.leg_from, st.at),
+                       clock_)
+            : clock_;
+    px.served[o].assign(st.order->begin(), st.order->begin() + st.next_leg);
+  }
+  px.order = s_->object_order;
+  std::unique_ptr<Schedule> next = opts_.reschedule_fn(px);
+  if (next == nullptr) return;  // the policy declined
+  apply_splice(std::move(next), lag);
+}
+
+void Engine::apply_splice(std::unique_ptr<Schedule> next, Time lag) {
+  // Sanity: the replacement must cover the instance, keep every committed
+  // prefix verbatim, and put every pending commit strictly in the future.
+  // A schedule that flunks these is reported and ignored — the run
+  // continues on the incumbent schedule.
+  const std::size_t n = inst_->num_transactions();
+  const std::size_t w = inst_->num_objects();
+  if (next->commit_time.size() != n || next->object_order.size() != w) {
+    fail("reschedule: replacement schedule shape does not match instance");
+    return;
+  }
+  for (TxnId t = 0; t < n; ++t) {
+    if (!committed_[t] && next->commit_time[t] <= clock_) {
+      std::ostringstream os;
+      os << "reschedule: T" << t << " rescheduled at step "
+         << next->commit_time[t] << " (not after step " << clock_ << ")";
+      fail(os.str());
+      return;
+    }
+  }
+  for (ObjectId o = 0; o < w; ++o) {
+    const ObjectState& st = obj_[o];
+    const auto& order = next->object_order[o];
+    if (order.size() != st.order->size() ||
+        !std::equal(st.order->begin(),
+                    st.order->begin() +
+                        static_cast<std::ptrdiff_t>(st.next_leg),
+                    order.begin())) {
+      std::ostringstream os;
+      os << "reschedule: object o" << o
+         << " order does not preserve the committed prefix";
+      fail(os.str());
+      return;
+    }
+  }
+
+  ++resched_count_;
+  if (trace_ != nullptr) {
+    trace_->instant(TraceCat::kResched, "scheduler", "reschedule",
+                    static_cast<double>(clock_),
+                    {{"index", static_cast<std::int64_t>(resched_count_)},
+                     {"lag", static_cast<std::int64_t>(lag)}});
+  }
+  spliced_.push_back(std::move(next));
+  s_ = spliced_.back().get();
+  for (ObjectId o = 0; o < w; ++o) obj_[o].order = &s_->object_order[o];
+
+  // Pre-step-1 casualties now carry sane future times; revive them.
+  for (TxnId t = 0; t < n; ++t) {
+    if (commit_blocked_[t] != 0) {
+      commit_blocked_[t] = 0;
+      ++commit_target_;
+    }
+  }
+
+  // Rebuild the assembly bookkeeping against the new orders. Parked
+  // objects whose next requester changed are redirected right away;
+  // in-flight ones redirect on arrival (object_arrived).
+  std::vector<char> was_ready(n, 0);
+  for (TxnId t : ready_) was_ready[t] = 1;
+  ready_.clear();
+  std::fill(present_.begin(), present_.end(), 0);
+  for (ObjectId o = 0; o < w; ++o) {
+    ObjectState& st = obj_[o];
+    if (st.in_transit || st.next_leg >= st.order->size()) continue;
+    const TxnId target = (*st.order)[st.next_leg];
+    if (st.at == inst_->txn(target).home) {
+      ++present_[target];
+    } else {
+      launch_redirect_leg(o, clock_);
+    }
+  }
+  for (TxnId t = 0; t < n; ++t) {
+    if (committed_[t] != 0) continue;
+    if (present_[t] == inst_->txn(t).objects.size()) {
+      ready_.push_back(t);
+      // Keep the original assembly stamp for txns that stayed assembled;
+      // txns assembled by the splice itself date from now.
+      if (!assembled_.empty() && was_ready[t] == 0) assembled_[t] = clock_;
+    }
+  }
+  monitor_->reset(s_->commit_time, committed_);
+}
+
+void Engine::launch_redirect_leg(ObjectId o, Time now) {
+  ObjectState& st = obj_[o];
+  const NodeId from = st.at;
+  const NodeId target = inst_->txn((*st.order)[st.next_leg]).home;
+  DTM_ASSERT(target != from);
+  // Redirects are not released by a commit; `prev` still names the last
+  // committed requester so the record stays attributable, and the
+  // redirect:1 tag tells the critical-path walk to follow the object's
+  // own physical chain instead of a releasing commit.
+  const std::int64_t prev =
+      st.next_leg > 0
+          ? static_cast<std::int64_t>((*st.order)[st.next_leg - 1])
+          : -1;
+  if (opts_.record_legs) {
+    r_.legs.push_back({o, st.next_leg, from, target, now});
+  }
+  st.in_transit = true;
+  st.leg_from = from;
+  st.leg_depart = now;
+  if (legs_moved_ != nullptr) legs_moved_->add();
+  trace_leg_begin(o, st.next_leg, prev, from, target, now, /*redirect=*/true);
+  links_->launch(*this, o, st.next_leg, from, target, now);
+  st.at = target;
 }
 
 void Engine::finish() {
@@ -519,6 +705,7 @@ void Engine::finish() {
   if (opts_.discipline == CommitDiscipline::kPlannedStrict) {
     r_.planned_makespan = r_.realized_makespan;
   }
+  r_.reschedules = resched_count_;
 }
 
 std::vector<LegRecord> planned_leg_trace(const Instance& inst,

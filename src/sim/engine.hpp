@@ -38,10 +38,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/instance.hpp"
+#include "core/partial.hpp"
 #include "core/schedule.hpp"
 #include "graph/metric.hpp"
 #include "sim/faults.hpp"
@@ -101,6 +103,16 @@ struct EngineOptions {
   /// as a violation (RecoveryPolicy::max_commit_stall's seat in the
   /// engine).
   Time max_commit_stall = static_cast<Time>(1) << 20;
+
+  /// Mid-run rescheduling (stepwise + kPlannedDegraded only): when set,
+  /// the engine monitors realized lag behind the plan and, per
+  /// `reschedule`, hands the partial execution state to this hook; a
+  /// non-null replacement schedule is spliced in at the commit seam
+  /// (committed prefix preserved, in-flight legs complete first, parked
+  /// objects redirected). Unset keeps every path bit-identical to the
+  /// baseline engine.
+  RescheduleFn reschedule_fn;
+  ReschedulePolicy reschedule{};
 };
 
 struct EngineResult {
@@ -126,9 +138,13 @@ struct EngineResult {
   /// Stepwise queue accounting (zero for analytic policies).
   Time total_queue_wait = 0;
   std::size_t max_queue_length = 0;
+
+  /// Schedule splices applied by the reschedule hook (0 when disabled).
+  std::size_t reschedules = 0;
 };
 
 class LinkPolicy;
+class SlackMonitor;
 class TelemetryCounter;
 class TraceRecorder;
 
@@ -141,6 +157,7 @@ class Engine {
  public:
   Engine(const Instance& inst, const Metric& metric, const Schedule& schedule,
          LinkPolicy& links, const EngineOptions& opts);
+  ~Engine();
 
   EngineResult run();
 
@@ -185,6 +202,11 @@ class Engine {
     bool in_transit = false;
     Time arrival = 0;
     std::uint64_t span = 0;  // open stepwise leg span (0 = none)
+    // Launch point of the current stepwise leg; feeds the conservative
+    // arrival estimate handed to the reschedule hook for in-flight
+    // objects.
+    NodeId leg_from = kInvalidNode;
+    Time leg_depart = 0;
   };
 
   bool init();
@@ -206,13 +228,24 @@ class Engine {
   void process_planned_commit(TxnId t);
   void commit_stepwise(TxnId t, Time now);
 
+  /// Reschedule seam (stepwise, after the step's commits): consult the
+  /// slack monitor and, past the threshold, hand the partial state to the
+  /// hook and splice its replacement schedule in.
+  void maybe_reschedule();
+  void apply_splice(std::unique_ptr<Schedule> next, Time lag);
+  /// Launches object o toward its (new) next requester from wherever the
+  /// splice left it parked — the only legs that do not depart at a
+  /// releasing commit (tagged redirect:1 in the trace).
+  void launch_redirect_leg(ObjectId o, Time now);
+
   /// Complete leg span (analytic mode and instant handoffs). `prev` is the
   /// txn whose commit released the leg, -1 for first legs from home.
   void trace_leg(ObjectId o, std::size_t leg, std::int64_t prev, NodeId from,
                  NodeId to, Time depart, Time arrive);
   /// Open leg span at launch (stepwise mode); closed in object_arrived().
   void trace_leg_begin(ObjectId o, std::size_t leg, std::int64_t prev,
-                       NodeId from, NodeId to, Time depart);
+                       NodeId from, NodeId to, Time depart,
+                       bool redirect = false);
   /// Transaction lifetime span [assembled, realized] plus a degraded
   /// instant when the commit stalled past its planned step.
   void trace_commit(TxnId t, Time assembled, Time planned, Time realized);
@@ -240,6 +273,15 @@ class Engine {
   std::vector<char> committed_;
   std::vector<char> commit_blocked_;  // scheduled before step 1 (violation)
   std::vector<Time> assembled_;       // per-txn assembly step (tracing only)
+
+  // Rescheduling (stepwise + kPlannedDegraded + reschedule_fn set; all of
+  // this stays empty/zero otherwise so the baseline paths are untouched).
+  bool resched_enabled_ = false;
+  std::size_t resched_count_ = 0;
+  Time next_resched_ = 0;              // cooldown gate
+  std::vector<Time> realized_commit_;  // per-txn realized commit step
+  std::vector<std::unique_ptr<Schedule>> spliced_;  // keeps s_ alive
+  std::unique_ptr<SlackMonitor> monitor_;
 
   // Telemetry handles (null when opts_.telemetry is off).
   TelemetryCounter* legs_moved_ = nullptr;

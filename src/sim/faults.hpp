@@ -93,6 +93,26 @@ struct RecoveryPolicy {
   Time max_commit_stall = static_cast<Time>(1) << 20;
 };
 
+/// When to re-run the scheduler mid-execution. Rescheduling itself is a
+/// RescheduleFn (core/partial.hpp) supplied to the engine; this policy only
+/// decides WHEN the engine invokes it. The trigger is realized slack: the
+/// engine keeps an online estimate of how far behind plan the execution has
+/// fallen (max over commit stalls already paid and the lag of the oldest
+/// still-uncommitted planned commit), and fires once that lag exceeds
+/// `slack_threshold`. The policy is inert unless a RescheduleFn is set, so
+/// default-constructed options keep the bit-identical baseline path.
+struct ReschedulePolicy {
+  /// Fire when realized lag behind the planned schedule exceeds this many
+  /// steps.
+  Time slack_threshold = 8;
+  /// Minimum steps between consecutive reschedules (lets the spliced
+  /// schedule absorb the lag before re-measuring it).
+  Time cooldown = 16;
+  /// Hard cap on reschedules per run, so a pathological fault storm cannot
+  /// thrash the scheduler.
+  std::size_t max_reschedules = 4;
+};
+
 /// Realized fault/recovery tallies of one simulate() run (all zero on the
 /// reliable path).
 struct FaultStats {

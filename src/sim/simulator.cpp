@@ -22,6 +22,7 @@ SimResult from_engine(EngineResult&& r) {
   out.faults = r.faults;
   out.total_queue_wait = r.total_queue_wait;
   out.max_queue_length = r.max_queue_length;
+  out.reschedules = r.reschedules;
   return out;
 }
 
@@ -47,13 +48,18 @@ SimResult simulate(const Instance& inst, const Metric& metric,
                    const Schedule& s, const SimOptions& opts) {
   ScopedPhaseTimer phase_timer("phase.simulate");
   const bool faulty = opts.faults != nullptr && opts.faults->active();
+  const bool resched = static_cast<bool>(opts.reschedule);
 
   EngineOptions eo;
   eo.record_events = opts.record_events;
   eo.record_hops = opts.record_hops;
   eo.max_commit_stall = opts.recovery.max_commit_stall;
+  if (resched) {
+    eo.reschedule_fn = opts.reschedule;
+    eo.reschedule = opts.reschedule_policy;
+  }
 
-  if (opts.capacity == 0) {
+  if (opts.capacity == 0 && !resched) {
     if (faulty) {
       // Planned schedule on the faulty analytic substrate: late arrivals
       // stall commits (degraded mode) instead of violating.
@@ -67,10 +73,11 @@ SimResult simulate(const Instance& inst, const Metric& metric,
     return from_engine(Engine(inst, metric, s, links, eo).run());
   }
 
-  // Bounded capacity: planned execution on FIFO queued links; the stepwise
-  // engine only terminates when orders are sane, so check the validator's
-  // permutation precondition up front (as a violation, not a throw — this
-  // entry point reports problems through SimResult).
+  // Stepwise substrate: bounded capacity and/or mid-run rescheduling on
+  // FIFO queued links (capacity 0 = unbounded through the queues). The
+  // stepwise engine only terminates when orders are sane, so check the
+  // validator's permutation precondition up front (as a violation, not a
+  // throw — this entry point reports problems through SimResult).
   if (s.object_order.size() == inst.num_objects()) {
     for (ObjectId o = 0; o < inst.num_objects(); ++o) {
       auto sorted = s.object_order[o];

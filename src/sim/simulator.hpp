@@ -57,6 +57,14 @@ struct SimOptions {
   /// 0 keeps the §2.1 unbounded-capacity substrate; nonzero executes the
   /// planned schedule on FIFO bounded links (composes with `faults`).
   std::size_t capacity = 0;
+
+  /// Mid-run rescheduling: when set, the run is driven stepwise (even at
+  /// capacity 0, through unbounded FIFO queues) so the engine can monitor
+  /// realized lag and splice replacement schedules in per
+  /// `reschedule_policy` (sched/reschedule.hpp builds engine-ready hooks).
+  /// Unset keeps every dispatch path bit-identical to the baseline.
+  RescheduleFn reschedule;
+  ReschedulePolicy reschedule_policy{};
 };
 
 struct SimResult {
@@ -83,6 +91,9 @@ struct SimResult {
   /// Queueing stats (capacity > 0 only; zero on unbounded substrates).
   Time total_queue_wait = 0;
   std::size_t max_queue_length = 0;
+
+  /// Schedule splices applied by the reschedule hook (0 when disabled).
+  std::size_t reschedules = 0;
 
   explicit operator bool() const { return ok; }
   std::string summary() const;

@@ -20,17 +20,55 @@ Time as_time(double t) { return static_cast<Time>(t); }
 
 }  // namespace
 
+void SlackMonitor::reset(const std::vector<Time>& planned,
+                         const std::vector<char>& done) {
+  done_.assign(done.begin(), done.end());
+  done_.resize(planned.size(), 0);
+  by_planned_.clear();
+  by_planned_.reserve(planned.size());
+  for (std::size_t t = 0; t < planned.size(); ++t) {
+    if (done_[t] == 0) {
+      by_planned_.emplace_back(planned[t], static_cast<TxnId>(t));
+    }
+  }
+  std::sort(by_planned_.begin(), by_planned_.end());
+  cursor_ = 0;
+  max_stall_ = 0;
+}
+
+void SlackMonitor::on_commit(TxnId t, Time stall) {
+  if (t < done_.size()) done_[t] = 1;
+  max_stall_ = std::max(max_stall_, stall);
+}
+
+Time SlackMonitor::lag(Time now) {
+  while (cursor_ < by_planned_.size() &&
+         done_[by_planned_[cursor_].second] != 0) {
+    ++cursor_;
+  }
+  Time l = max_stall_;
+  if (cursor_ < by_planned_.size() && now > by_planned_[cursor_].first) {
+    l = std::max(l, now - by_planned_[cursor_].first);
+  }
+  return l;
+}
+
 TraceSummary summarize_trace(const std::vector<TraceSpanRecord>& events,
                              std::size_t top_k) {
   TraceSummary out;
 
-  // Index the sim-domain events: commits by txn, legs by served txn.
+  // Index the sim-domain events: commits by txn, legs by served txn and
+  // (for the redirect chains reschedules leave behind) by object.
   std::map<std::int64_t, const TraceSpanRecord*> txn_spans;
   std::map<std::int64_t, std::vector<const TraceSpanRecord*>> legs_by_txn;
+  std::map<std::int64_t, std::vector<const TraceSpanRecord*>> legs_by_object;
+  std::size_t total_legs = 0;
   std::map<std::string, LinkUtilization> links;
   for (const TraceSpanRecord& e : events) {
     if (e.wall) continue;
-    if (e.cat == TraceCat::kTxn && !e.instant) {
+    if (e.cat == TraceCat::kResched && e.instant) {
+      out.reschedules += 1;
+    } else if (e.cat == TraceCat::kTxn && !e.instant) {
       const std::int64_t t = arg_of(e, "txn", -1);
       txn_spans[t] = &e;
       TxnSlack s;
@@ -42,6 +80,8 @@ TraceSummary summarize_trace(const std::vector<TraceSpanRecord>& events,
       out.slack.push_back(s);
     } else if (e.cat == TraceCat::kLeg && !e.instant) {
       legs_by_txn[arg_of(e, "txn", -1)].push_back(&e);
+      legs_by_object[arg_of(e, "object", -1)].push_back(&e);
+      total_legs += 1;
       LinkUtilization& lu = links[e.track];
       lu.track = e.track;
       lu.busy += as_time(e.end) - as_time(e.begin);
@@ -86,10 +126,44 @@ TraceSummary summarize_trace(const std::vector<TraceSpanRecord>& events,
   const auto problem = [&out](const std::string& msg) {
     out.problems.push_back(msg);
   };
-  std::size_t guard = txn_spans.size() + 1;
+  // Redirect legs (launched by a mid-run reschedule) do not depart at a
+  // releasing commit: the object was parked (or just landed) somewhere and
+  // the splice sent it onward. Their chain predecessor is the object's own
+  // previous physical leg — the latest same-object leg span ending no
+  // later than the redirect departs (ties: latest begin, then recording
+  // order; zero-length handoffs make exact ties real).
+  const auto physical_pred = [&legs_by_object](const TraceSpanRecord* leg)
+      -> const TraceSpanRecord* {
+    const std::int64_t obj = arg_of(*leg, "object", -1);
+    const TraceSpanRecord* pred = nullptr;
+    for (const TraceSpanRecord* cand : legs_by_object[obj]) {
+      if (cand == leg || cand->end > leg->begin) continue;
+      if (pred == nullptr || cand->end > pred->end ||
+          (cand->end == pred->end && cand->begin >= pred->begin)) {
+        pred = cand;
+      }
+    }
+    return pred;
+  };
+  const auto push_transfer = [&out](const TraceSpanRecord* leg) {
+    CriticalSegment tr;
+    tr.kind = CriticalSegment::Kind::kTransfer;
+    tr.begin = as_time(leg->begin);
+    tr.end = as_time(leg->end);
+    tr.txn = arg_of(*leg, "txn", -1);
+    tr.object = arg_of(*leg, "object", -1);
+    tr.leg = arg_of(*leg, "leg", -1);
+    tr.from = arg_of(*leg, "from", -1);
+    tr.to = arg_of(*leg, "to", -1);
+    out.critical_path.push_back(tr);
+  };
+
+  // Guard covers commit hops plus every physical leg a redirect chain can
+  // traverse.
+  std::size_t guard = txn_spans.size() + total_legs + 1;
   while (cur != nullptr) {
     if (guard-- == 0) {
-      problem("critical-path walk exceeded the transaction count (cycle?)");
+      problem("critical-path walk exceeded the event count (cycle?)");
       break;
     }
     const std::int64_t txn = arg_of(*cur, "txn", -1);
@@ -118,7 +192,6 @@ TraceSummary summarize_trace(const std::vector<TraceSpanRecord>& events,
       }
     }
     const Time arrive = as_time(gate->end);
-    const Time depart = as_time(gate->begin);
     if (arrive > commit) {
       std::ostringstream os;
       os << "T" << txn << " committed at " << commit
@@ -133,23 +206,57 @@ TraceSummary summarize_trace(const std::vector<TraceSpanRecord>& events,
       w.txn = txn;
       out.critical_path.push_back(w);
     }
-    CriticalSegment tr;
-    tr.kind = CriticalSegment::Kind::kTransfer;
-    tr.begin = depart;
-    tr.end = arrive;
-    tr.txn = txn;
-    tr.object = arg_of(*gate, "object", -1);
-    tr.leg = arg_of(*gate, "leg", -1);
-    tr.from = arg_of(*gate, "from", -1);
-    tr.to = arg_of(*gate, "to", -1);
-    out.critical_path.push_back(tr);
+    push_transfer(gate);
 
-    const std::int64_t prev = arg_of(*gate, "prev", -1);
+    // Follow redirect legs down the object's physical chain until a
+    // commit-released (or home-departing) leg anchors the walk again.
+    const TraceSpanRecord* leg = gate;
+    bool walk_done = false;
+    while (arg_of(*leg, "redirect", 0) == 1) {
+      if (guard-- == 0) {
+        problem("critical-path walk exceeded the event count (cycle?)");
+        walk_done = true;
+        break;
+      }
+      const TraceSpanRecord* pred = physical_pred(leg);
+      const Time park_end = as_time(leg->begin);
+      if (pred == nullptr) {
+        // The object had never moved: it sat at home from step 0 until
+        // the reschedule launched it.
+        if (park_end > 0) {
+          CriticalSegment w;
+          w.kind = CriticalSegment::Kind::kWait;
+          w.begin = 0;
+          w.end = park_end;
+          w.txn = arg_of(*leg, "txn", -1);
+          out.critical_path.push_back(w);
+        }
+        walk_done = true;
+        break;
+      }
+      if (as_time(pred->end) < park_end) {
+        // The object was parked (awaiting the splice) between legs.
+        CriticalSegment w;
+        w.kind = CriticalSegment::Kind::kWait;
+        w.begin = as_time(pred->end);
+        w.end = park_end;
+        w.txn = arg_of(*leg, "txn", -1);
+        out.critical_path.push_back(w);
+      }
+      push_transfer(pred);
+      leg = pred;
+    }
+    if (walk_done) break;
+
+    const std::int64_t leg_obj = arg_of(*leg, "object", -1);
+    const std::int64_t leg_idx = arg_of(*leg, "leg", -1);
+    const Time leg_depart = as_time(leg->begin);
+    const std::int64_t prev = arg_of(*leg, "prev", -1);
     if (prev < 0) {
       // First leg of the chain: departs from home at step 0.
-      if (depart != 0) {
+      if (leg_depart != 0) {
         std::ostringstream os;
-        os << "first leg of o" << tr.object << " departs at " << depart
+        os << "first leg of o" << leg_obj << " departs at " << leg_depart
            << " (expected 0)";
         problem(os.str());
       }
@@ -158,14 +265,14 @@ TraceSummary summarize_trace(const std::vector<TraceSpanRecord>& events,
     const auto prev_it = txn_spans.find(prev);
     if (prev_it == txn_spans.end()) {
       std::ostringstream os;
-      os << "o" << tr.object << "#" << tr.leg << " was released by T" << prev
+      os << "o" << leg_obj << "#" << leg_idx << " was released by T" << prev
          << " which has no commit span";
       problem(os.str());
       break;
     }
-    if (as_time(prev_it->second->end) != depart) {
+    if (as_time(prev_it->second->end) != leg_depart) {
       std::ostringstream os;
-      os << "o" << tr.object << "#" << tr.leg << " departs at " << depart
+      os << "o" << leg_obj << "#" << leg_idx << " departs at " << leg_depart
          << " but T" << prev << " committed at "
          << as_time(prev_it->second->end);
       problem(os.str());

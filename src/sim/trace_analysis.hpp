@@ -66,9 +66,42 @@ struct TxnSlack {
   Time slack = 0;
 };
 
+/// Online form of the critical-path lag for the engine's reschedule seam.
+/// The post-mortem walk attributes every step of realized makespan to
+/// transfers and waits; while the run is still going the same quantity is
+/// bounded below by two observables that need no backward walk: the worst
+/// commit stall already paid (a WAIT the walk would find behind that
+/// commit) and how far the oldest still-pending planned commit has slipped
+/// past its step (the WAIT currently accumulating). `lag()` returns the
+/// larger of the two; the engine compares it against
+/// ReschedulePolicy::slack_threshold.
+class SlackMonitor {
+ public:
+  /// (Re)arms the monitor against plan `planned`; transactions with
+  /// done[t] != 0 are excluded (already committed, or never eligible).
+  /// Forgets all previously observed stalls — call after every splice.
+  void reset(const std::vector<Time>& planned, const std::vector<char>& done);
+
+  /// Transaction t committed, `stall` steps behind its planned step.
+  void on_commit(TxnId t, Time stall);
+
+  /// Realized lag behind plan at step `now` (see class comment). Amortized
+  /// O(1): the pending cursor only ever advances.
+  Time lag(Time now);
+
+ private:
+  std::vector<std::pair<Time, TxnId>> by_planned_;  // pending, sorted
+  std::vector<char> done_;
+  std::size_t cursor_ = 0;
+  Time max_stall_ = 0;
+};
+
 struct TraceSummary {
   /// Realized makespan as witnessed by the trace (max commit-span end).
   Time makespan = 0;
+
+  /// Reschedule instants found in the trace (mid-run schedule splices).
+  std::size_t reschedules = 0;
 
   /// Chronological critical path; segment lengths sum to `critical_total`.
   std::vector<CriticalSegment> critical_path;

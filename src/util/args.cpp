@@ -63,20 +63,14 @@ std::string ArgParser::get_optional(const std::string& name,
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   const Entry& e = it->second;
-  switch (e.bind) {
-    case Bind::kAttached:
-      // Optional-value flags never take a space-separated value; hand the
-      // tentatively bound token back to the positional list.
-      e.bind = Bind::kReleased;
-      return fallback;
-    case Bind::kReleased:
-      return fallback;
-    case Bind::kConsumed:
-      return e.value;  // an earlier get() already claimed the token
-    case Bind::kNoToken:
-      return e.value.empty() ? fallback : e.value;
+  if (e.bind == Bind::kAttached || e.bind == Bind::kReleased ||
+      e.bind == Bind::kConsumed) {
+    // `--name value` supplies the value exactly like `--name=value`; claim
+    // the token even if an earlier has() tentatively released it.
+    e.bind = Bind::kConsumed;
+    return e.value;
   }
-  return fallback;
+  return e.value.empty() ? fallback : e.value;
 }
 
 std::int64_t ArgParser::get_int(const std::string& name,

@@ -3,7 +3,8 @@
 //
 // A token following a bare `--name` is ambiguous: it may be the flag's value
 // or a positional argument. The parser resolves this lazily from how the
-// program queries the flag: get()/get_int() consume the token as the value,
+// program queries the flag: get()/get_int()/get_optional() consume the
+// token as the value,
 // while a flag only ever probed with has() releases the token back to the
 // positional list (`--verbose input.txt` keeps input.txt positional). Query
 // flags before calling positional().
@@ -34,10 +35,11 @@ class ArgParser {
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
 
   /// Value of --name for OPTIONAL-value flags (e.g. `--telemetry[=FILE]`):
-  /// only the `=` form supplies a value. A bare `--name` — even when a
-  /// token follows it — yields `fallback` and leaves the token positional,
-  /// so `--telemetry out.json` keeps out.json as a positional instead of
-  /// swallowing it. Check presence with has().
+  /// both `--name=value` and `--name value` supply the value (the latter
+  /// claims the following token, even after an earlier has() tentatively
+  /// released it). A bare `--name` with no token — or one followed
+  /// directly by another flag — yields `fallback`. Check presence with
+  /// has(); put positionals before optional-value flags or use `=`.
   std::string get_optional(const std::string& name,
                            const std::string& fallback) const;
 

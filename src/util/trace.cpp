@@ -32,6 +32,8 @@ const char* to_string(TraceCat cat) {
       return "fault";
     case TraceCat::kPhase:
       return "phase";
+    case TraceCat::kResched:
+      return "resched";
   }
   return "?";
 }

@@ -80,15 +80,33 @@ TEST(Args, EmptyEqualsValueUsesFallback) {
   EXPECT_THROW(a.get("name", ""), Error);
 }
 
-TEST(Args, GetOptionalKeepsFollowingPositional) {
-  // Regression: bare `--telemetry out.csv` used to swallow out.csv as the
-  // flag's value because dtm_cli read it with get(). get_optional only
-  // accepts the attached `=` form, so the token stays positional.
+TEST(Args, GetOptionalSpaceSeparatedValue) {
+  // Regression: `--telemetry out.csv` used to ignore out.csv (only the
+  // `=` form supplied a value) and leave it dangling as a positional. The
+  // two forms are now unified: get_optional claims the token like get().
   const ArgParser a = parse({"--telemetry", "out.csv"});
   EXPECT_TRUE(a.has("telemetry"));
+  EXPECT_EQ(a.get_optional("telemetry", "-"), "out.csv");
+  EXPECT_TRUE(a.positional().empty());
+}
+
+TEST(Args, GetOptionalClaimsTokenAfterHas) {
+  // has() tentatively releases the token to the positional list; a later
+  // get_optional must claim it back — dtm_cli probes with has() first.
+  const ArgParser a = parse({"--trace-out", "t.jsonl", "--verbose"});
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_TRUE(a.has("trace-out"));
+  EXPECT_EQ(a.get_optional("trace-out", "-"), "t.jsonl");
+  EXPECT_TRUE(a.positional().empty());
+}
+
+TEST(Args, GetOptionalBareBeforeFlagFallsBack) {
+  // A flag directly followed by another flag binds no token, so the
+  // unified form still falls back cleanly.
+  const ArgParser a = parse({"--telemetry", "--n", "4"});
   EXPECT_EQ(a.get_optional("telemetry", "-"), "-");
-  ASSERT_EQ(a.positional().size(), 1u);
-  EXPECT_EQ(a.positional()[0], "out.csv");
+  EXPECT_EQ(a.get_int("n", 0), 4);
+  EXPECT_TRUE(a.positional().empty());
 }
 
 TEST(Args, GetOptionalAttachedValue) {

@@ -1,0 +1,57 @@
+# Regression for the --trace-out / --capacity interaction: dtm_cli used to
+# trace the plain trial-0 run while printing the capacity replay's makespan,
+# so the recorded trace described an execution nobody saw. The trace must
+# be the capacity replay — its realized makespan (as reconstructed by
+# trace_summarize) has to equal the one the CLI prints, and the file must
+# pass structural validation.
+#
+# Invoked via add_test with -DDTM_CLI=..., -DTRACE_SUMMARIZE=...,
+# -DOUT_DIR=... (see tests/CMakeLists.txt).
+set(trace_file "${OUT_DIR}/cli_capacity_replay_trace.json")
+
+execute_process(
+  COMMAND "${DTM_CLI}" --topology grid --n 6 --scheduler greedy-ff --seed 3
+          --capacity 1 --trace-out "${trace_file}"
+  OUTPUT_VARIABLE cli_out
+  ERROR_VARIABLE cli_err
+  RESULT_VARIABLE cli_rc)
+if(NOT cli_rc EQUAL 0)
+  message(FATAL_ERROR "dtm_cli failed (${cli_rc}): ${cli_err}")
+endif()
+
+if(NOT cli_out MATCHES "capacity-1 replay: makespan ([0-9]+)")
+  message(FATAL_ERROR "dtm_cli did not print a capacity replay makespan:\n${cli_out}")
+endif()
+set(printed_makespan "${CMAKE_MATCH_1}")
+
+execute_process(
+  COMMAND "${TRACE_SUMMARIZE}" "${trace_file}" --validate
+  OUTPUT_VARIABLE val_out
+  ERROR_VARIABLE val_err
+  RESULT_VARIABLE val_rc)
+if(NOT val_rc EQUAL 0)
+  message(FATAL_ERROR "capacity replay trace fails validation: ${val_out}${val_err}")
+endif()
+
+execute_process(
+  COMMAND "${TRACE_SUMMARIZE}" "${trace_file}"
+  OUTPUT_VARIABLE sum_out
+  ERROR_VARIABLE sum_err
+  RESULT_VARIABLE sum_rc)
+if(NOT sum_rc EQUAL 0)
+  message(FATAL_ERROR "trace_summarize failed (${sum_rc}): ${sum_err}")
+endif()
+
+if(NOT sum_out MATCHES "makespan ([0-9]+)")
+  message(FATAL_ERROR "trace_summarize printed no makespan:\n${sum_out}")
+endif()
+set(trace_makespan "${CMAKE_MATCH_1}")
+
+if(NOT trace_makespan EQUAL printed_makespan)
+  message(FATAL_ERROR
+          "trace records makespan ${trace_makespan} but dtm_cli printed the "
+          "capacity replay at ${printed_makespan} — the trace is not the "
+          "replay run")
+endif()
+message(STATUS "capacity replay trace matches printed makespan "
+               "(${printed_makespan})")

@@ -46,6 +46,7 @@ bool cat_from_string(const std::string& s, TraceCat* out) {
   else if (s == "queue") *out = TraceCat::kQueue;
   else if (s == "fault") *out = TraceCat::kFault;
   else if (s == "phase") *out = TraceCat::kPhase;
+  else if (s == "resched") *out = TraceCat::kResched;
   else return false;
   return true;
 }
@@ -198,6 +199,20 @@ void validate_structure(const ParsedTrace& trace,
     }
   }
   if (trace.events.empty()) issues.push_back("trace contains no events");
+  // A trace with instants but no duration spans has makespan 0, which
+  // makes the tiling invariant pass vacuously — reject it outright.
+  bool has_span = false;
+  for (const TraceSpanRecord& e : trace.events) {
+    if (!e.instant) {
+      has_span = true;
+      break;
+    }
+  }
+  if (!trace.events.empty() && !has_span) {
+    issues.push_back(
+        "trace contains no duration spans (nothing executed); the "
+        "critical-path check would pass vacuously");
+  }
   for (std::size_t i = 0; i < trace.events.size(); ++i) {
     const TraceSpanRecord& e = trace.events[i];
     if (e.end < e.begin) {
@@ -222,8 +237,11 @@ void print_tables(const ParsedTrace& trace, const dtm::TraceSummary& sum) {
   }
   std::cout << "\n\nmakespan " << sum.makespan << ", critical-path total "
             << sum.critical_total << " over " << sum.critical_path.size()
-            << " segment(s)"
-            << (sum.consistent() ? "" : "  [INCONSISTENT]") << "\n\n";
+            << " segment(s)";
+  if (sum.reschedules > 0) {
+    std::cout << ", " << sum.reschedules << " reschedule(s)";
+  }
+  std::cout << (sum.consistent() ? "" : "  [INCONSISTENT]") << "\n\n";
 
   dtm::Table cp({"segment", "begin", "end", "len", "txn", "object", "leg",
                  "from", "to"});
@@ -288,6 +306,7 @@ std::string to_json(const ParsedTrace& trace, const dtm::TraceSummary& sum) {
   w.key("makespan").value(static_cast<std::int64_t>(sum.makespan));
   w.key("critical_total").value(static_cast<std::int64_t>(sum.critical_total));
   w.key("consistent").value(sum.consistent());
+  w.key("reschedules").value(static_cast<std::uint64_t>(sum.reschedules));
   w.key("critical_path").begin_array();
   for (const dtm::CriticalSegment& s : sum.critical_path) {
     w.begin_object()
