@@ -233,6 +233,12 @@ class BenchReport {
       w.end_object();
     }
     w.end_object();
+    // Informational memory row: peak RSS at artifact-write time.
+    // bench_compare reports changes but never gates on them (machine- and
+    // allocator-dependent); older artifacts without the block still load.
+    w.key("rss").begin_object();
+    w.key("peak_bytes").value(peak_rss_bytes());
+    w.end_object();
     w.end_object();
     return w.str();
   }

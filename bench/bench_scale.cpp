@@ -1,0 +1,196 @@
+// E21 — million-node substrate: the full pipeline (generate -> schedule ->
+// validate -> simulate) on 10^6-node structured graphs with 10^6
+// transactions. Feasible only because every layer stays (near-)linear:
+// AnalyticMetric answers distance queries in O(1) from closed forms (a
+// DenseMetric APSP matrix would need 10^12 entries), the engine keeps its
+// hot per-object state in flat arrays, and commits drain through calendar
+// buckets instead of sorted scans.
+//
+// Default run is the full scale (8000x125 cluster graph and 1000x1000
+// grid); --smoke shrinks both to ~10^3 nodes so the recorded
+// BENCH_scale.json stays cheap enough to re-run as a CI gate
+// (bench_compare --no-timers: series + counters only, wall times and RSS
+// are informational).
+#include "bench_common.hpp"
+
+#include <chrono>
+
+#include "core/generators.hpp"
+#include "graph/analytic_metric.hpp"
+#include "graph/topologies/cluster.hpp"
+#include "graph/topologies/grid.hpp"
+#include "sched/cluster.hpp"
+#include "sched/grid.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dtm;
+
+/// Wall-clock seconds of one closure; the phase also lands in the artifact
+/// timer block under `timer_name` (informational for bench_compare).
+template <typename Fn>
+double timed(const char* timer_name, const Fn& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    ScopedPhaseTimer timer(timer_name);
+    fn();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct ScaleCell {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t txns = 0;
+  std::size_t objects = 0;
+  Time makespan = 0;
+  Weight travel = 0;
+  double build_s = 0, generate_s = 0, schedule_s = 0;
+  double validate_s = 0, simulate_s = 0;
+};
+
+/// Shared tail of both topologies: seeded workload, schedule, validate,
+/// simulate on the analytic engine. The schedule must be feasible and the
+/// reliable unbounded substrate must realize exactly the planned makespan —
+/// a wrong answer at scale is still a wrong answer.
+template <typename MakeSchedule>
+void run_pipeline(ScaleCell& cell, const Graph& g, const Metric& metric,
+                  std::size_t num_objects, const MakeSchedule& make_schedule) {
+  cell.nodes = g.num_nodes();
+  cell.edges = g.num_edges();
+  cell.objects = num_objects;
+
+  Instance inst;
+  cell.generate_s = timed("phase.generate", [&] {
+    Rng rng(2026);
+    inst = generate_uniform(
+        g, {.num_objects = num_objects, .objects_per_txn = 2}, rng);
+  });
+  cell.txns = inst.num_transactions();
+
+  Schedule s;
+  cell.schedule_s =
+      timed("phase.schedule", [&] { s = make_schedule(inst); });
+  cell.makespan = s.makespan();
+
+  cell.validate_s = timed("phase.validation", [&] {
+    const ValidationResult vr = validate(inst, metric, s);
+    DTM_REQUIRE(vr.ok, "scale bench produced infeasible schedule: "
+                           << vr.summary());
+  });
+
+  cell.simulate_s = timed("phase.simulate", [&] {
+    const SimResult sim = simulate(inst, metric, s);
+    DTM_REQUIRE(sim.ok, "scale bench simulation failed: " << sim.summary());
+    DTM_REQUIRE(sim.realized_makespan == cell.makespan,
+                "reliable substrate drifted from the plan: realized "
+                    << sim.realized_makespan << " vs planned "
+                    << cell.makespan);
+    cell.travel = sim.object_travel;
+  });
+}
+
+ScaleCell run_cluster(std::size_t alpha, std::size_t beta, Weight gamma,
+                      std::size_t num_objects) {
+  ScaleCell cell;
+  std::unique_ptr<ClusterGraph> topo;
+  cell.build_s = timed("phase.build_graph", [&] {
+    topo = std::make_unique<ClusterGraph>(alpha, beta, gamma);
+  });
+  const auto metric = make_analytic_metric(*topo);
+  DTM_REQUIRE(metric != nullptr, "cluster graph has no analytic oracle");
+  run_pipeline(cell, topo->graph, *metric, num_objects, [&](const Instance& inst) {
+    ClusterScheduler sched(*topo,
+                           {.approach = ClusterApproach::kGreedy});
+    return sched.run(inst, *metric);
+  });
+  return cell;
+}
+
+ScaleCell run_grid(std::size_t side, std::size_t subgrid_side,
+                   std::size_t num_objects) {
+  ScaleCell cell;
+  std::unique_ptr<Grid> topo;
+  cell.build_s =
+      timed("phase.build_graph", [&] { topo = std::make_unique<Grid>(side); });
+  const auto metric = make_analytic_metric(*topo);
+  DTM_REQUIRE(metric != nullptr, "grid has no analytic oracle");
+  run_pipeline(cell, topo->graph, *metric, num_objects, [&](const Instance& inst) {
+    GridScheduler sched(*topo, {.forced_subgrid_side = subgrid_side});
+    return sched.run(inst, *metric);
+  });
+  return cell;
+}
+
+void add_rows(Table& series, Table& walltimes, const char* name,
+              const ScaleCell& c) {
+  // Series row: fully deterministic (seeded workload, greedy schedulers,
+  // analytic engine) — bench_compare gates on it cell-for-cell.
+  series.add_row(name, c.nodes, c.edges, c.txns, c.objects, c.makespan,
+                 c.travel);
+  // Wall times are machine noise; printed but NOT recorded as a series.
+  walltimes.add_row(name, c.build_s, c.generate_s, c.schedule_s, c.validate_s,
+                    c.simulate_s,
+                    c.build_s + c.generate_s + c.schedule_s + c.validate_s +
+                        c.simulate_s);
+}
+
+void print_series(bool smoke) {
+  benchutil::print_header(
+      "E21 — million-node substrate",
+      smoke ? "smoke scale (~10^3 nodes): the CI-gated shape check"
+            : "10^6 transactions on 10^6-node cluster and grid substrates");
+
+  Table series({"topology", "n", "edges", "txns", "objects", "makespan",
+                "object_travel"});
+  Table walltimes({"topology", "build_s", "generate_s", "schedule_s",
+                   "validate_s", "simulate_s", "total_s"});
+
+  if (smoke) {
+    add_rows(series, walltimes, "cluster", run_cluster(40, 25, 25, 1000));
+    add_rows(series, walltimes, "grid", run_grid(32, 8, 1024));
+  } else {
+    add_rows(series, walltimes, "cluster",
+             run_cluster(8000, 125, 125, 1'000'000));
+    add_rows(series, walltimes, "grid", run_grid(1000, 250, 1'000'000));
+  }
+  benchutil::emit_table("scale", series);
+
+  std::cout << "\nwall-clock per phase (informational, not part of the "
+               "artifact series):\n";
+  walltimes.print(std::cout);
+  std::cout << "peak RSS: "
+            << static_cast<double>(benchutil::peak_rss_bytes()) / 1e9
+            << " GB\n";
+}
+
+// Timing loop at smoke scale only: full scale belongs in the one-shot
+// series run above, not a google-benchmark repetition loop.
+void BM_ScheduleClusterSmoke(benchmark::State& state) {
+  const ClusterGraph topo(40, 25, 25);
+  const auto metric = make_analytic_metric(topo);
+  Rng rng(2026);
+  const Instance inst = generate_uniform(
+      topo.graph, {.num_objects = 1000, .objects_per_txn = 2}, rng);
+  for (auto _ : state) {
+    ClusterScheduler sched(topo, {.approach = ClusterApproach::kGreedy});
+    const Schedule s = sched.run(inst, *metric);
+    benchmark::DoNotOptimize(s.commit_time.data());
+  }
+}
+BENCHMARK(BM_ScheduleClusterSmoke)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dtm::benchutil::BenchMain bm("scale", argc, argv);
+  const bool smoke = dtm::benchutil::strip_flag(argc, argv, "--smoke");
+  print_series(smoke);
+  bm.write_artifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

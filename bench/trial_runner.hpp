@@ -14,6 +14,10 @@
 #include <memory>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "core/metrics.hpp"
 #include "core/validate.hpp"
 #include "lb/bounds.hpp"
@@ -24,6 +28,25 @@
 #include "util/thread_pool.hpp"
 
 namespace dtm::benchutil {
+
+/// Peak resident set size of this process, in bytes; 0 where the platform
+/// offers no getrusage. Linux reports ru_maxrss in KiB, macOS in bytes.
+/// Informational only: every BENCH_*.json artifact records it so memory
+/// blowups are visible in review, but bench_compare never gates on it
+/// (it varies with allocator and machine, not with correctness).
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
 
 struct TrialSummary {
   Stats makespan;

@@ -28,6 +28,7 @@
 #include "core/metrics.hpp"
 #include "core/online.hpp"
 #include "core/validate.hpp"
+#include "graph/analytic_metric.hpp"
 #include "graph/metric.hpp"
 #include "graph/topologies/butterfly.hpp"
 #include "graph/topologies/clique.hpp"
@@ -167,6 +168,19 @@ std::unique_ptr<Scheduler> build_scheduler(const ArgParser& args,
   return make_scheduler_for(inst, name, seed);
 }
 
+/// --metric picks the distance oracle. Unset keeps make_metric's historic
+/// size-based choice (dense up to 4096 nodes, lazy beyond); "auto" prefers
+/// the closed-form AnalyticMetric when the graph is recognized as a
+/// structured family, falling back to LazyMetric on generic graphs.
+std::unique_ptr<Metric> build_metric(const ArgParser& args, const Graph& g) {
+  const std::string mode = args.get("metric", "");
+  if (mode.empty()) return make_metric(g);
+  if (mode == "dense") return std::make_unique<DenseMetric>(g);
+  if (mode == "lazy") return std::make_unique<LazyMetric>(g);
+  if (mode == "auto") return make_auto_metric(g);
+  throw Error("unknown --metric '" + mode + "' (dense|lazy|auto)");
+}
+
 /// Parses the --fault-* flags into a fault oracle; inactive (nullopt) when
 /// every rate is 0 so the reliable simulate() path stays in charge.
 std::optional<FaultModel> build_fault_model(const ArgParser& args,
@@ -216,7 +230,7 @@ int run(const ArgParser& args, const std::string& invocation) {
   }
 
   const TopologyBundle topo = build_topology(args);
-  const auto metric = make_metric(topo.graph());
+  const auto metric = build_metric(args, topo.graph());
   const std::optional<FaultModel> faults = build_fault_model(args, seed);
   SimOptions sim_opts;
   if (faults) sim_opts.faults = &*faults;
@@ -400,6 +414,7 @@ int main(int argc, char** argv) {
           "cluster-random|cluster-best|star|star-greedy|star-random|"
           "star-best|online-fifo|online-batch|greedy-paper|greedy-ff|"
           "greedy-compact|id-order|random-order|serial|exact]\n"
+          "  [--metric dense|lazy|auto]\n"
           "  [--seed S] [--trials T] [--window W] [--capacity C] "
           "[--csv FILE] [--telemetry[=FILE]]\n"
           "  [--trace-out FILE] [--trace-format chrome|jsonl]\n"

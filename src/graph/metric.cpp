@@ -30,8 +30,28 @@ void Metric::distances(NodeId from, std::span<const NodeId> targets,
   }
 }
 
-DenseMetric::DenseMetric(const Graph& g, ThreadPool* pool)
-    : Metric(g),
+namespace {
+
+// The OOM guard runs before compute_apsp in the member-init list, so the
+// refusal happens before any part of the matrix is allocated.
+const Graph& check_dense_budget(const Graph& g, std::size_t byte_cap) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t projected = n * n * sizeof(Weight);
+  telemetry::counter("metric.dense_bytes").add(projected);
+  DTM_REQUIRE(projected <= byte_cap,
+              "DenseMetric refused: " << n << "-node matrix needs "
+                                      << projected << " bytes > cap "
+                                      << byte_cap
+                                      << " (use make_auto_metric / "
+                                         "LazyMetric for graphs this size)");
+  return g;
+}
+
+}  // namespace
+
+DenseMetric::DenseMetric(const Graph& g, ThreadPool* pool,
+                         std::size_t byte_cap)
+    : Metric(check_dense_budget(g, byte_cap)),
       matrix_(compute_apsp(g, pool != nullptr ? pool : &shared_pool())) {}
 
 Weight DenseMetric::distance(NodeId u, NodeId v) const {

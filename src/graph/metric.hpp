@@ -57,6 +57,12 @@ class Metric {
   const Graph* graph_;
 };
 
+/// Default DenseMetric allocation cap: 2 GiB (≈ 16k nodes at 8-byte
+/// weights). Far below physical memory on purpose — a sweep that needs a
+/// bigger matrix should be switching to AnalyticMetric/LazyMetric, not
+/// paging.
+inline constexpr std::size_t kDenseMetricByteCap = std::size_t{2} << 30;
+
 /// Full APSP matrix; path queries walk the matrix greedily (no parent
 /// storage needed).
 class DenseMetric final : public Metric {
@@ -64,7 +70,13 @@ class DenseMetric final : public Metric {
   /// Precomputes the matrix on `pool`, defaulting to the process-wide
   /// shared_pool(). (For an explicitly serial computation, call
   /// compute_apsp(g, nullptr) directly.)
-  explicit DenseMetric(const Graph& g, ThreadPool* pool = nullptr);
+  ///
+  /// OOM guard: the projected n² matrix size is recorded in the
+  /// `metric.dense_bytes` telemetry counter, and construction throws
+  /// dtm::Error up front when it would exceed `byte_cap` — a clear refusal
+  /// instead of an allocation death mid-sweep.
+  explicit DenseMetric(const Graph& g, ThreadPool* pool = nullptr,
+                       std::size_t byte_cap = kDenseMetricByteCap);
 
   Weight distance(NodeId u, NodeId v) const override;
   void distances(NodeId from, std::span<const NodeId> targets,

@@ -45,6 +45,23 @@ struct BlockGrid {
   }
   /// All nodes of block i, row-major.
   std::vector<NodeId> block_nodes(std::size_t block) const;
+
+  /// Closed-form shortest distance: Manhattan distance plus an extra s − 1
+  /// per block boundary crossed. Vertical steps cost 1 in every column and
+  /// a horizontal step costs 1 except across a boundary (weight s), so a
+  /// monotone path crossing each boundary exactly once is optimal.
+  static Weight distance_for(std::size_t s, std::size_t sqrt_s,
+                             std::size_t cols, NodeId u, NodeId v) {
+    const auto diff = [](std::size_t a, std::size_t b) {
+      return static_cast<Weight>(a > b ? a - b : b - a);
+    };
+    const std::size_t cu = u % cols, cv = v % cols;
+    return diff(u / cols, v / cols) + diff(cu, cv) +
+           static_cast<Weight>(s - 1) * diff(cu / sqrt_s, cv / sqrt_s);
+  }
+  Weight block_grid_distance(NodeId u, NodeId v) const {
+    return distance_for(s, sqrt_s, cols, u, v);
+  }
 };
 
 }  // namespace dtm

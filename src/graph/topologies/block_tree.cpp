@@ -1,6 +1,7 @@
 #include "graph/topologies/block_tree.hpp"
 
 #include <cmath>
+#include <utility>
 
 namespace dtm {
 
@@ -38,6 +39,37 @@ BlockTree::BlockTree(std::size_t s_in)
     }
   }
   graph = b.build();
+}
+
+Weight BlockTree::distance_for(std::size_t s, std::size_t sqrt_s,
+                               std::size_t cols, NodeId u, NodeId v) {
+  std::size_t r1 = u / cols, c1 = u % cols;
+  std::size_t r2 = v / cols, c2 = v % cols;
+  std::size_t b1 = c1 / sqrt_s, b2 = c2 / sqrt_s;
+  if (b1 == b2) {
+    if (r1 == r2) return static_cast<Weight>(c1 > c2 ? c1 - c2 : c2 - c1);
+    // Through the spine: along each row to the block's leftmost column,
+    // then down the spine.
+    const std::size_t c0 = b1 * sqrt_s;
+    return static_cast<Weight>((c1 - c0) + (c2 - c0) +
+                               (r1 > r2 ? r1 - r2 : r2 - r1));
+  }
+  if (b1 > b2) {
+    std::swap(r1, r2);
+    std::swap(c1, c2);
+    std::swap(b1, b2);
+  }
+  // Exit block b1 at its top-right node (0, c0 + √s − 1): row-0 nodes walk
+  // the top row, everyone else backtracks to the spine and climbs first.
+  const std::size_t exit_col = b1 * sqrt_s + sqrt_s - 1;
+  const Weight to_exit =
+      r1 == 0 ? static_cast<Weight>(exit_col - c1)
+              : static_cast<Weight>((c1 - b1 * sqrt_s) + r1 + (sqrt_s - 1));
+  // Enter block b2 at its spine top (0, b2·√s), then descend and walk row r2.
+  const Weight from_entry = static_cast<Weight>(r2 + (c2 - b2 * sqrt_s));
+  const auto hops = static_cast<Weight>(b2 - b1);
+  return to_exit + from_entry + hops * static_cast<Weight>(s) +
+         (hops - 1) * static_cast<Weight>(sqrt_s - 1);
 }
 
 std::vector<NodeId> BlockTree::block_nodes(std::size_t block) const {

@@ -32,6 +32,18 @@ struct BlockTree {
     return node_at(0, block * sqrt_s);
   }
   std::vector<NodeId> block_nodes(std::size_t block) const;
+
+  /// Closed-form shortest distance along the unique tree path. In-block:
+  /// same-row nodes walk the row; different rows route through the spine
+  /// (leftmost column). Cross-block: exit through the top-right node, pay
+  /// the weight-s inter-block edge per boundary plus the top-row traversal
+  /// (√s − 1) of every intermediate block, and descend from the next
+  /// block's spine top.
+  static Weight distance_for(std::size_t s, std::size_t sqrt_s,
+                             std::size_t cols, NodeId u, NodeId v);
+  Weight block_tree_distance(NodeId u, NodeId v) const {
+    return distance_for(s, sqrt_s, cols, u, v);
+  }
 };
 
 }  // namespace dtm

@@ -24,13 +24,4 @@ ClusterGraph::ClusterGraph(std::size_t alpha_in, std::size_t beta_in,
   graph = b.build();
 }
 
-Weight ClusterGraph::cluster_distance(NodeId u, NodeId v) const {
-  if (u == v) return 0;
-  if (cluster_of(u) == cluster_of(v)) return 1;
-  Weight d = gamma;
-  if (!is_bridge(u)) d += 1;
-  if (!is_bridge(v)) d += 1;
-  return d;
-}
-
 }  // namespace dtm

@@ -29,7 +29,18 @@ struct ClusterGraph {
 
   /// Closed-form shortest distance (1 inside a cluster; through the two
   /// bridges otherwise).
-  Weight cluster_distance(NodeId u, NodeId v) const;
+  static Weight distance_for(std::size_t beta, Weight gamma, NodeId u,
+                             NodeId v) {
+    if (u == v) return 0;
+    if (u / beta == v / beta) return 1;
+    Weight d = gamma;
+    if (u % beta != 0) d += 1;
+    if (v % beta != 0) d += 1;
+    return d;
+  }
+  Weight cluster_distance(NodeId u, NodeId v) const {
+    return distance_for(beta, gamma, u, v);
+  }
 };
 
 }  // namespace dtm

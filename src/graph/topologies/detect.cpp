@@ -1,5 +1,7 @@
 #include "graph/topologies/detect.hpp"
 
+#include <bit>
+
 namespace dtm {
 namespace {
 
@@ -71,11 +73,74 @@ std::unique_ptr<Star> recover_star(const Graph& g) {
   return nullptr;
 }
 
+std::unique_ptr<Clique> recover_clique(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  if (!plausible_unit_graph(g, 3) || g.num_edges() != n * (n - 1) / 2) {
+    return nullptr;
+  }
+  auto candidate = std::make_unique<Clique>(n);
+  if (candidate->graph == g) return candidate;
+  return nullptr;
+}
+
+std::unique_ptr<Hypercube> recover_hypercube(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  if (!plausible_unit_graph(g, 8) || !std::has_single_bit(n)) return nullptr;
+  const auto dim = static_cast<std::size_t>(std::countr_zero(n));
+  if (dim < 3 || dim > 24 || g.num_edges() != dim * n / 2) return nullptr;
+  auto candidate = std::make_unique<Hypercube>(dim);
+  if (candidate->graph == g) return candidate;
+  return nullptr;
+}
+
+namespace {
+
+// n = t⁵ for the block constructions (s = t² blocks of s rows × √s = t
+// columns); 0 when no integer fifth root t ≥ 2 exists.
+std::size_t fifth_root_of(std::size_t n) {
+  for (std::size_t t = 2; t * t * t * t * t <= n; ++t) {
+    if (t * t * t * t * t == n) return t;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::unique_ptr<BlockGrid> recover_block_grid(const Graph& g) {
+  const std::size_t t = fifth_root_of(g.num_nodes());
+  if (t == 0) return nullptr;
+  const std::size_t s = t * t, rows = s, cols = s * t;
+  if (g.max_weight() != static_cast<Weight>(s) ||
+      g.num_edges() != (rows - 1) * cols + rows * (cols - 1)) {
+    return nullptr;
+  }
+  auto candidate = std::make_unique<BlockGrid>(s);
+  if (candidate->graph == g) return candidate;
+  return nullptr;
+}
+
+std::unique_ptr<BlockTree> recover_block_tree(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t t = fifth_root_of(n);
+  if (t == 0) return nullptr;
+  const std::size_t s = t * t;
+  if (g.max_weight() != static_cast<Weight>(s) || g.num_edges() != n - 1) {
+    return nullptr;
+  }
+  auto candidate = std::make_unique<BlockTree>(s);
+  if (candidate->graph == g) return candidate;
+  return nullptr;
+}
+
 std::optional<TopologyKind> detect_topology(const Graph& g) {
   if (recover_line(g)) return TopologyKind::kLine;
   if (recover_grid(g)) return TopologyKind::kGrid;
   if (recover_cluster(g)) return TopologyKind::kCluster;
   if (recover_star(g)) return TopologyKind::kStar;
+  if (recover_clique(g)) return TopologyKind::kClique;
+  if (recover_hypercube(g)) return TopologyKind::kHypercube;
+  if (recover_block_grid(g)) return TopologyKind::kBlockGrid;
+  if (recover_block_tree(g)) return TopologyKind::kBlockTree;
   return std::nullopt;
 }
 

@@ -1,5 +1,6 @@
 // Topology recovery: given a bare Graph, reconstruct the parameterized
-// topology (Line / Grid / ClusterGraph / Star) that generated it, if any.
+// topology (Line / Grid / ClusterGraph / Star / Clique / Hypercube /
+// BlockGrid / BlockTree) that generated it, if any.
 //
 // The specialized schedulers (§4–§7) need the topology's parameters (n,
 // rows×cols, α/β/γ) — information an Instance does not carry, since it only
@@ -20,8 +21,12 @@
 #include <optional>
 
 #include "graph/graph.hpp"
+#include "graph/topologies/block_grid.hpp"
+#include "graph/topologies/block_tree.hpp"
+#include "graph/topologies/clique.hpp"
 #include "graph/topologies/cluster.hpp"
 #include "graph/topologies/grid.hpp"
+#include "graph/topologies/hypercube.hpp"
 #include "graph/topologies/line.hpp"
 #include "graph/topologies/star.hpp"
 #include "graph/topologies/topology.hpp"
@@ -42,8 +47,26 @@ std::unique_ptr<ClusterGraph> recover_cluster(const Graph& g);
 /// Center plus α ≥ 2 rays of β ≥ 1 nodes, unit weights. Null otherwise.
 std::unique_ptr<Star> recover_star(const Graph& g);
 
+/// Complete graph on n ≥ 3 nodes, unit weights (K_2 is a Line). Null
+/// otherwise.
+std::unique_ptr<Clique> recover_clique(const Graph& g);
+
+/// d-dimensional binary hypercube with d ≥ 3 (d = 1 is a Line, d = 2 the
+/// 2×2 Grid — the same CSR layouts, rejected to keep recoveries disjoint).
+std::unique_ptr<Hypercube> recover_hypercube(const Graph& g);
+
+/// §8.1 lower-bound grid of s = t² blocks (n = t⁵ nodes, t ≥ 2); the
+/// weight-s boundary columns distinguish it from a plain Grid. Null
+/// otherwise.
+std::unique_ptr<BlockGrid> recover_block_grid(const Graph& g);
+
+/// §8.2 lower-bound tree of s = t² blocks (n = t⁵ nodes, t ≥ 2, n − 1
+/// edges). Null otherwise.
+std::unique_ptr<BlockTree> recover_block_tree(const Graph& g);
+
 /// First specialized family (checked in the order line, grid, cluster,
-/// star) whose recovery succeeds; nullopt for generic graphs.
+/// star, clique, hypercube, block grid, block tree) whose recovery
+/// succeeds; nullopt for generic graphs.
 std::optional<TopologyKind> detect_topology(const Graph& g);
 
 }  // namespace dtm

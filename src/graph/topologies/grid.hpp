@@ -26,12 +26,15 @@ struct Grid {
   std::size_t col_of(NodeId v) const { return v % cols; }
 
   /// Manhattan distance (closed form; equals graph shortest distance).
-  Weight grid_distance(NodeId u, NodeId v) const {
-    const auto dr = static_cast<std::int64_t>(row_of(u)) -
-                    static_cast<std::int64_t>(row_of(v));
-    const auto dc = static_cast<std::int64_t>(col_of(u)) -
-                    static_cast<std::int64_t>(col_of(v));
+  static Weight distance_for(std::size_t cols, NodeId u, NodeId v) {
+    const auto dr = static_cast<std::int64_t>(u / cols) -
+                    static_cast<std::int64_t>(v / cols);
+    const auto dc = static_cast<std::int64_t>(u % cols) -
+                    static_cast<std::int64_t>(v % cols);
     return std::abs(dr) + std::abs(dc);
+  }
+  Weight grid_distance(NodeId u, NodeId v) const {
+    return distance_for(cols, u, v);
   }
 };
 

@@ -44,16 +44,17 @@ std::pair<std::size_t, std::size_t> Star::segment_range(
   return {first, last};
 }
 
-Weight Star::star_distance(NodeId u, NodeId v) const {
+Weight Star::distance_for(std::size_t beta, NodeId u, NodeId v) {
   if (u == v) return 0;
-  if (is_center(u)) return static_cast<Weight>(pos_of(v));
-  if (is_center(v)) return static_cast<Weight>(pos_of(u));
-  if (ray_of(u) == ray_of(v)) {
-    const auto pu = static_cast<Weight>(pos_of(u));
-    const auto pv = static_cast<Weight>(pos_of(v));
+  const auto pos = [beta](NodeId x) { return (x - 1) % beta + 1; };
+  if (u == 0) return static_cast<Weight>(pos(v));
+  if (v == 0) return static_cast<Weight>(pos(u));
+  if ((u - 1) / beta == (v - 1) / beta) {
+    const auto pu = static_cast<Weight>(pos(u));
+    const auto pv = static_cast<Weight>(pos(v));
     return pu > pv ? pu - pv : pv - pu;
   }
-  return static_cast<Weight>(pos_of(u) + pos_of(v));
+  return static_cast<Weight>(pos(u) + pos(v));
 }
 
 }  // namespace dtm

@@ -47,7 +47,10 @@ struct Star {
   std::pair<std::size_t, std::size_t> segment_range(std::size_t segment) const;
 
   /// Closed-form shortest distance (along rays, through the center).
-  Weight star_distance(NodeId u, NodeId v) const;
+  static Weight distance_for(std::size_t beta, NodeId u, NodeId v);
+  Weight star_distance(NodeId u, NodeId v) const {
+    return distance_for(beta, u, v);
+  }
 };
 
 }  // namespace dtm

@@ -72,29 +72,39 @@ void Engine::note_reroute() {
 }
 
 void Engine::object_arrived(ObjectId o) {
-  ObjectState& st = obj_[o];
-  st.in_transit = false;
-  if (st.span != 0) {
-    trace_->end_span(st.span, static_cast<double>(clock_));
-    st.span = 0;
+  obj_in_transit_[o] = 0;
+  if (obj_span_[o] != 0) {
+    trace_->end_span(obj_span_[o], static_cast<double>(clock_));
+    obj_span_[o] = 0;
   }
-  const TxnId target = (*st.order)[st.next_leg];
+  const TxnId target = (*obj_order_[o])[obj_next_leg_[o]];
   // After a splice the object may have been flying toward a requester the
   // new schedule no longer serves next (in-flight legs complete first);
   // forward it to the new target instead of marking it present.
-  if (resched_count_ > 0 && st.at != inst_->txn(target).home) {
+  if (resched_count_ > 0 && obj_at_[o] != inst_->txn(target).home) {
     launch_redirect_leg(o, clock_);
     return;
   }
   if (++present_[target] == inst_->txn(target).objects.size()) {
-    ready_.push_back(target);
     if (!assembled_.empty()) assembled_[target] = clock_;
+    enqueue_ready(target);
   }
 }
 
-void Engine::account_queue(std::size_t queue_length) {
-  r_.total_queue_wait += static_cast<Time>(queue_length);
-  r_.max_queue_length = std::max(r_.max_queue_length, queue_length);
+void Engine::enqueue_ready(TxnId t) {
+  if (use_calendar_) {
+    // The retired scan dropped pre-step-1 casualties at their first
+    // eligibility check; the calendar drops them at insertion instead.
+    if (commit_blocked_[t] != 0) return;
+    due_[std::max(s_->commit_time[t], commit_floor_)].push_back(t);
+  } else {
+    ready_.push_back(t);
+  }
+}
+
+void Engine::account_queues(std::size_t total, std::size_t max_changed) {
+  r_.total_queue_wait += static_cast<Time>(total);
+  r_.max_queue_length = std::max(r_.max_queue_length, max_changed);
 }
 
 void Engine::trace_fault(const char* kind, std::int64_t object, NodeId u,
@@ -132,7 +142,7 @@ void Engine::trace_leg(ObjectId o, std::size_t leg, std::int64_t prev,
                 {"object", static_cast<std::int64_t>(o)},
                 {"prev", prev},
                 {"to", static_cast<std::int64_t>(to)},
-                {"txn", static_cast<std::int64_t>((*obj_[o].order)[leg])}});
+                {"txn", static_cast<std::int64_t>((*obj_order_[o])[leg])}});
 }
 
 void Engine::trace_leg_begin(ObjectId o, std::size_t leg, std::int64_t prev,
@@ -145,9 +155,9 @@ void Engine::trace_leg_begin(ObjectId o, std::size_t leg, std::int64_t prev,
       {"object", static_cast<std::int64_t>(o)},
       {"prev", prev},
       {"to", static_cast<std::int64_t>(to)},
-      {"txn", static_cast<std::int64_t>((*obj_[o].order)[leg])}};
+      {"txn", static_cast<std::int64_t>((*obj_order_[o])[leg])}};
   if (redirect) args.push_back({"redirect", 1});
-  obj_[o].span = trace_->begin_span(TraceCat::kLeg, link_track(from, to),
+  obj_span_[o] = trace_->begin_span(TraceCat::kLeg, link_track(from, to),
                                     leg_name(o, leg),
                                     static_cast<double>(depart),
                                     std::move(args));
@@ -222,10 +232,17 @@ bool Engine::init() {
                      opts_.discipline == CommitDiscipline::kPlannedDegraded;
 
   const std::size_t w = inst_->num_objects();
-  obj_.resize(w);
+  obj_order_.resize(w);
+  obj_next_leg_.assign(w, 0);
+  obj_at_.resize(w);
+  obj_in_transit_.assign(w, 0);
+  obj_arrival_.assign(w, 0);
+  obj_span_.assign(w, 0);
+  obj_leg_from_.assign(w, kInvalidNode);
+  obj_leg_depart_.assign(w, 0);
   for (ObjectId o = 0; o < w; ++o) {
-    obj_[o].order = &s_->object_order[o];
-    obj_[o].at = inst_->object_home(o);
+    obj_order_[o] = &s_->object_order[o];
+    obj_at_[o] = inst_->object_home(o);
   }
   return stepwise_ ? init_stepwise() : init_analytic();
 }
@@ -234,30 +251,55 @@ bool Engine::init_analytic() {
   // Leg 0 from each object's home; objects already at their first
   // requester do not move (and record nothing, matching the historic
   // simulators).
-  for (ObjectId o = 0; o < obj_.size(); ++o) {
-    ObjectState& st = obj_[o];
-    if (st.order->empty()) continue;
-    const NodeId target = inst_->txn(st.order->front()).home;
-    if (target == st.at) continue;
-    if (opts_.record_legs) r_.legs.push_back({o, 0, st.at, target, 0});
-    st.in_transit = true;
+  for (ObjectId o = 0; o < num_objects(); ++o) {
+    if (obj_order_[o]->empty()) continue;
+    const NodeId target = inst_->txn(obj_order_[o]->front()).home;
+    if (target == obj_at_[o]) continue;
+    if (opts_.record_legs) r_.legs.push_back({o, 0, obj_at_[o], target, 0});
+    obj_in_transit_[o] = 1;
     if (legs_moved_ != nullptr) legs_moved_->add();
-    const NodeId from = st.at;
-    st.arrival = links_->realize(*this, o, 0, from, target, 0);
-    st.at = target;
-    trace_leg(o, 0, -1, from, target, 0, st.arrival);
+    const NodeId from = obj_at_[o];
+    obj_arrival_[o] = links_->realize(*this, o, 0, from, target, 0);
+    obj_at_[o] = target;
+    trace_leg(o, 0, -1, from, target, 0, obj_arrival_[o]);
   }
 
   // Commits are processed in (commit_time, id) order; between commits the
   // only activity is deterministic in-flight motion already resolved by
   // the policy.
+  const auto& ct = s_->commit_time;
   by_time_.resize(inst_->num_transactions());
-  for (TxnId t = 0; t < by_time_.size(); ++t) by_time_[t] = t;
-  std::sort(by_time_.begin(), by_time_.end(), [&](TxnId a, TxnId b) {
-    return s_->commit_time[a] != s_->commit_time[b]
-               ? s_->commit_time[a] < s_->commit_time[b]
-               : a < b;
-  });
+  Time max_ct = 0;
+  bool bucketable = true;
+  for (const Time c : ct) {
+    if (c < 0) {
+      bucketable = false;
+      break;
+    }
+    max_ct = std::max(max_ct, c);
+  }
+  if (bucketable &&
+      static_cast<std::size_t>(max_ct) <= 4 * ct.size() + 1024) {
+    // Counting sort: appending ids in ascending order keeps each time
+    // bucket internally sorted, so the concatenation is exactly the
+    // (commit_time, id) order without an O(n log n) comparison sort.
+    // The size guard keeps the bucket array linear in n; degenerate
+    // schedules (sparse huge times, negative times) take the sort below.
+    std::vector<std::uint32_t> offset(static_cast<std::size_t>(max_ct) + 2,
+                                      0);
+    for (const Time c : ct) ++offset[static_cast<std::size_t>(c) + 1];
+    for (std::size_t i = 1; i < offset.size(); ++i) {
+      offset[i] += offset[i - 1];
+    }
+    for (TxnId t = 0; t < ct.size(); ++t) {
+      by_time_[offset[static_cast<std::size_t>(ct[t])]++] = t;
+    }
+  } else {
+    for (TxnId t = 0; t < by_time_.size(); ++t) by_time_[t] = t;
+    std::sort(by_time_.begin(), by_time_.end(), [&](TxnId a, TxnId b) {
+      return ct[a] != ct[b] ? ct[a] < ct[b] : a < b;
+    });
+  }
   return true;
 }
 
@@ -268,6 +310,10 @@ bool Engine::init_stepwise() {
   commit_blocked_.assign(n, 0);
   if (trace_ != nullptr) assembled_.assign(n, 0);
   commit_target_ = n;
+  // Planned disciplines gate commits on scheduled times, which the
+  // calendar indexes by step; kEarliest commits whatever assembled, which
+  // is already a plain list.
+  use_calendar_ = opts_.discipline != CommitDiscipline::kEarliest;
   if (opts_.discipline == CommitDiscipline::kPlannedDegraded) {
     // Planned discipline on a queued substrate: commits scheduled before
     // step 1 can never fire (same violation as the analytic executors);
@@ -292,26 +338,25 @@ bool Engine::init_stepwise() {
     monitor_->reset(s_->commit_time, commit_blocked_);
   }
 
-  for (ObjectId o = 0; o < obj_.size(); ++o) {
-    ObjectState& st = obj_[o];
-    if (st.order->empty()) continue;
-    const NodeId target = inst_->txn(st.order->front()).home;
-    if (target == st.at) {
+  for (ObjectId o = 0; o < num_objects(); ++o) {
+    if (obj_order_[o]->empty()) continue;
+    const NodeId target = inst_->txn(obj_order_[o]->front()).home;
+    if (target == obj_at_[o]) {
       object_arrived(o);
       continue;
     }
-    if (opts_.record_legs) r_.legs.push_back({o, 0, st.at, target, 0});
-    st.in_transit = true;
-    st.leg_from = st.at;
-    st.leg_depart = 0;
+    if (opts_.record_legs) r_.legs.push_back({o, 0, obj_at_[o], target, 0});
+    obj_in_transit_[o] = 1;
+    obj_leg_from_[o] = obj_at_[o];
+    obj_leg_depart_[o] = 0;
     if (legs_moved_ != nullptr) legs_moved_->add();
-    trace_leg_begin(o, 0, -1, st.at, target, 0);
-    links_->launch(*this, o, 0, st.at, target, 0);
-    st.at = target;
+    trace_leg_begin(o, 0, -1, obj_at_[o], target, 0);
+    links_->launch(*this, o, 0, obj_at_[o], target, 0);
+    obj_at_[o] = target;
   }
   // Transactions with no objects are trivially assembled.
   for (TxnId t = 0; t < n; ++t) {
-    if (inst_->txn(t).objects.empty()) ready_.push_back(t);
+    if (inst_->txn(t).objects.empty()) enqueue_ready(t);
   }
 
   links_->admit(*this, 0);  // departures at step 0 traverse during step 1
@@ -338,24 +383,30 @@ bool Engine::step_stepwise() {
   }
 
   // 1. Progress on-edge objects; completed legs report back through
-  //    object_arrived().
+  //    object_arrived(). A transaction assembled here can still commit
+  //    this very step, so the calendar floor is the current step.
+  commit_floor_ = clock_;
   links_->progress(*this, clock_);
 
   // 2. Commit assembled transactions (receive -> execute), then release
   //    their objects toward the next requesters (-> forward).
+  //    Transactions assembled by a commit cascade below are first
+  //    eligible at the next step's drain, so raise the floor first.
+  commit_floor_ = clock_ + 1;
   std::vector<TxnId> committing;
   if (opts_.discipline == CommitDiscipline::kEarliest) {
     committing.swap(ready_);
   } else {
-    // Planned-degraded: a transaction additionally waits for its
+    // Planned disciplines: a transaction additionally waits for its
     // scheduled commit step (never committing early, unlike kEarliest).
-    std::vector<TxnId> still_waiting;
-    for (TxnId t : ready_) {
-      if (commit_blocked_[t]) continue;
-      (s_->commit_time[t] <= clock_ ? committing : still_waiting)
-          .push_back(t);
+    // Draining this step's calendar bucket commits exactly the
+    // transactions the retired every-step ready scan would have picked,
+    // in the same (assembly) order.
+    const auto it = due_.find(clock_);
+    if (it != due_.end()) {
+      committing = std::move(it->second);
+      due_.erase(it);
     }
-    ready_.swap(still_waiting);
   }
   for (TxnId t : committing) commit_stepwise(t, clock_);
 
@@ -391,26 +442,26 @@ void Engine::process_planned_commit(TxnId t) {
   Time ready = planned;
   Time assembled = 0;
   for (ObjectId o : inst_->txn(t).objects) {
-    ObjectState& st = obj_[o];
-    if (strict && st.in_transit && st.arrival <= planned) {
-      st.in_transit = false;
+    const auto& order = *obj_order_[o];
+    if (strict && obj_in_transit_[o] != 0 && obj_arrival_[o] <= planned) {
+      obj_in_transit_[o] = 0;
     }
-    const bool here = (!strict || !st.in_transit) &&
-                      st.next_leg < st.order->size() &&
-                      (*st.order)[st.next_leg] == t && st.at == home;
+    const bool here = (!strict || obj_in_transit_[o] == 0) &&
+                      obj_next_leg_[o] < order.size() &&
+                      order[obj_next_leg_[o]] == t && obj_at_[o] == home;
     if (!here) {
       all_ok = false;
       std::ostringstream os;
       os << "T" << t << " @node " << home << " step " << planned
          << ": object o" << o << (strict ? " absent (" : " misrouted (");
-      if (strict && st.in_transit) {
-        os << "in transit, arrives at step " << st.arrival;
-      } else if (st.next_leg >= st.order->size()) {
+      if (strict && obj_in_transit_[o] != 0) {
+        os << "in transit, arrives at step " << obj_arrival_[o];
+      } else if (obj_next_leg_[o] >= order.size()) {
         os << "already finished its chain";
-      } else if ((*st.order)[st.next_leg] != t) {
-        os << "next leg targets T" << (*st.order)[st.next_leg];
+      } else if (order[obj_next_leg_[o]] != t) {
+        os << "next leg targets T" << order[obj_next_leg_[o]];
       } else {
-        os << (strict ? "at node " : "headed to node ") << st.at;
+        os << (strict ? "at node " : "headed to node ") << obj_at_[o];
       }
       os << ")";
       fail(os.str());
@@ -420,8 +471,8 @@ void Engine::process_planned_commit(TxnId t) {
     // policy returns the releasing commit's realized time, and that
     // release time still gates this commit. Never-launched first legs
     // leave arrival 0.
-    if (!strict) ready = std::max(ready, st.arrival);
-    assembled = std::max(assembled, st.arrival);
+    if (!strict) ready = std::max(ready, obj_arrival_[o]);
+    assembled = std::max(assembled, obj_arrival_[o]);
   }
   if (!all_ok) return;
 
@@ -456,10 +507,11 @@ void Engine::process_planned_commit(TxnId t) {
   // Commit: release each object toward its next requester in the same
   // (realized) step — receive -> execute -> forward.
   for (ObjectId o : inst_->txn(t).objects) {
-    ObjectState& st = obj_[o];
-    st.in_transit = false;
-    ++st.next_leg;
-    if (st.next_leg < st.order->size()) launch_release_leg(o, realized);
+    obj_in_transit_[o] = 0;
+    ++obj_next_leg_[o];
+    if (obj_next_leg_[o] < obj_order_[o]->size()) {
+      launch_release_leg(o, realized);
+    }
   }
 }
 
@@ -500,22 +552,21 @@ void Engine::commit_stepwise(TxnId t, Time now) {
   r_.realized_makespan = std::max(r_.realized_makespan, now);
 
   for (ObjectId o : inst_->txn(t).objects) {
-    ObjectState& st = obj_[o];
-    DTM_ASSERT(!st.in_transit);
-    ++st.next_leg;
-    if (st.next_leg < st.order->size()) launch_release_leg(o, now);
+    DTM_ASSERT(obj_in_transit_[o] == 0);
+    ++obj_next_leg_[o];
+    if (obj_next_leg_[o] < obj_order_[o]->size()) launch_release_leg(o, now);
   }
 }
 
 void Engine::launch_release_leg(ObjectId o, Time now) {
-  ObjectState& st = obj_[o];
-  const NodeId from = st.at;
-  const NodeId target = inst_->txn((*st.order)[st.next_leg]).home;
+  const std::size_t leg = obj_next_leg_[o];
+  const NodeId from = obj_at_[o];
+  const NodeId target = inst_->txn((*obj_order_[o])[leg]).home;
   // The leg is released by the commit that just fired — its chain
   // predecessor in the trace.
-  const auto prev = static_cast<std::int64_t>((*st.order)[st.next_leg - 1]);
+  const auto prev = static_cast<std::int64_t>((*obj_order_[o])[leg - 1]);
   if (opts_.record_legs) {
-    r_.legs.push_back({o, st.next_leg, from, target, now});
+    r_.legs.push_back({o, leg, from, target, now});
   }
   if (stepwise_) {
     if (target == from) {
@@ -526,24 +577,24 @@ void Engine::launch_release_leg(ObjectId o, Time now) {
         r_.events.push_back(
             {now, SimEvent::Kind::kArrive, o, kInvalidTxn, target});
       }
-      trace_leg(o, st.next_leg, prev, from, target, now, now);
+      trace_leg(o, leg, prev, from, target, now, now);
       object_arrived(o);
       return;
     }
-    st.in_transit = true;
-    st.leg_from = from;
-    st.leg_depart = now;
+    obj_in_transit_[o] = 1;
+    obj_leg_from_[o] = from;
+    obj_leg_depart_[o] = now;
     if (legs_moved_ != nullptr) legs_moved_->add();
-    trace_leg_begin(o, st.next_leg, prev, from, target, now);
-    links_->launch(*this, o, st.next_leg, from, target, now);
-    st.at = target;
+    trace_leg_begin(o, leg, prev, from, target, now);
+    links_->launch(*this, o, leg, from, target, now);
+    obj_at_[o] = target;
     return;
   }
   if (legs_moved_ != nullptr) legs_moved_->add();
-  st.arrival = links_->realize(*this, o, st.next_leg, from, target, now);
-  st.in_transit = target != from;
-  st.at = target;
-  trace_leg(o, st.next_leg, prev, from, target, now, st.arrival);
+  obj_arrival_[o] = links_->realize(*this, o, leg, from, target, now);
+  obj_in_transit_[o] = static_cast<char>(target != from);
+  obj_at_[o] = target;
+  trace_leg(o, leg, prev, from, target, now, obj_arrival_[o]);
 }
 
 void Engine::maybe_reschedule() {
@@ -558,23 +609,26 @@ void Engine::maybe_reschedule() {
   px.now = clock_;
   px.committed.assign(committed_.begin(), committed_.end());
   px.commit_realized = realized_commit_;
-  const std::size_t w = obj_.size();
+  const std::size_t w = num_objects();
   px.object_at.resize(w);
   px.object_free_at.resize(w);
   px.served.resize(w);
   for (ObjectId o = 0; o < w; ++o) {
-    const ObjectState& st = obj_[o];
-    px.object_at[o] = st.at;
+    px.object_at[o] = obj_at_[o];
     // In-flight legs complete first: the earliest the object can leave its
     // leg target is the unobstructed arrival estimate (queueing and faults
     // only push the real arrival later; kPlannedDegraded absorbs that as
     // commit stall).
     px.object_free_at[o] =
-        st.in_transit
-            ? std::max(st.leg_depart + metric_->distance(st.leg_from, st.at),
+        obj_in_transit_[o] != 0
+            ? std::max(obj_leg_depart_[o] +
+                           metric_->distance(obj_leg_from_[o], obj_at_[o]),
                        clock_)
             : clock_;
-    px.served[o].assign(st.order->begin(), st.order->begin() + st.next_leg);
+    const auto& order = *obj_order_[o];
+    px.served[o].assign(order.begin(),
+                        order.begin() + static_cast<std::ptrdiff_t>(
+                                            obj_next_leg_[o]));
   }
   px.order = s_->object_order;
   std::unique_ptr<Schedule> next = opts_.reschedule_fn(px);
@@ -603,12 +657,12 @@ void Engine::apply_splice(std::unique_ptr<Schedule> next, Time lag) {
     }
   }
   for (ObjectId o = 0; o < w; ++o) {
-    const ObjectState& st = obj_[o];
+    const auto& cur = *obj_order_[o];
     const auto& order = next->object_order[o];
-    if (order.size() != st.order->size() ||
-        !std::equal(st.order->begin(),
-                    st.order->begin() +
-                        static_cast<std::ptrdiff_t>(st.next_leg),
+    if (order.size() != cur.size() ||
+        !std::equal(cur.begin(),
+                    cur.begin() +
+                        static_cast<std::ptrdiff_t>(obj_next_leg_[o]),
                     order.begin())) {
       std::ostringstream os;
       os << "reschedule: object o" << o
@@ -616,6 +670,18 @@ void Engine::apply_splice(std::unique_ptr<Schedule> next, Time lag) {
       fail(os.str());
       return;
     }
+  }
+
+  // Snapshot which pending transactions were assembled before the splice.
+  // The retired ready list held exactly the fully-present, uncommitted,
+  // unblocked transactions at this seam (blocked ones were dropped at
+  // their first commit scan), so that membership is recomputed from state
+  // — before the revival loop below clears the blocked flags.
+  std::vector<char> was_ready(n, 0);
+  for (TxnId t = 0; t < n; ++t) {
+    was_ready[t] = static_cast<char>(
+        committed_[t] == 0 && commit_blocked_[t] == 0 &&
+        present_[t] == inst_->txn(t).objects.size());
   }
 
   ++resched_count_;
@@ -627,7 +693,7 @@ void Engine::apply_splice(std::unique_ptr<Schedule> next, Time lag) {
   }
   spliced_.push_back(std::move(next));
   s_ = spliced_.back().get();
-  for (ObjectId o = 0; o < w; ++o) obj_[o].order = &s_->object_order[o];
+  for (ObjectId o = 0; o < w; ++o) obj_order_[o] = &s_->object_order[o];
 
   // Pre-step-1 casualties now carry sane future times; revive them.
   for (TxnId t = 0; t < n; ++t) {
@@ -640,55 +706,57 @@ void Engine::apply_splice(std::unique_ptr<Schedule> next, Time lag) {
   // Rebuild the assembly bookkeeping against the new orders. Parked
   // objects whose next requester changed are redirected right away;
   // in-flight ones redirect on arrival (object_arrived).
-  std::vector<char> was_ready(n, 0);
-  for (TxnId t : ready_) was_ready[t] = 1;
   ready_.clear();
+  due_.clear();
   std::fill(present_.begin(), present_.end(), 0);
   for (ObjectId o = 0; o < w; ++o) {
-    ObjectState& st = obj_[o];
-    if (st.in_transit || st.next_leg >= st.order->size()) continue;
-    const TxnId target = (*st.order)[st.next_leg];
-    if (st.at == inst_->txn(target).home) {
+    if (obj_in_transit_[o] != 0 ||
+        obj_next_leg_[o] >= obj_order_[o]->size()) {
+      continue;
+    }
+    const TxnId target = (*obj_order_[o])[obj_next_leg_[o]];
+    if (obj_at_[o] == inst_->txn(target).home) {
       ++present_[target];
     } else {
       launch_redirect_leg(o, clock_);
     }
   }
+  // The splice validation put every pending commit strictly after clock_,
+  // and commit_floor_ is already clock_ + 1 at this seam, so the calendar
+  // rebuild files each transaction at its (new) scheduled step.
   for (TxnId t = 0; t < n; ++t) {
     if (committed_[t] != 0) continue;
     if (present_[t] == inst_->txn(t).objects.size()) {
-      ready_.push_back(t);
       // Keep the original assembly stamp for txns that stayed assembled;
       // txns assembled by the splice itself date from now.
       if (!assembled_.empty() && was_ready[t] == 0) assembled_[t] = clock_;
+      enqueue_ready(t);
     }
   }
   monitor_->reset(s_->commit_time, committed_);
 }
 
 void Engine::launch_redirect_leg(ObjectId o, Time now) {
-  ObjectState& st = obj_[o];
-  const NodeId from = st.at;
-  const NodeId target = inst_->txn((*st.order)[st.next_leg]).home;
+  const std::size_t leg = obj_next_leg_[o];
+  const NodeId from = obj_at_[o];
+  const NodeId target = inst_->txn((*obj_order_[o])[leg]).home;
   DTM_ASSERT(target != from);
   // Redirects are not released by a commit; `prev` still names the last
   // committed requester so the record stays attributable, and the
   // redirect:1 tag tells the critical-path walk to follow the object's
   // own physical chain instead of a releasing commit.
   const std::int64_t prev =
-      st.next_leg > 0
-          ? static_cast<std::int64_t>((*st.order)[st.next_leg - 1])
-          : -1;
+      leg > 0 ? static_cast<std::int64_t>((*obj_order_[o])[leg - 1]) : -1;
   if (opts_.record_legs) {
-    r_.legs.push_back({o, st.next_leg, from, target, now});
+    r_.legs.push_back({o, leg, from, target, now});
   }
-  st.in_transit = true;
-  st.leg_from = from;
-  st.leg_depart = now;
+  obj_in_transit_[o] = 1;
+  obj_leg_from_[o] = from;
+  obj_leg_depart_[o] = now;
   if (legs_moved_ != nullptr) legs_moved_->add();
-  trace_leg_begin(o, st.next_leg, prev, from, target, now, /*redirect=*/true);
-  links_->launch(*this, o, st.next_leg, from, target, now);
-  st.at = target;
+  trace_leg_begin(o, leg, prev, from, target, now, /*redirect=*/true);
+  links_->launch(*this, o, leg, from, target, now);
+  obj_at_[o] = target;
 }
 
 void Engine::finish() {

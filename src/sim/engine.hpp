@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/instance.hpp"
@@ -178,8 +179,13 @@ class Engine {
   /// Stepwise arrival: object `o` completed its current leg and now sits
   /// at its requester's node.
   void object_arrived(ObjectId o);
-  /// Stepwise queue accounting, called once per step by the policy.
-  void account_queue(std::size_t queue_length);
+  /// Stepwise queue accounting, called once per step by the policy:
+  /// `total` objects queued across all channels this step, `max_changed`
+  /// the longest single queue among channels whose length changed since
+  /// the last call. The running per-run maximum only moves when a queue
+  /// it has not already folded grows past it, so unchanged channels need
+  /// not be re-reported.
+  void account_queues(std::size_t total, std::size_t max_changed);
   /// True when this run feeds the global TraceRecorder; policies gate
   /// their own emission on it (the engine resolves the recorder once at
   /// init, so a disabled run costs nothing here).
@@ -195,20 +201,6 @@ class Engine {
                         Time queued_since, Time now);
 
  private:
-  struct ObjectState {
-    const std::vector<TxnId>* order = nullptr;
-    std::size_t next_leg = 0;
-    NodeId at = kInvalidNode;
-    bool in_transit = false;
-    Time arrival = 0;
-    std::uint64_t span = 0;  // open stepwise leg span (0 = none)
-    // Launch point of the current stepwise leg; feeds the conservative
-    // arrival estimate handed to the reschedule hook for in-flight
-    // objects.
-    NodeId leg_from = kInvalidNode;
-    Time leg_depart = 0;
-  };
-
   bool init();
   bool step();
   void finish();
@@ -227,6 +219,13 @@ class Engine {
 
   void process_planned_commit(TxnId t);
   void commit_stepwise(TxnId t, Time now);
+  /// Stepwise: transaction `t` is fully assembled; file it for commit.
+  /// Planned disciplines insert it into the commit calendar at
+  /// max(commit_time, commit_floor_) — the step the old per-step ready
+  /// scan would first have committed it; kEarliest appends to ready_.
+  /// Pre-step-1 casualties (commit_blocked_) are dropped here, exactly
+  /// where the scan used to drop them.
+  void enqueue_ready(TxnId t);
 
   /// Reschedule seam (stepwise, after the step's commits): consult the
   /// slack monitor and, past the threshold, hand the partial state to the
@@ -257,7 +256,24 @@ class Engine {
   EngineOptions opts_;
 
   EngineResult r_;
-  std::vector<ObjectState> obj_;
+
+  // Per-object hot state, struct-of-arrays: the commit/release and
+  // reschedule loops each touch only a couple of these fields per object,
+  // so parallel dense vectors keep the scans on packed cache lines
+  // instead of striding padded records. obj_order_[o] aliases
+  // s_->object_order[o] and is re-pointed on every splice.
+  std::vector<const std::vector<TxnId>*> obj_order_;
+  std::vector<std::size_t> obj_next_leg_;
+  std::vector<NodeId> obj_at_;
+  std::vector<char> obj_in_transit_;
+  std::vector<Time> obj_arrival_;
+  std::vector<std::uint64_t> obj_span_;  // open stepwise leg span (0 = none)
+  // Launch point of the current stepwise leg; feeds the conservative
+  // arrival estimate handed to the reschedule hook for in-flight objects.
+  std::vector<NodeId> obj_leg_from_;
+  std::vector<Time> obj_leg_depart_;
+
+  std::size_t num_objects() const { return obj_at_.size(); }
 
   // Analytic mode: commits processed in (commit_time, id) order.
   std::vector<TxnId> by_time_;
@@ -267,7 +283,14 @@ class Engine {
   bool stepwise_ = false;
   Time clock_ = 0;
   std::vector<std::size_t> present_;
-  std::vector<TxnId> ready_;
+  std::vector<TxnId> ready_;  // kEarliest only: commit at next step
+  // Planned disciplines: calendar of pending commits. due_[t] holds the
+  // transactions eligible at step t in assembly order — the order the
+  // retired O(ready) per-step scan would have committed them — so each
+  // step drains one bucket instead of rescanning every waiting txn.
+  bool use_calendar_ = false;
+  std::unordered_map<Time, std::vector<TxnId>> due_;
+  Time commit_floor_ = 1;  // earliest step the next commit drain can run
   std::size_t committed_count_ = 0;
   std::size_t commit_target_ = 0;
   std::vector<char> committed_;

@@ -122,6 +122,29 @@ BoundedCapacityLinks::BoundedCapacityLinks(const Metric& metric,
   channels_.reserve(metric.graph().num_edges());
 }
 
+void BoundedCapacityLinks::push_queue(std::uint64_t key, ObjectId o) {
+  Channel& ch = channels_[key];
+  ch.queue.push_back(o);
+  ++queued_total_;
+  if (!ch.active) {
+    ch.active = true;
+    active_.push_back(key);
+  }
+  if (!ch.dirty) {
+    ch.dirty = true;
+    dirty_.push_back(key);
+  }
+}
+
+void BoundedCapacityLinks::pop_queue(std::uint64_t key, Channel& ch) {
+  ch.queue.pop_front();
+  --queued_total_;
+  if (!ch.dirty) {
+    ch.dirty = true;
+    dirty_.push_back(key);
+  }
+}
+
 void BoundedCapacityLinks::launch(Engine&, ObjectId o, std::size_t leg,
                                   NodeId from, NodeId to, Time now) {
   if (o >= routes_.size()) routes_.resize(o + 1);
@@ -132,14 +155,21 @@ void BoundedCapacityLinks::launch(Engine&, ObjectId o, std::size_t leg,
   rt.phase = Route::Phase::kQueued;
   rt.departed = false;
   rt.queued_since = now;
-  channels_[edge_key(rt.path[0], rt.path[1])].queue.push_back(o);
+  push_queue(edge_key(rt.path[0], rt.path[1]), o);
 }
 
 void BoundedCapacityLinks::progress(Engine& eng, Time now) {
-  for (ObjectId o = 0; o < routes_.size(); ++o) {
+  const auto it = arrivals_.find(now);
+  if (it == arrivals_.end()) return;
+  std::vector<ObjectId> done = std::move(it->second);
+  arrivals_.erase(it);
+  // Drain in object-id order — the order the retired every-route scan
+  // processed completions, which fixes same-step event/trace emission and
+  // the relative order of same-step requeues.
+  std::sort(done.begin(), done.end());
+  for (const ObjectId o : done) {
     Route& rt = routes_[o];
-    if (rt.phase != Route::Phase::kOnEdge) continue;
-    if (--rt.edge_remaining > 0) continue;
+    DTM_ASSERT(rt.phase == Route::Phase::kOnEdge);
     // Hop finished: leave the edge.
     auto& ch = channels_[edge_key(rt.path[rt.hop], rt.path[rt.hop + 1])];
     DTM_ASSERT(ch.in_transit > 0);
@@ -159,15 +189,18 @@ void BoundedCapacityLinks::progress(Engine& eng, Time now) {
         eng.push_event(
             {now, SimEvent::Kind::kHop, o, kInvalidTxn, rt.path[rt.hop]});
       }
-      channels_[edge_key(rt.path[rt.hop], rt.path[rt.hop + 1])]
-          .queue.push_back(o);
+      push_queue(edge_key(rt.path[rt.hop], rt.path[rt.hop + 1]), o);
     }
   }
 }
 
 void BoundedCapacityLinks::admit(Engine& eng, Time now) {
-  for (auto& [key, ch] : channels_) {
-    (void)key;
+  // Sweep by index: reroutes and requeues may append to active_ while the
+  // sweep runs (their heads are pinned by not_before, so a late sweep
+  // position never changes what can be admitted this step).
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const std::uint64_t key = active_[i];
+    Channel& ch = channels_[key];
     // Admit FIFO per channel until the link is full or the head is held
     // back by the oracle (down link: stall or reroute).
     for (;;) {
@@ -185,18 +218,21 @@ void BoundedCapacityLinks::admit(Engine& eng, Time now) {
         if (detour.size() < 2) break;  // head-of-line stall at the down link
         // The queued object swaps the rest of its journey for the detour
         // and requeues on the detour's first edge.
-        ch.queue.pop_front();
+        pop_queue(key, ch);
         rt.path = std::move(detour);
         rt.hop = 0;
         rt.not_before = now + 1;
-        channels_[edge_key(rt.path[0], rt.path[1])].queue.push_back(o);
+        push_queue(edge_key(rt.path[0], rt.path[1]), o);
         continue;
       }
-      ch.queue.pop_front();
+      pop_queue(key, ch);
       rt.phase = Route::Phase::kOnEdge;
       const Weight base = metric_->distance(u, v);
-      rt.edge_remaining = oracle_->enter_cost(u, v, base, now);
-      eng.add_travel(rt.edge_remaining);
+      const Weight cost = oracle_->enter_cost(u, v, base, now);
+      eng.add_travel(cost);
+      // The retired countdown hit zero at the progress() call `cost`
+      // steps out (one step for degenerate zero-cost entries).
+      arrivals_[now + std::max<Weight>(cost, 1)].push_back(o);
       ++ch.in_transit;
       if (eng.tracing()) {
         eng.trace_queue_wait(o, rt.leg, u, v, rt.queued_since, now);
@@ -207,13 +243,31 @@ void BoundedCapacityLinks::admit(Engine& eng, Time now) {
       rt.departed = true;
     }
   }
+  // Compact: drop channels whose queues drained (they re-enter on push).
+  std::size_t kept = 0;
+  for (const std::uint64_t key : active_) {
+    Channel& ch = channels_[key];
+    if (ch.queue.empty()) {
+      ch.active = false;
+    } else {
+      active_[kept++] = key;
+    }
+  }
+  active_.resize(kept);
 }
 
 void BoundedCapacityLinks::account(Engine& eng) {
-  for (const auto& [key, ch] : channels_) {
-    (void)key;
-    eng.account_queue(ch.queue.size());
+  // Fold only channels whose length changed; an unchanged channel's
+  // length was already folded into the engine's running max the last time
+  // it changed.
+  std::size_t max_changed = 0;
+  for (const std::uint64_t key : dirty_) {
+    Channel& ch = channels_[key];
+    ch.dirty = false;
+    max_changed = std::max(max_changed, ch.queue.size());
   }
+  dirty_.clear();
+  eng.account_queues(queued_total_, max_changed);
 }
 
 // --- FaultyLinks --------------------------------------------------------

@@ -131,7 +131,6 @@ class BoundedCapacityLinks final : public LinkPolicy, public AdmissionOracle {
     std::vector<NodeId> path;  // node sequence of the current leg
     std::size_t hop = 0;       // index of the current node in `path`
     Phase phase = Phase::kDone;
-    Weight edge_remaining = 0;
     /// kDepart already recorded for this leg (survives reroutes, which
     /// reset `hop` but are not a second departure).
     bool departed = false;
@@ -147,13 +146,37 @@ class BoundedCapacityLinks final : public LinkPolicy, public AdmissionOracle {
   struct Channel {
     std::deque<ObjectId> queue;
     std::size_t in_transit = 0;
+    bool active = false;  // listed in active_ (has queued objects)
+    bool dirty = false;   // listed in dirty_ (length changed this step)
   };
+
+  /// Queue object `o` on channel `key`, maintaining the active/dirty
+  /// lists and the global queued-object count.
+  void push_queue(std::uint64_t key, ObjectId o);
+  /// Pop the head of `ch` (channel `key`), same bookkeeping.
+  void pop_queue(std::uint64_t key, Channel& ch);
 
   const Metric* metric_;
   std::size_t capacity_;
   AdmissionOracle* oracle_;
   std::vector<Route> routes_;
   std::unordered_map<std::uint64_t, Channel> channels_;
+  /// Channels with queued objects, in first-enqueue order. admit() sweeps
+  /// this list — not every channel ever touched — and compacts it after
+  /// the sweep; a channel leaves when its queue drains and re-enters on
+  /// the next push.
+  std::vector<std::uint64_t> active_;
+  /// Channels whose queue length changed since the last account() call;
+  /// only these can move the engine's running max-queue-length.
+  std::vector<std::uint64_t> dirty_;
+  std::size_t queued_total_ = 0;
+  /// Completion calendar: arrivals_[t] lists the objects whose current
+  /// edge traversal finishes at step t. progress(t) drains one bucket (in
+  /// object-id order, matching the retired full route scan) instead of
+  /// decrementing a countdown on every on-edge object every step.
+  /// Entries are never cancelled: an on-edge object cannot be rerouted,
+  /// redirected, or released until it leaves the edge.
+  std::unordered_map<Time, std::vector<ObjectId>> arrivals_;
 };
 
 /// Fault/recovery decorator. Standalone (inner == nullptr) it is the

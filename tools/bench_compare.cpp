@@ -15,10 +15,10 @@
 //    timer layer entirely — use it when baseline and candidate come from
 //    different machines or runs too short to time stably (CI gates on a
 //    committed baseline compare series + counters only).
-//  - environment-describing counters (pool.workers) and per-phase timer
-//    percentiles (p50/p95/max) are reported as "info" but never flagged —
-//    the former describe the machine, the latter are shape diagnostics
-//    too noisy to gate on.
+//  - environment-describing counters (pool.workers), the peak-RSS block,
+//    and per-phase timer percentiles (p50/p95/max) are reported as "info"
+//    but never flagged — they describe the machine and allocator, or are
+//    shape diagnostics too noisy to gate on.
 // Exits 1 if any regression was found, 0 otherwise.
 #include <algorithm>
 #include <cmath>
@@ -58,6 +58,14 @@ std::map<std::string, double> metrics_of(const JsonValue& doc,
       out["counter/" + name] = v.number;
     }
   }
+  // Peak-RSS block (absent from older artifacts): informational — memory
+  // use depends on machine and allocator, so changes are shown, never
+  // flagged.
+  if (const JsonValue* rss = doc.find("rss")) {
+    for (const auto& [name, v] : rss->obj) {
+      out["rss/" + name] = v.number;
+    }
+  }
   if (!with_timers) return out;
   if (const JsonValue* timers = doc.find("timers")) {
     for (const auto& [name, t] : timers->obj) {
@@ -81,7 +89,7 @@ std::map<std::string, double> metrics_of(const JsonValue& doc,
 /// Timer percentiles ride along for visibility but single-sample phases
 /// make p50 == max, so gating on them would just re-gate the mean.
 bool informational(const std::string& name) {
-  return name == "counter/pool.workers" ||
+  return name == "counter/pool.workers" || name.rfind("rss/", 0) == 0 ||
          name.rfind("timer_p50_ns/", 0) == 0 ||
          name.rfind("timer_p95_ns/", 0) == 0 ||
          name.rfind("timer_max_ns/", 0) == 0;
