@@ -45,9 +45,9 @@ int main() {
     const auto vr = validate_online(inst, metric, arrival, s);
     DTM_REQUIRE(vr.ok, "infeasible online schedule: " << vr.summary());
     const CapacitySimResult unbounded =
-        simulate_with_capacity(inst, metric, s, {.capacity = 0});
+        simulate_with_capacity(inst, metric, s, capacity_options(0));
     const CapacitySimResult tight =
-        simulate_with_capacity(inst, metric, s, {.capacity = 1});
+        simulate_with_capacity(inst, metric, s, capacity_options(1));
     DTM_REQUIRE(unbounded.ok && tight.ok, "capacity replay failed");
     table.add_row(sched.name(), batches, static_cast<double>(s.makespan()),
                   static_cast<double>(unbounded.makespan),

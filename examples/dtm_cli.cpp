@@ -43,6 +43,8 @@
 #include "sched/reschedule.hpp"
 #include "sim/capacity_sim.hpp"
 #include "sim/congestion.hpp"
+#include "sim/optimistic.hpp"
+#include "sim/runtime.hpp"
 #include "sim/simulator.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
@@ -199,6 +201,87 @@ std::optional<FaultModel> build_fault_model(const ArgParser& args,
   return model;
 }
 
+void warn_unknown_flags(const ArgParser& args) {
+  const auto unknown = args.unknown_flags();
+  if (!unknown.empty()) {
+    std::cerr << "warning: unused flags:";
+    for (const auto& f : unknown) std::cerr << " --" << f;
+    std::cerr << '\n';
+  }
+}
+
+/// Streaming mode (--arrival-rate / --arrival-model / --optimistic):
+/// transactions arrive continually instead of existing up front. The
+/// window-batched StreamingRuntime schedules them (sim/runtime.hpp); with
+/// --optimistic the same stream runs under the TL2-style optimistic
+/// executor instead, so the two execution models are directly comparable.
+int run_streaming(const ArgParser& args, const TopologyBundle& topo,
+                  const Metric& metric, std::uint64_t seed) {
+  const ArrivalModel model =
+      parse_arrival_model(args.get("arrival-model", "poisson"));
+  ArrivalStreamOptions stream;
+  stream.num_txns = static_cast<std::size_t>(args.get_int("txns", 256));
+  stream.num_objects = static_cast<std::size_t>(args.get_int("w", 12));
+  stream.objects_per_txn = static_cast<std::size_t>(args.get_int("k", 2));
+  stream.rate = std::stod(args.get("arrival-rate", "1"));
+  stream.burst_size =
+      static_cast<std::size_t>(args.get_int("burst", stream.burst_size));
+  auto src = make_arrival_source(model, topo.graph(), stream, seed);
+
+  if (args.has("optimistic")) {
+    // Materialize the identical stream into an instance + arrival vector
+    // (streams revisit nodes, hence the shared-homes opt-in).
+    InstanceBuilder b(topo.graph(), stream.num_objects);
+    b.allow_shared_homes();
+    ArrivalTimes arrival;
+    ArrivingTxn t;
+    while (src->next(t)) {
+      b.add_transaction(t.home, t.objects);
+      arrival.push_back(t.arrival);
+    }
+    const std::vector<NodeId> homes =
+        StreamingRuntime::spread_homes(topo.graph(), stream.num_objects);
+    for (ObjectId o = 0; o < stream.num_objects; ++o) {
+      b.set_object_home(o, homes[o]);
+    }
+    OptimisticOptions opts;
+    opts.seed = seed;
+    const OptimisticResult r =
+        run_optimistic(b.build(), metric, arrival, opts);
+    DTM_REQUIRE(r.ok, "optimistic execution failed: " << r.error);
+    Table table({"executor", "txns", "commits", "aborts", "wasted steps",
+                 "makespan", "throughput"});
+    table.add_row("tl2-optimistic", arrival.size(), r.commits, r.aborts,
+                  static_cast<double>(r.wasted_steps),
+                  static_cast<double>(r.makespan), r.throughput);
+    table.print(std::cout);
+    warn_unknown_flags(args);
+    return 0;
+  }
+
+  StreamingRuntimeOptions opts;
+  opts.window = args.get_int("window", opts.window);
+  opts.max_live_admitted =
+      static_cast<std::size_t>(args.get_int("max-live", 0));
+  StreamingRuntime rt(
+      topo.graph(), metric,
+      StreamingRuntime::spread_homes(topo.graph(), stream.num_objects), opts);
+  rt.ingest_all(*src);
+  const StreamStats& st = rt.drain();
+  const auto vr =
+      validate_online(rt.materialize(), metric, rt.arrivals(), rt.schedule());
+  DTM_REQUIRE(vr.ok, "streaming schedule failed validation:\n"
+                         << vr.summary());
+  Table table({"executor", "txns", "committed", "windows", "deferrals",
+               "peak backlog", "mean backlog", "makespan", "throughput"});
+  table.add_row("stream-batch", st.arrived, st.committed, st.windows,
+                st.deferrals, st.peak_backlog, st.mean_backlog,
+                static_cast<double>(st.makespan), st.throughput);
+  table.print(std::cout);
+  warn_unknown_flags(args);
+  return 0;
+}
+
 int run(const ArgParser& args, const std::string& invocation) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const auto trials = static_cast<int>(args.get_int("trials", 1));
@@ -231,6 +314,10 @@ int run(const ArgParser& args, const std::string& invocation) {
 
   const TopologyBundle topo = build_topology(args);
   const auto metric = build_metric(args, topo.graph());
+  if (args.has("arrival-rate") || args.has("arrival-model") ||
+      args.has("optimistic")) {
+    return run_streaming(args, topo, *metric, seed);
+  }
   const std::optional<FaultModel> faults = build_fault_model(args, seed);
   SimOptions sim_opts;
   if (faults) sim_opts.faults = &*faults;
@@ -389,12 +476,7 @@ int run(const ArgParser& args, const std::string& invocation) {
     }
   }
 
-  const auto unknown = args.unknown_flags();
-  if (!unknown.empty()) {
-    std::cerr << "warning: unused flags:";
-    for (const auto& f : unknown) std::cerr << " --" << f;
-    std::cerr << '\n';
-  }
+  warn_unknown_flags(args);
   return 0;
 }
 
@@ -403,6 +485,16 @@ int run(const ArgParser& args, const std::string& invocation) {
 int main(int argc, char** argv) {
   try {
     const ArgParser args(argc, argv);
+    if (args.has("list-schedulers")) {
+      // The registry is the source of truth; topology-specific names need
+      // an instance whose graph structurally matches. online-* are
+      // stateful CLI extras constructed outside the registry.
+      for (const std::string& name : dtm::registered_scheduler_names()) {
+        std::cout << name << '\n';
+      }
+      std::cout << "online-fifo\nonline-batch\n";
+      return 0;
+    }
     if (args.has("help")) {
       std::cout <<
           "usage: dtm_cli [--topology clique|line|grid|cluster|hypercube|"
@@ -423,7 +515,11 @@ int main(int argc, char** argv) {
           "[--slowdown-rate P] [--slowdown-factor F]\n"
           "  [--loss-rate P] [--fault-seed S]\n"
           "  [--save-graph FILE] [--save-instance FILE] "
-          "[--save-schedule FILE]\n";
+          "[--save-schedule FILE]\n"
+          "  [--list-schedulers]\n"
+          "streaming mode (continual arrivals instead of a fixed batch):\n"
+          "  [--arrival-rate R] [--arrival-model poisson|bursty|hot]\n"
+          "  [--txns N] [--burst B] [--max-live M] [--optimistic]\n";
       return 0;
     }
     std::string invocation = "dtm_cli";

@@ -1,6 +1,7 @@
 #include "core/generators.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 namespace dtm {
@@ -195,6 +196,120 @@ Instance generate_hotspot(const Graph& g, std::size_t num_objects,
   }
   place_objects(b, g, requester_nodes, ObjectPlacement::kAtRequester, rng);
   return b.build();
+}
+
+// --- streaming arrivals ------------------------------------------------
+
+namespace {
+
+void check_stream_options(const ArrivalStreamOptions& opt) {
+  DTM_REQUIRE(opt.num_objects >= 1, "stream needs at least one object");
+  DTM_REQUIRE(opt.objects_per_txn >= 1 &&
+                  opt.objects_per_txn <= opt.num_objects,
+              "stream k out of [1, w]");
+  DTM_REQUIRE(opt.rate > 0, "stream rate must be positive");
+}
+
+std::vector<ObjectId> uniform_objects(std::size_t w, std::size_t k,
+                                      Rng& rng) {
+  std::vector<ObjectId> objs;
+  objs.reserve(k);
+  for (std::size_t idx : rng.sample_indices(w, k)) {
+    objs.push_back(static_cast<ObjectId>(idx));
+  }
+  return objs;
+}
+
+std::vector<ObjectId> hot_objects(std::size_t w, std::size_t k, Rng& rng) {
+  std::vector<ObjectId> objs = {0};
+  if (k > 1) {
+    for (std::size_t idx : rng.sample_indices(w - 1, k - 1)) {
+      objs.push_back(static_cast<ObjectId>(idx + 1));
+    }
+  }
+  return objs;
+}
+
+}  // namespace
+
+PoissonArrivalSource::PoissonArrivalSource(const Graph& g,
+                                           const ArrivalStreamOptions& opt,
+                                           std::uint64_t seed)
+    : ArrivalSource(opt.num_objects), g_(&g), opt_(opt), rng_(seed) {
+  check_stream_options(opt_);
+}
+
+bool PoissonArrivalSource::next(ArrivingTxn& out) {
+  if (produced_ >= opt_.num_txns) return false;
+  // Exponential gap with mean 1/rate; 1-real() keeps the log argument
+  // in (0, 1].
+  clock_ += -std::log(1.0 - rng_.real()) / opt_.rate;
+  out.arrival = static_cast<Time>(clock_);
+  out.home = static_cast<NodeId>(rng_.index(g_->num_nodes()));
+  out.objects =
+      uniform_objects(opt_.num_objects, opt_.objects_per_txn, rng_);
+  ++produced_;
+  return true;
+}
+
+BurstyArrivalSource::BurstyArrivalSource(const Graph& g,
+                                         const ArrivalStreamOptions& opt,
+                                         std::uint64_t seed)
+    : ArrivalSource(opt.num_objects), g_(&g), opt_(opt), rng_(seed) {
+  check_stream_options(opt_);
+  DTM_REQUIRE(opt_.burst_size >= 1, "bursts need at least one arrival");
+  gap_ = std::max<Time>(
+      1, static_cast<Time>(static_cast<double>(opt_.burst_size) / opt_.rate));
+}
+
+bool BurstyArrivalSource::next(ArrivingTxn& out) {
+  if (produced_ >= opt_.num_txns) return false;
+  out.arrival = static_cast<Time>(produced_ / opt_.burst_size) * gap_;
+  out.home = static_cast<NodeId>(rng_.index(g_->num_nodes()));
+  out.objects =
+      uniform_objects(opt_.num_objects, opt_.objects_per_txn, rng_);
+  ++produced_;
+  return true;
+}
+
+HotObjectArrivalSource::HotObjectArrivalSource(
+    const Graph& g, const ArrivalStreamOptions& opt, std::uint64_t seed)
+    : ArrivalSource(opt.num_objects), g_(&g), opt_(opt), rng_(seed) {
+  check_stream_options(opt_);
+}
+
+bool HotObjectArrivalSource::next(ArrivingTxn& out) {
+  if (produced_ >= opt_.num_txns) return false;
+  out.arrival =
+      static_cast<Time>(static_cast<double>(produced_) / opt_.rate);
+  out.home = produced_ % 2 == 0
+                 ? NodeId{0}
+                 : static_cast<NodeId>(g_->num_nodes() - 1);
+  out.objects = hot_objects(opt_.num_objects, opt_.objects_per_txn, rng_);
+  ++produced_;
+  return true;
+}
+
+ArrivalModel parse_arrival_model(const std::string& s) {
+  if (s == "poisson") return ArrivalModel::kPoisson;
+  if (s == "bursty") return ArrivalModel::kBursty;
+  if (s == "hot") return ArrivalModel::kHotObject;
+  DTM_REQUIRE(false, "unknown arrival model '"
+                         << s << "' (expected poisson|bursty|hot)");
+}
+
+std::unique_ptr<ArrivalSource> make_arrival_source(
+    ArrivalModel model, const Graph& g, const ArrivalStreamOptions& opt,
+    std::uint64_t seed) {
+  switch (model) {
+    case ArrivalModel::kPoisson:
+      return std::make_unique<PoissonArrivalSource>(g, opt, seed);
+    case ArrivalModel::kBursty:
+      return std::make_unique<BurstyArrivalSource>(g, opt, seed);
+    case ArrivalModel::kHotObject:
+      return std::make_unique<HotObjectArrivalSource>(g, opt, seed);
+  }
+  DTM_REQUIRE(false, "unreachable arrival model");
 }
 
 }  // namespace dtm

@@ -7,6 +7,9 @@
 // Approach 1), bounded cluster spread σ, and hot-object contention.
 #pragma once
 
+#include <memory>
+#include <string>
+
 #include "core/instance.hpp"
 #include "graph/topologies/cluster.hpp"
 #include "graph/topologies/star.hpp"
@@ -72,5 +75,120 @@ Instance generate_star_ray_local(const Star& star, std::size_t num_objects,
 /// maximizes ℓ and forces full serialization on the hot object).
 Instance generate_hotspot(const Graph& g, std::size_t num_objects,
                           std::size_t objects_per_txn, Rng& rng);
+
+// --- streaming arrivals (sim/runtime.hpp's input side) -----------------
+//
+// The batch generators above fix the whole transaction set up front. A
+// streaming run instead *pulls* transactions one at a time from an
+// ArrivalSource: each pull yields (arrival step, home, object set) in
+// non-decreasing arrival order, and the consumer never sees past the
+// transactions it has pulled — the online constraint is structural here
+// exactly as in sched/online.hpp's feed.
+
+/// One transaction arriving into a streaming run.
+struct ArrivingTxn {
+  Time arrival = 0;
+  NodeId home = kInvalidNode;
+  std::vector<ObjectId> objects;  // sorted, duplicate-free
+};
+
+/// Pull-based transaction stream over a fixed object universe. next()
+/// yields transactions in non-decreasing arrival order until exhaustion.
+/// Implementations are deterministic functions of their seed.
+class ArrivalSource {
+ public:
+  virtual ~ArrivalSource() = default;
+  virtual std::string name() const = 0;
+  /// Size of the object universe the stream draws from (w).
+  std::size_t num_objects() const { return num_objects_; }
+  /// Fills `out` with the next transaction; false once exhausted.
+  virtual bool next(ArrivingTxn& out) = 0;
+
+ protected:
+  explicit ArrivalSource(std::size_t num_objects)
+      : num_objects_(num_objects) {}
+
+ private:
+  std::size_t num_objects_;
+};
+
+/// Knobs shared by the built-in sources. `rate` is the mean number of
+/// arrivals per step (the λ of the Poisson source; the other sources honor
+/// it as their long-run average).
+struct ArrivalStreamOptions {
+  std::size_t num_txns = 1024;      // stream length
+  std::size_t num_objects = 64;     // w
+  std::size_t objects_per_txn = 2;  // k, must be <= w
+  double rate = 1.0;                // mean arrivals per step, > 0
+  /// Bursty source only: arrivals per burst (the gap between bursts is
+  /// derived as burst_size / rate, so the average rate stays `rate`).
+  std::size_t burst_size = 32;
+};
+
+/// Poisson process: exponential interarrival gaps with mean 1/rate,
+/// accumulated in real time and floored to steps. Homes uniform, objects
+/// uniform k-subsets (the streaming analog of generate_uniform).
+class PoissonArrivalSource final : public ArrivalSource {
+ public:
+  PoissonArrivalSource(const Graph& g, const ArrivalStreamOptions& opt,
+                       std::uint64_t seed);
+  std::string name() const override { return "poisson"; }
+  bool next(ArrivingTxn& out) override;
+
+ private:
+  const Graph* g_;
+  ArrivalStreamOptions opt_;
+  Rng rng_;
+  std::size_t produced_ = 0;
+  double clock_ = 0;  // real-valued arrival clock, floored per txn
+};
+
+/// Bursts of `burst_size` simultaneous arrivals spaced so the long-run
+/// rate matches `rate`. Homes uniform, objects uniform k-subsets — the
+/// streaming analog of generate_bursty_arrivals.
+class BurstyArrivalSource final : public ArrivalSource {
+ public:
+  BurstyArrivalSource(const Graph& g, const ArrivalStreamOptions& opt,
+                      std::uint64_t seed);
+  std::string name() const override { return "bursty"; }
+  bool next(ArrivingTxn& out) override;
+
+ private:
+  const Graph* g_;
+  ArrivalStreamOptions opt_;
+  Rng rng_;
+  std::size_t produced_ = 0;
+  Time gap_ = 1;  // steps between burst starts
+};
+
+/// Adversarial hot-object stream: every transaction requests object 0 plus
+/// k-1 uniform picks, and homes ping-pong between node 0 and node n-1 so
+/// consecutive requesters sit as far apart as the node numbering allows —
+/// the hot object's visit chain pays a full traversal per transaction
+/// (worst case for any scheduler; maximizes ℓ like generate_hotspot and
+/// adds maximal transit churn on top). Arrivals are evenly spaced at
+/// `rate` per step.
+class HotObjectArrivalSource final : public ArrivalSource {
+ public:
+  HotObjectArrivalSource(const Graph& g, const ArrivalStreamOptions& opt,
+                         std::uint64_t seed);
+  std::string name() const override { return "hot"; }
+  bool next(ArrivingTxn& out) override;
+
+ private:
+  const Graph* g_;
+  ArrivalStreamOptions opt_;
+  Rng rng_;
+  std::size_t produced_ = 0;
+};
+
+enum class ArrivalModel { kPoisson, kBursty, kHotObject };
+
+/// "poisson" | "bursty" | "hot" (CLI surface); throws on anything else.
+ArrivalModel parse_arrival_model(const std::string& s);
+
+std::unique_ptr<ArrivalSource> make_arrival_source(
+    ArrivalModel model, const Graph& g, const ArrivalStreamOptions& opt,
+    std::uint64_t seed);
 
 }  // namespace dtm

@@ -39,11 +39,16 @@ InstanceBuilder::InstanceBuilder(const Graph& graph, std::size_t num_objects)
       object_home_(num_objects, 0),
       txn_at_node_(graph.num_nodes(), kInvalidTxn) {}
 
+InstanceBuilder& InstanceBuilder::allow_shared_homes() {
+  shared_homes_ = true;
+  return *this;
+}
+
 TxnId InstanceBuilder::add_transaction(NodeId home,
                                        std::vector<ObjectId> objects) {
   DTM_REQUIRE(home < graph_->num_nodes(),
               "transaction home " << home << " out of range");
-  DTM_REQUIRE(txn_at_node_[home] == kInvalidTxn,
+  DTM_REQUIRE(shared_homes_ || txn_at_node_[home] == kInvalidTxn,
               "node " << home << " already hosts transaction "
                       << txn_at_node_[home]);
   std::sort(objects.begin(), objects.end());
@@ -55,7 +60,7 @@ TxnId InstanceBuilder::add_transaction(NodeId home,
   }
   const auto id = static_cast<TxnId>(txns_.size());
   txns_.push_back({id, home, std::move(objects)});
-  txn_at_node_[home] = id;
+  if (txn_at_node_[home] == kInvalidTxn) txn_at_node_[home] = id;
   return id;
 }
 

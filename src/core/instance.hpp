@@ -77,8 +77,17 @@ class InstanceBuilder {
   /// `num_objects` = w. Object homes default to node 0 until set.
   InstanceBuilder(const Graph& graph, std::size_t num_objects);
 
+  /// Lifts the one-transaction-per-node restriction. The batch model (§2.1)
+  /// pins at most one transaction to a node, but a *stream* materialized as
+  /// a batch (sim/runtime.hpp) naturally revisits homes. Validator, engine,
+  /// and greedy coloring never rely on uniqueness; only the topology-aware
+  /// schedulers that navigate by txn_at() (grid, star) do, and txn_at()
+  /// reports the first transaction added at the node in shared mode.
+  InstanceBuilder& allow_shared_homes();
+
   /// Adds a transaction at `home` requesting `objects` (any order,
-  /// duplicates rejected). At most one transaction per node.
+  /// duplicates rejected). At most one transaction per node unless
+  /// allow_shared_homes() was called.
   TxnId add_transaction(NodeId home, std::vector<ObjectId> objects);
 
   void set_object_home(ObjectId o, NodeId home);
@@ -90,6 +99,7 @@ class InstanceBuilder {
   std::vector<Transaction> txns_;
   std::vector<NodeId> object_home_;
   std::vector<TxnId> txn_at_node_;
+  bool shared_homes_ = false;
 };
 
 }  // namespace dtm

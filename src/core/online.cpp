@@ -41,8 +41,13 @@ ValidationResult validate_online(const Instance& inst, const Metric& metric,
     if (t < schedule.commit_time.size() &&
         schedule.commit_time[t] < std::max<Time>(arrival[t], 1)) {
       std::ostringstream os;
-      os << "T" << t << " commits at step " << schedule.commit_time[t]
-         << " before its release step " << arrival[t];
+      if (arrival[t] == kNeverReleased) {
+        os << "T" << t << " commits at step " << schedule.commit_time[t]
+           << " but was never released into the feed";
+      } else {
+        os << "T" << t << " commits at step " << schedule.commit_time[t]
+           << " before its release step " << arrival[t];
+      }
       r.ok = false;
       r.violations.push_back(os.str());
     }

@@ -22,6 +22,12 @@ namespace dtm {
 /// arrival[t] is the release step of transaction t (>= 0).
 using ArrivalTimes = std::vector<Time>;
 
+/// Arrival recorded for a transaction that was never released into a feed
+/// (sched/online.hpp). No feasible schedule can commit such a transaction:
+/// validate_online's release constraint commit >= max(arrival, 1) is
+/// unsatisfiable at this value.
+constexpr Time kNeverReleased = kInfiniteWeight;
+
 /// Uniform random arrivals over [0, horizon].
 ArrivalTimes generate_arrivals(std::size_t num_transactions, Time horizon,
                                Rng& rng);

@@ -44,4 +44,118 @@ DependencyGraph build_dependency_graph(const Instance& inst,
   return build_dependency_graph(inst, metric, all);
 }
 
+// --- incremental graph -------------------------------------------------
+
+IncrementalConflictGraph::IncrementalConflictGraph(const Metric& metric,
+                                                   std::size_t num_objects)
+    : metric_(&metric), live_req_(num_objects) {}
+
+void IncrementalConflictGraph::add_txn(TxnId t, NodeId home,
+                                       std::span<const ObjectId> objects) {
+  DTM_REQUIRE(t == head_.size(),
+              "incremental graph: ids must arrive dense and in order "
+              "(expected T"
+                  << head_.size() << ", got T" << t << ")");
+  head_.push_back(-1);
+  home_.push_back(home);
+  ++live_;
+
+  // Collect conflict partners over all shared objects, deduplicating pairs
+  // that share more than one object (the CSR builder dedups too).
+  std::vector<TxnId> partners;
+  for (ObjectId o : objects) {
+    DTM_REQUIRE(o < live_req_.size(),
+                "incremental graph: object id " << o << " out of range");
+    partners.insert(partners.end(), live_req_[o].begin(), live_req_[o].end());
+    live_req_[o].push_back(t);
+  }
+  std::sort(partners.begin(), partners.end());
+  partners.erase(std::unique(partners.begin(), partners.end()),
+                 partners.end());
+
+  if (!partners.empty()) {
+    // One batched distance query for the delta, matching the builder's
+    // access pattern (DenseMetric streams a matrix row).
+    std::vector<NodeId> targets(partners.size());
+    std::vector<Weight> dist(partners.size());
+    for (std::size_t i = 0; i < partners.size(); ++i) {
+      targets[i] = home_[partners[i]];
+    }
+    metric_->distances(home, targets, dist.data());
+    for (std::size_t i = 0; i < partners.size(); ++i) {
+      const TxnId p = partners[i];
+      // Streams revisit homes, so two conflicting transactions can share a
+      // node (distance 0). The single-copy object still serves one commit
+      // per step — exactly what the stepwise engine enforces — so conflict
+      // edges are at least 1 here, where the batch builder (one txn per
+      // node) never sees a zero.
+      const Weight w = std::max<Weight>(dist[i], 1);
+      arcs_.push_back({p, w, head_[t]});
+      head_[t] = static_cast<std::int32_t>(arcs_.size() - 1);
+      arcs_.push_back({t, w, head_[p]});
+      head_[p] = static_cast<std::int32_t>(arcs_.size() - 1);
+      max_w_ = std::max(max_w_, w);
+    }
+    telemetry::count("stream.dep_edges", partners.size());
+  }
+}
+
+void IncrementalConflictGraph::retire(TxnId t,
+                                      std::span<const ObjectId> objects) {
+  DTM_REQUIRE(t < head_.size(), "incremental graph: retiring unknown txn");
+  for (ObjectId o : objects) {
+    auto& req = live_req_[o];
+    auto it = std::find(req.begin(), req.end(), t);
+    DTM_REQUIRE(it != req.end(),
+                "incremental graph: T" << t << " not live on o" << o);
+    req.erase(it);
+  }
+  DTM_ASSERT(live_ > 0);
+  --live_;
+}
+
+DependencyGraph IncrementalConflictGraph::subgraph(
+    std::span<const TxnId> txns) const {
+  DependencyGraph h;
+  h.txns.assign(txns.begin(), txns.end());
+  const std::size_t n = h.txns.size();
+  DTM_REQUIRE(std::is_sorted(h.txns.begin(), h.txns.end()) &&
+                  std::adjacent_find(h.txns.begin(), h.txns.end()) ==
+                      h.txns.end(),
+              "incremental subgraph: subset must be ascending and "
+              "duplicate-free");
+
+  // Global id -> local index for the subset (binary search keeps this
+  // allocation-light; windows are small relative to the stream).
+  auto local_of = [&](TxnId g) -> TxnId {
+    auto it = std::lower_bound(h.txns.begin(), h.txns.end(), g);
+    return it != h.txns.end() && *it == g
+               ? static_cast<TxnId>(it - h.txns.begin())
+               : kInvalidTxn;
+  };
+
+  h.offsets.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    DTM_REQUIRE(h.txns[i] < head_.size(),
+                "incremental subgraph: T" << h.txns[i] << " never added");
+    std::size_t deg = 0;
+    for (std::int32_t a = head_[h.txns[i]]; a != -1; a = arcs_[a].next) {
+      const TxnId j = local_of(arcs_[a].to);
+      if (j == kInvalidTxn) continue;
+      h.edges.push_back({j, arcs_[a].weight});
+      h.max_edge_weight = std::max(h.max_edge_weight, arcs_[a].weight);
+      ++deg;
+    }
+    // The pool lists arcs newest-first; sort the slice by local index so
+    // the view matches the batch builder's ordering.
+    std::sort(h.edges.begin() + h.offsets[i], h.edges.end(),
+              [](const DependencyEdge& x, const DependencyEdge& y) {
+                return x.neighbor < y.neighbor;
+              });
+    h.offsets[i + 1] = static_cast<std::uint32_t>(h.edges.size());
+    h.max_degree = std::max(h.max_degree, deg);
+  }
+  return h;
+}
+
 }  // namespace dtm

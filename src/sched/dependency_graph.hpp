@@ -70,6 +70,59 @@ DependencyGraph build_dependency_graph(const Instance& inst,
 DependencyGraph build_dependency_graph(const Instance& inst,
                                        const Metric& metric);
 
+/// H maintained under transaction *arrival* (sim/runtime.hpp's streaming
+/// ingest). Each add_txn() inserts only the delta — edges from the new
+/// transaction to the still-live (uncommitted) requesters of its objects —
+/// into a linked-arc pool; nothing is ever rebuilt. retire() removes a
+/// committed transaction from the live requester sets so future arrivals
+/// stop conflicting with it (its historical arcs stay in the pool, which
+/// keeps retire O(k)). subgraph() exports any subset — in practice a
+/// scheduling window's batch — as the standard CSR DependencyGraph that
+/// greedy_color() consumes, filtering pool arcs to subset members.
+class IncrementalConflictGraph {
+ public:
+  IncrementalConflictGraph(const Metric& metric, std::size_t num_objects);
+
+  /// Registers transaction `t` (ids must arrive dense, in order: the next
+  /// expected id is num_txns()) homed at `home` touching `objects`
+  /// (sorted, duplicate-free). Inserts the delta edges.
+  void add_txn(TxnId t, NodeId home, std::span<const ObjectId> objects);
+
+  /// Marks `t` committed: it leaves the live requester sets of its
+  /// `objects` (which must be the set it was added with).
+  void retire(TxnId t, std::span<const ObjectId> objects);
+
+  /// CSR view over `txns` (ascending ids already added); only edges with
+  /// both endpoints in the subset are included. Local indices follow the
+  /// subset's order, matching build_dependency_graph's convention.
+  DependencyGraph subgraph(std::span<const TxnId> txns) const;
+
+  std::size_t num_txns() const { return head_.size(); }
+  /// Undirected edges inserted so far (retired arcs included).
+  std::size_t num_edges() const { return arcs_.size() / 2; }
+  /// Heaviest edge ever inserted.
+  Weight max_edge_weight() const { return max_w_; }
+  /// Live (added, not retired) transactions.
+  std::size_t live() const { return live_; }
+
+ private:
+  struct Arc {
+    TxnId to;
+    Weight weight;
+    std::int32_t next;  // index of the owner's previous arc, -1 at end
+  };
+
+  const Metric* metric_;
+  std::vector<std::int32_t> head_;  // per txn: latest arc index, -1 if none
+  std::vector<Arc> arcs_;
+  std::vector<NodeId> home_;
+  /// Per object: live requesters, ascending (insertion is in id order and
+  /// retire preserves order).
+  std::vector<std::vector<TxnId>> live_req_;
+  Weight max_w_ = 0;
+  std::size_t live_ = 0;
+};
+
 namespace detail {
 
 /// Two-pass CSR assembly shared by the object-conflict and read/write-

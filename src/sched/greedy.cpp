@@ -83,6 +83,11 @@ ColoredSubset greedy_color(const Instance& inst, const Metric& metric,
     ScopedPhaseTimer timer("phase.decomposition");
     return build_dependency_graph(inst, metric, txns);
   }();
+  return greedy_color(h, rule, order, rng);
+}
+
+ColoredSubset greedy_color(const DependencyGraph& h, ColoringRule rule,
+                           ColoringOrder order, Rng* rng) {
   ScopedPhaseTimer timer("phase.coloring");
   ColoredSubset out;
   out.txns = h.txns;

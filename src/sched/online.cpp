@@ -7,47 +7,101 @@
 
 namespace dtm {
 
-Schedule OnlineFifoScheduler::run_online(const Instance& inst,
-                                         const Metric& metric,
-                                         const ArrivalTimes& arrival) {
+void OnlineScheduler::begin_feed(const Instance& inst, const Metric& metric) {
+  DTM_REQUIRE(!feeding_, "begin_feed: a feed is already open (call finish)");
+  inst_ = &inst;
+  metric_ = &metric;
+  arrivals_.assign(inst.num_transactions(), kNeverReleased);
+  feed_now_ = 0;
+  feeding_ = true;
+  telemetry::count("sched.runs");
+  on_begin();
+}
+
+void OnlineScheduler::push(TxnId t, Time arrival) {
+  DTM_REQUIRE(feeding_, "push: no open feed (call begin_feed)");
+  DTM_REQUIRE(t < inst_->num_transactions(), "push: TxnId out of range");
+  DTM_REQUIRE(arrivals_[t] == kNeverReleased,
+              "push: T" << t << " was already released");
+  DTM_REQUIRE(arrival >= 0, "push: negative arrival step");
+  DTM_REQUIRE(arrival >= feed_now_,
+              "push: releases must be fed in non-decreasing time order (T"
+                  << t << " at " << arrival << " after step " << feed_now_
+                  << ")");
+  arrivals_[t] = arrival;
+  feed_now_ = arrival;
+  on_push(t, arrival);
+}
+
+void OnlineScheduler::advance_to(Time t) {
+  DTM_REQUIRE(feeding_, "advance_to: no open feed (call begin_feed)");
+  if (t <= feed_now_) return;
+  feed_now_ = t;
+  on_advance(t);
+}
+
+Schedule OnlineScheduler::finish() {
+  DTM_REQUIRE(feeding_, "finish: no open feed (call begin_feed)");
+  feeding_ = false;
+  return on_finish();
+}
+
+Schedule OnlineScheduler::run_online(const Instance& inst,
+                                     const Metric& metric,
+                                     const ArrivalTimes& arrival) {
   DTM_REQUIRE(arrival.size() == inst.num_transactions(),
               "arrival vector size mismatch");
-  ScopedPhaseTimer timer("phase.sched.online_fifo");
-  telemetry::count("sched.runs");
   // Release order (ties by id — the model releases at discrete steps).
   std::vector<TxnId> order(inst.num_transactions());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](TxnId a, TxnId b) {
     return arrival[a] < arrival[b];
   });
+  begin_feed(inst, metric);
+  for (TxnId t : order) push(t, arrival[t]);
+  return finish();
+}
 
-  std::vector<Time> commit(inst.num_transactions(), 0);
-  std::vector<std::vector<TxnId>> chains(inst.num_objects());
-  std::vector<Time> tail_time(inst.num_objects(), 0);
-  std::vector<NodeId> tail_pos(inst.num_objects());
+// --- FIFO ------------------------------------------------------------
+
+void OnlineFifoScheduler::on_begin() {
+  const Instance& inst = feed_instance();
+  timer_ = std::make_unique<ScopedPhaseTimer>("phase.sched.online_fifo");
+  commit_.assign(inst.num_transactions(), 0);
+  chains_.assign(inst.num_objects(), {});
+  tail_time_.assign(inst.num_objects(), 0);
+  tail_pos_.resize(inst.num_objects());
   for (ObjectId o = 0; o < inst.num_objects(); ++o) {
-    tail_pos[o] = inst.object_home(o);
+    tail_pos_[o] = inst.object_home(o);
   }
+}
 
-  for (TxnId t : order) {
-    const NodeId home = inst.txn(t).home;
-    Time ready = std::max<Time>(arrival[t], 1);
-    for (ObjectId o : inst.txn(t).objects) {
-      ready = std::max(ready,
-                       tail_time[o] + metric.distance(tail_pos[o], home));
-    }
-    commit[t] = ready;
-    for (ObjectId o : inst.txn(t).objects) {
-      chains[o].push_back(t);
-      tail_time[o] = ready;
-      tail_pos[o] = home;
-    }
+void OnlineFifoScheduler::on_push(TxnId t, Time arrival) {
+  const Instance& inst = feed_instance();
+  const Metric& metric = feed_metric();
+  const NodeId home = inst.txn(t).home;
+  Time ready = std::max<Time>(arrival, 1);
+  for (ObjectId o : inst.txn(t).objects) {
+    ready = std::max(ready,
+                     tail_time_[o] + metric.distance(tail_pos_[o], home));
   }
+  commit_[t] = ready;
+  for (ObjectId o : inst.txn(t).objects) {
+    chains_[o].push_back(t);
+    tail_time_[o] = ready;
+    tail_pos_[o] = home;
+  }
+}
+
+Schedule OnlineFifoScheduler::on_finish() {
+  timer_.reset();
   Schedule s;
-  s.commit_time = std::move(commit);
-  s.object_order = std::move(chains);
+  s.commit_time = std::move(commit_);
+  s.object_order = std::move(chains_);
   return s;
 }
+
+// --- window batch ----------------------------------------------------
 
 OnlineBatchScheduler::OnlineBatchScheduler(OnlineBatchOptions opts)
     : opts_(opts) {
@@ -58,92 +112,98 @@ std::string OnlineBatchScheduler::name() const {
   return "online-batch-w" + std::to_string(opts_.window);
 }
 
-Schedule OnlineBatchScheduler::run_online(const Instance& inst,
-                                          const Metric& metric,
-                                          const ArrivalTimes& arrival) {
-  DTM_REQUIRE(arrival.size() == inst.num_transactions(),
-              "arrival vector size mismatch");
-  ScopedPhaseTimer timer("phase.sched.online_batch");
-  telemetry::count("sched.runs");
-  const std::size_t w = inst.num_objects();
-
-  // Group releases into windows [i·W, (i+1)·W); a window's batch is
-  // scheduled at its close, (i+1)·W.
-  std::vector<TxnId> order(inst.num_transactions());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](TxnId a, TxnId b) {
-    return arrival[a] < arrival[b];
-  });
-
-  std::vector<Time> commit(inst.num_transactions(), 0);
-  std::vector<std::vector<TxnId>> chains(w);
-  std::vector<NodeId> pos(w);
-  for (ObjectId o = 0; o < w; ++o) pos[o] = inst.object_home(o);
-
-  Time horizon = 0;  // every scheduled commit so far is <= horizon
+void OnlineBatchScheduler::on_begin() {
+  const Instance& inst = feed_instance();
+  timer_ = std::make_unique<ScopedPhaseTimer>("phase.sched.online_batch");
   last_batches_ = 0;
-  std::size_t cursor = 0;
-  while (cursor < order.size()) {
-    const Time window_index = arrival[order[cursor]] / opts_.window;
-    const Time close = (window_index + 1) * opts_.window;
-    std::vector<TxnId> batch;
-    while (cursor < order.size() &&
-           arrival[order[cursor]] / opts_.window == window_index) {
-      batch.push_back(order[cursor++]);
-    }
-    ++last_batches_;
-
-    const ColoredSubset colored =
-        greedy_color(inst, metric, batch, opts_.rule);
-    const Time base = std::max(horizon, close - 1);
-
-    // First/last requester per object within the batch.
-    std::vector<Time> first_t(w, kInfiniteWeight), last_t(w, 0);
-    std::vector<NodeId> first_v(w, kInvalidNode), last_v(w, kInvalidNode);
-    for (std::size_t i = 0; i < colored.txns.size(); ++i) {
-      const Transaction& t = inst.txn(colored.txns[i]);
-      for (ObjectId o : t.objects) {
-        if (colored.local_time[i] < first_t[o]) {
-          first_t[o] = colored.local_time[i];
-          first_v[o] = t.home;
-        }
-        if (colored.local_time[i] >= last_t[o]) {
-          last_t[o] = colored.local_time[i];
-          last_v[o] = t.home;
-        }
-      }
-    }
-    Weight transition = 0;
-    for (ObjectId o = 0; o < w; ++o) {
-      if (first_v[o] != kInvalidNode) {
-        transition = std::max(transition, metric.distance(pos[o], first_v[o]));
-      }
-    }
-    for (std::size_t i = 0; i < colored.txns.size(); ++i) {
-      commit[colored.txns[i]] = base + transition + colored.local_time[i];
-    }
-    // Append the batch's visit order to each object's chain (by color).
-    std::vector<std::size_t> by_color(colored.txns.size());
-    std::iota(by_color.begin(), by_color.end(), 0);
-    std::sort(by_color.begin(), by_color.end(), [&](std::size_t a, std::size_t b) {
-      return colored.local_time[a] != colored.local_time[b]
-                 ? colored.local_time[a] < colored.local_time[b]
-                 : colored.txns[a] < colored.txns[b];
-    });
-    for (std::size_t i : by_color) {
-      for (ObjectId o : inst.txn(colored.txns[i]).objects) {
-        chains[o].push_back(colored.txns[i]);
-      }
-    }
-    for (ObjectId o = 0; o < w; ++o) {
-      if (last_v[o] != kInvalidNode) pos[o] = last_v[o];
-    }
-    horizon = std::max(horizon, base + transition + colored.duration);
+  commit_.assign(inst.num_transactions(), 0);
+  chains_.assign(inst.num_objects(), {});
+  pos_.resize(inst.num_objects());
+  for (ObjectId o = 0; o < inst.num_objects(); ++o) {
+    pos_[o] = inst.object_home(o);
   }
+  horizon_ = 0;
+  batch_.clear();
+  batch_window_ = 0;
+}
 
+void OnlineBatchScheduler::on_push(TxnId t, Time arrival) {
+  const Time window_index = arrival / opts_.window;
+  if (!batch_.empty() && window_index != batch_window_) flush_batch();
+  batch_window_ = window_index;
+  batch_.push_back(t);
+}
+
+void OnlineBatchScheduler::on_advance(Time t) {
+  // The open window closes at (index + 1)·W; once time has provably moved
+  // past it no further release can join the batch, so it is safe to fix.
+  if (!batch_.empty() && (batch_window_ + 1) * opts_.window <= t) {
+    flush_batch();
+  }
+}
+
+void OnlineBatchScheduler::flush_batch() {
+  const Instance& inst = feed_instance();
+  const Metric& metric = feed_metric();
+  const std::size_t w = inst.num_objects();
+  const Time close = (batch_window_ + 1) * opts_.window;
+  ++last_batches_;
+
+  const ColoredSubset colored =
+      greedy_color(inst, metric, batch_, opts_.rule);
+  const Time base = std::max(horizon_, close - 1);
+
+  // First/last requester per object within the batch.
+  std::vector<Time> first_t(w, kInfiniteWeight), last_t(w, 0);
+  std::vector<NodeId> first_v(w, kInvalidNode), last_v(w, kInvalidNode);
+  for (std::size_t i = 0; i < colored.txns.size(); ++i) {
+    const Transaction& t = inst.txn(colored.txns[i]);
+    for (ObjectId o : t.objects) {
+      if (colored.local_time[i] < first_t[o]) {
+        first_t[o] = colored.local_time[i];
+        first_v[o] = t.home;
+      }
+      if (colored.local_time[i] >= last_t[o]) {
+        last_t[o] = colored.local_time[i];
+        last_v[o] = t.home;
+      }
+    }
+  }
+  Weight transition = 0;
+  for (ObjectId o = 0; o < w; ++o) {
+    if (first_v[o] != kInvalidNode) {
+      transition = std::max(transition, metric.distance(pos_[o], first_v[o]));
+    }
+  }
+  for (std::size_t i = 0; i < colored.txns.size(); ++i) {
+    commit_[colored.txns[i]] = base + transition + colored.local_time[i];
+  }
+  // Append the batch's visit order to each object's chain (by color).
+  std::vector<std::size_t> by_color(colored.txns.size());
+  std::iota(by_color.begin(), by_color.end(), 0);
+  std::sort(by_color.begin(), by_color.end(), [&](std::size_t a, std::size_t b) {
+    return colored.local_time[a] != colored.local_time[b]
+               ? colored.local_time[a] < colored.local_time[b]
+               : colored.txns[a] < colored.txns[b];
+  });
+  for (std::size_t i : by_color) {
+    for (ObjectId o : inst.txn(colored.txns[i]).objects) {
+      chains_[o].push_back(colored.txns[i]);
+    }
+  }
+  for (ObjectId o = 0; o < w; ++o) {
+    if (last_v[o] != kInvalidNode) pos_[o] = last_v[o];
+  }
+  horizon_ = std::max(horizon_, base + transition + colored.duration);
+  batch_.clear();
+}
+
+Schedule OnlineBatchScheduler::on_finish() {
+  if (!batch_.empty()) flush_batch();
+  timer_.reset();
   Schedule s;
-  s.commit_time = std::move(commit);
-  s.object_order = std::move(chains);
+  s.commit_time = std::move(commit_);
+  s.object_order = std::move(chains_);
   return s;
 }
 

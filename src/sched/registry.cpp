@@ -141,6 +141,15 @@ std::unique_ptr<Scheduler> make_scheduler_for(const Instance& inst,
   return make_scheduler(name, seed);
 }
 
+std::vector<std::string> registered_scheduler_names() {
+  std::vector<std::string> names = scheduler_names();
+  names.insert(names.end(),
+               {"line", "grid", "grid-ff", "cluster", "cluster-greedy",
+                "cluster-random", "cluster-best", "star", "star-greedy",
+                "star-random", "star-best"});
+  return names;
+}
+
 std::vector<std::string> scheduler_names_for(const Instance& inst) {
   std::vector<std::string> names = scheduler_names();
   const Graph& g = inst.graph();

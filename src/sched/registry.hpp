@@ -50,4 +50,12 @@ std::unique_ptr<Scheduler> make_scheduler_for(const Instance& inst,
 /// instance's graph (empty extension for generic graphs).
 std::vector<std::string> scheduler_names_for(const Instance& inst);
 
+/// The full registry: every name make_scheduler_for accepts for *some*
+/// instance — scheduler_names() plus all topology-specific names. Unlike
+/// scheduler_names_for, needs no instance; names beyond scheduler_names()
+/// still require a structurally matching graph at construction time. Used
+/// by --list-schedulers style discovery so help text never hard-codes the
+/// name list.
+std::vector<std::string> registered_scheduler_names();
+
 }  // namespace dtm

@@ -22,10 +22,16 @@ CapacitySimResult simulate_with_capacity(const Instance& inst,
                                               << "] is not a permutation");
   }
 
+  DTM_REQUIRE(!opts.reschedule,
+              "capacity sim: the earliest-commit re-executor discards "
+              "planned times, so a reschedule hook has no plan to splice "
+              "into");
   const bool faulty = opts.faults != nullptr && opts.faults->active();
-  EngineOptions eo;
+  EngineConfig eo;
   eo.discipline = CommitDiscipline::kEarliest;
   eo.max_steps = opts.max_steps;
+  eo.record_events = opts.record_events;
+  eo.record_hops = opts.record_hops;
   // The capacity re-executor historically reported through its result
   // struct only; keeping the fault-free run counter-silent keeps recorded
   // bench counter totals stable.
@@ -47,6 +53,7 @@ CapacitySimResult simulate_with_capacity(const Instance& inst,
   out.total_queue_wait = r.total_queue_wait;
   out.max_queue_length = r.max_queue_length;
   out.faults = r.faults;
+  out.events = std::move(r.events);
   return out;
 }
 

@@ -26,27 +26,43 @@
 
 #include <string>
 
+#include <vector>
+
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
 #include "graph/metric.hpp"
+#include "sim/engine.hpp"
 #include "sim/faults.hpp"
+#include "sim/options.hpp"
 
 namespace dtm {
 
-struct CapacitySimOptions {
-  /// Max concurrent traversals per link (both directions combined).
-  /// 0 means unbounded (reproduces the §2.1 model).
-  std::size_t capacity = 1;
+/// The shared substrate block (sim/options.hpp) plus the re-executor's step
+/// guard. `capacity` defaults to 1 here (0 reproduces the unbounded §2.1
+/// model); a set `reschedule` hook is rejected — the earliest-commit
+/// re-executor discards planned times, so there is no plan to splice into.
+struct CapacitySimOptions : EngineOptions {
+  CapacitySimOptions() { capacity = 1; }
+
   /// Abort if this many steps elapse without completing (guards against
   /// accidental infinite loops; 0 = no limit).
   Time max_steps = 1 << 22;
-
-  /// Fault oracle (non-owning; must outlive the call). Null or inactive
-  /// keeps the reliable queued substrate — bit-identical to a fault-free
-  /// build. `recovery` is only consulted when faults are active.
-  const FaultModel* faults = nullptr;
-  RecoveryPolicy recovery{};
 };
+
+/// Convenience for the common "just pick a capacity" call sites (the
+/// shared-base EngineOptions is not an aggregate, so designated
+/// initializers no longer apply).
+inline CapacitySimOptions capacity_options(std::size_t capacity) {
+  CapacitySimOptions o;
+  o.capacity = capacity;
+  return o;
+}
+inline CapacitySimOptions capacity_options(std::size_t capacity,
+                                           Time max_steps) {
+  CapacitySimOptions o = capacity_options(capacity);
+  o.max_steps = max_steps;
+  return o;
+}
 
 struct CapacitySimResult {
   bool ok = true;
@@ -59,6 +75,9 @@ struct CapacitySimResult {
   std::size_t max_queue_length = 0;
   /// Fault/recovery tallies (all zero on the reliable substrate).
   FaultStats faults;
+  /// Leg-level events when EngineOptions::record_events was set (empty
+  /// otherwise; kHop events included with record_hops).
+  std::vector<SimEvent> events;
 
   explicit operator bool() const { return ok; }
 };

@@ -42,7 +42,7 @@ std::string leg_name(ObjectId o, std::size_t leg) {
 
 Engine::Engine(const Instance& inst, const Metric& metric,
                const Schedule& schedule, LinkPolicy& links,
-               const EngineOptions& opts)
+               const EngineConfig& opts)
     : inst_(&inst),
       metric_(&metric),
       s_(&schedule),

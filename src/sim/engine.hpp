@@ -80,7 +80,7 @@ struct LegRecord {
 
 enum class CommitDiscipline { kPlannedStrict, kPlannedDegraded, kEarliest };
 
-struct EngineOptions {
+struct EngineConfig {
   CommitDiscipline discipline = CommitDiscipline::kPlannedStrict;
 
   /// Record leg-level SimEvents (depart/arrive/commit); kHop events are
@@ -157,7 +157,7 @@ class TraceRecorder;
 class Engine {
  public:
   Engine(const Instance& inst, const Metric& metric, const Schedule& schedule,
-         LinkPolicy& links, const EngineOptions& opts);
+         LinkPolicy& links, const EngineConfig& opts);
   ~Engine();
 
   EngineResult run();
@@ -253,7 +253,7 @@ class Engine {
   const Metric* metric_;
   const Schedule* s_;
   LinkPolicy* links_;
-  EngineOptions opts_;
+  EngineConfig opts_;
 
   EngineResult r_;
 

@@ -1,0 +1,76 @@
+// TL2-style optimistic execution baseline.
+//
+// Everything else in this repo *plans*: a scheduler fixes commit steps and
+// object routes up front, and execution follows the plan. Software
+// transactional memories in the TL2 family do the opposite — transactions
+// run immediately and optimistically, validate their reads against
+// per-object version clocks at commit time, and abort/retry with
+// randomized backoff on conflict. This executor is that discipline mapped
+// onto the paper's model, as the natural "no scheduler" baseline for the
+// streaming runtime (bench_stream E22 sweeps scheduler vs optimistic).
+//
+// Mapping to the §2.1 network model (control-flow flavor: objects stay at
+// their home nodes; transactions reach out to them):
+//   * A transaction homed at v with read/write set O pays one network
+//     round to its farthest object, L = max(1, max_{o in O} dist(v,
+//     home(o))): it samples every object's version at attempt start s
+//     (TL2's read-version check) and reaches its commit point at s + L.
+//   * Commit-time validation: the attempt commits iff no object in O
+//     committed a newer version in (s, s + L]. Concurrent commit-point
+//     ties on a shared object resolve deterministically by transaction id
+//     (the lock acquire order); losers abort.
+//   * An aborted attempt retries after a seeded randomized exponential
+//     backoff (delay uniform in [1, L·2^min(retries, cap)]), re-reading
+//     fresh versions — wasted work is L steps per abort.
+//
+// The execution is a deterministic function of (instance, arrivals, seed):
+// events are processed in (commit step, txn id) order and all randomness
+// comes from one owned Rng, so repeated runs agree bit-for-bit (pinned by
+// optimistic_test).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/online.hpp"
+#include "graph/metric.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+
+struct OptimisticOptions {
+  std::uint64_t seed = 1;
+  /// Abort ceiling per transaction; exceeding it fails the run (livelock
+  /// guard — with id-ordered tie-breaking it should be unreachable).
+  std::size_t max_retries = 10000;
+  /// Backoff exponent cap: delay is uniform in [1, L·2^min(retries, cap)].
+  std::size_t backoff_cap = 6;
+};
+
+struct OptimisticResult {
+  bool ok = true;
+  std::string error;
+  /// Step of the last commit.
+  Time makespan = 0;
+  std::size_t commits = 0;
+  std::size_t aborts = 0;
+  /// Network steps burnt by aborted attempts (L per abort).
+  Time wasted_steps = 0;
+  /// commits / makespan.
+  double throughput = 0;
+  /// Realized commit step per transaction.
+  std::vector<Time> commit_time;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Executes every transaction of `inst` optimistically, first attempts
+/// starting at max(arrival, 0). Pass all-zero arrivals for the batch
+/// setting.
+OptimisticResult run_optimistic(const Instance& inst, const Metric& metric,
+                                const ArrivalTimes& arrival,
+                                const OptimisticOptions& opts = {});
+
+}  // namespace dtm

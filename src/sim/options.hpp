@@ -1,0 +1,49 @@
+// Shared execution-substrate options.
+//
+// Every façade over the execution engine — simulate(), the bounded-capacity
+// re-executor, and the streaming runtime — used to duplicate the same block
+// of knobs (fault oracle, recovery policy, link capacity, event recording,
+// mid-run rescheduling). `EngineOptions` is that block hoisted into one
+// struct; the façade option types inherit from it so existing call sites
+// keep working field-for-field while new substrate features land in exactly
+// one place.
+//
+// (The engine's *internal* per-run configuration — commit discipline, step
+// guards, telemetry gating — is EngineConfig in sim/engine.hpp; the façades
+// translate an EngineOptions into the EngineConfig they need.)
+#pragma once
+
+#include <cstddef>
+
+#include "core/partial.hpp"
+#include "sim/faults.hpp"
+
+namespace dtm {
+
+struct EngineOptions {
+  /// Record leg-level events (depart/arrive/commit). kHop events are added
+  /// too when `record_hops` is set (costly on weighted graphs).
+  bool record_events = false;
+  bool record_hops = false;
+
+  /// Fault oracle (non-owning; must outlive the call). Null or inactive
+  /// keeps the reliable path — bit-identical to a fault-free build.
+  /// `recovery` is only consulted when faults are active.
+  const FaultModel* faults = nullptr;
+  RecoveryPolicy recovery{};
+
+  /// Max concurrent traversals per link (both directions combined).
+  /// 0 keeps the §2.1 unbounded-capacity substrate.
+  std::size_t capacity = 0;
+
+  /// Mid-run rescheduling: when set, the run is driven stepwise so the
+  /// engine can monitor realized lag and splice replacement schedules in
+  /// per `reschedule_policy` (sched/reschedule.hpp builds engine-ready
+  /// hooks). Unset keeps every dispatch path bit-identical to the
+  /// baseline. Façades that cannot restart from partial state (the
+  /// earliest-commit capacity re-executor) reject a set hook.
+  RescheduleFn reschedule;
+  ReschedulePolicy reschedule_policy{};
+};
+
+}  // namespace dtm

@@ -1,0 +1,291 @@
+#include "sim/runtime.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/link_policy.hpp"
+#include "util/telemetry.hpp"
+
+namespace dtm {
+
+StreamingRuntime::StreamingRuntime(const Graph& g, const Metric& metric,
+                                   std::vector<NodeId> object_home,
+                                   StreamingRuntimeOptions opts)
+    : g_(&g),
+      metric_(&metric),
+      opts_(opts),
+      object_home_(std::move(object_home)),
+      dep_(metric, object_home_.size()),
+      next_close_(opts.window) {
+  DTM_REQUIRE(opts_.window >= 1, "stream window must be >= 1 step");
+  for (NodeId v : object_home_) {
+    DTM_REQUIRE(v < g.num_nodes(), "object home out of range");
+  }
+  chains_.assign(object_home_.size(), {});
+  pos_ = object_home_;
+}
+
+std::vector<NodeId> StreamingRuntime::spread_homes(const Graph& g,
+                                                   std::size_t num_objects) {
+  std::vector<NodeId> homes(num_objects);
+  for (std::size_t o = 0; o < num_objects; ++o) {
+    homes[o] = static_cast<NodeId>(o % g.num_nodes());
+  }
+  return homes;
+}
+
+TxnId StreamingRuntime::ingest(const ArrivingTxn& txn) {
+  DTM_REQUIRE(!drained_, "ingest after drain()");
+  DTM_REQUIRE(txn.arrival >= 0, "negative arrival step");
+  DTM_REQUIRE(txn.arrival >= stats_.last_arrival,
+              "arrivals must be non-decreasing (got "
+                  << txn.arrival << " after " << stats_.last_arrival << ")");
+  DTM_REQUIRE(txn.home < g_->num_nodes(), "transaction home out of range");
+  std::vector<ObjectId> objects = txn.objects;
+  std::sort(objects.begin(), objects.end());
+  DTM_REQUIRE(std::adjacent_find(objects.begin(), objects.end()) ==
+                  objects.end(),
+              "transaction requests a duplicate object");
+  for (ObjectId o : objects) {
+    DTM_REQUIRE(o < object_home_.size(),
+                "object id " << o << " out of range");
+  }
+
+  // Windows that provably closed before this arrival flush first, so the
+  // new transaction never joins a window earlier arrivals already fixed.
+  close_windows_through(txn.arrival);
+
+  const auto id = static_cast<TxnId>(home_.size());
+  home_.push_back(txn.home);
+  objects_.push_back(std::move(objects));
+  arrival_.push_back(txn.arrival);
+  commit_.push_back(0);
+  dep_.add_txn(id, txn.home, objects_[id]);
+
+  open_window_ = txn.arrival / opts_.window;
+  open_batch_.push_back(id);
+
+  ++stats_.arrived;
+  stats_.last_arrival = txn.arrival;
+  telemetry::count("stream.ingested");
+  return id;
+}
+
+void StreamingRuntime::ingest_all(ArrivalSource& src) {
+  DTM_REQUIRE(src.num_objects() <= object_home_.size(),
+              "source draws from more objects than the runtime hosts");
+  ArrivingTxn t;
+  while (src.next(t)) ingest(t);
+}
+
+void StreamingRuntime::close_windows_through(Time up_to) {
+  while (next_close_ <= up_to) {
+    const bool batch_due =
+        !open_batch_.empty() &&
+        (open_window_ + 1) * opts_.window == next_close_;
+    if (batch_due) {
+      std::vector<TxnId> fresh = std::move(open_batch_);
+      open_batch_.clear();
+      schedule_window(next_close_, std::move(fresh));
+      next_close_ += opts_.window;
+    } else if (!backlog_.empty()) {
+      // Deferred-only window: no fresh arrivals, but backpressure may have
+      // cleared enough live slots to admit backlog.
+      schedule_window(next_close_, {});
+      next_close_ += opts_.window;
+    } else if (!open_batch_.empty()) {
+      // Idle gap: jump straight to the open window's close.
+      next_close_ = (open_window_ + 1) * opts_.window;
+    } else {
+      // Fully idle: skip past up_to.
+      next_close_ = (up_to / opts_.window + 1) * opts_.window;
+    }
+  }
+}
+
+void StreamingRuntime::retire_through(Time step) {
+  while (!pending_commits_.empty() && pending_commits_.top().first <= step) {
+    const TxnId t = pending_commits_.top().second;
+    pending_commits_.pop();
+    dep_.retire(t, objects_[t]);
+    DTM_ASSERT(live_admitted_ > 0);
+    --live_admitted_;
+    ++stats_.committed;
+  }
+}
+
+void StreamingRuntime::sample_backlog() {
+  const std::size_t b = backlog();
+  stats_.peak_backlog = std::max(stats_.peak_backlog, b);
+  backlog_sum_ += static_cast<double>(b);
+  ++backlog_samples_;
+}
+
+void StreamingRuntime::schedule_window(Time close,
+                                       std::vector<TxnId>&& fresh) {
+  ScopedPhaseTimer timer("phase.sched.stream_window");
+  retire_through(close);
+
+  // Admission: FIFO backlog first (oldest waiters), then this window's
+  // arrivals, until the backpressure bound fills.
+  const auto can_admit = [&] {
+    return opts_.max_live_admitted == 0 ||
+           live_admitted_ < opts_.max_live_admitted;
+  };
+  std::vector<TxnId> batch;
+  batch.reserve(backlog_.size() + fresh.size());
+  while (!backlog_.empty() && can_admit()) {
+    batch.push_back(backlog_.front());
+    backlog_.pop_front();
+    ++live_admitted_;
+  }
+  for (TxnId t : fresh) {
+    if (can_admit()) {
+      batch.push_back(t);
+      ++live_admitted_;
+    } else {
+      backlog_.push_back(t);
+    }
+  }
+  // Everything still waiting sat this window out.
+  stats_.deferrals += backlog_.size();
+  telemetry::count("stream.deferrals", backlog_.size());
+
+  if (batch.empty()) {
+    sample_backlog();
+    return;
+  }
+  std::sort(batch.begin(), batch.end());  // backlog ids precede fresh ids
+
+  // Delta coloring: the batch's subgraph view of the incremental conflict
+  // graph, colored by the §2.3 greedy and placed after the live horizon —
+  // the same placement arithmetic as OnlineBatchScheduler::flush_batch.
+  const DependencyGraph h = dep_.subgraph(batch);
+  const ColoredSubset colored = greedy_color(h, opts_.rule);
+  const Time base = std::max(horizon_, close - 1);
+
+  const std::size_t w = object_home_.size();
+  std::vector<Time> first_t(w, kInfiniteWeight), last_t(w, 0);
+  std::vector<NodeId> first_v(w, kInvalidNode), last_v(w, kInvalidNode);
+  for (std::size_t i = 0; i < colored.txns.size(); ++i) {
+    const TxnId t = colored.txns[i];
+    for (ObjectId o : objects_[t]) {
+      if (colored.local_time[i] < first_t[o]) {
+        first_t[o] = colored.local_time[i];
+        first_v[o] = home_[t];
+      }
+      if (colored.local_time[i] >= last_t[o]) {
+        last_t[o] = colored.local_time[i];
+        last_v[o] = home_[t];
+      }
+    }
+  }
+  Weight transition = 0;
+  for (ObjectId o = 0; o < w; ++o) {
+    if (first_v[o] != kInvalidNode) {
+      transition = std::max(transition, metric_->distance(pos_[o], first_v[o]));
+    }
+  }
+  for (std::size_t i = 0; i < colored.txns.size(); ++i) {
+    const TxnId t = colored.txns[i];
+    commit_[t] = base + transition + colored.local_time[i];
+    pending_commits_.emplace(commit_[t], t);
+    stats_.makespan = std::max(stats_.makespan, commit_[t]);
+  }
+  std::vector<std::size_t> by_color(colored.txns.size());
+  for (std::size_t i = 0; i < by_color.size(); ++i) by_color[i] = i;
+  std::sort(by_color.begin(), by_color.end(),
+            [&](std::size_t a, std::size_t b) {
+              return colored.local_time[a] != colored.local_time[b]
+                         ? colored.local_time[a] < colored.local_time[b]
+                         : colored.txns[a] < colored.txns[b];
+            });
+  for (std::size_t i : by_color) {
+    for (ObjectId o : objects_[colored.txns[i]]) {
+      chains_[o].push_back(colored.txns[i]);
+    }
+  }
+  for (ObjectId o = 0; o < w; ++o) {
+    if (last_v[o] != kInvalidNode) pos_[o] = last_v[o];
+  }
+  horizon_ = std::max(horizon_, base + transition + colored.duration);
+
+  stats_.admitted += batch.size();
+  ++stats_.windows;
+  telemetry::count("stream.windows");
+  sample_backlog();
+}
+
+const StreamStats& StreamingRuntime::drain() {
+  if (drained_) return stats_;
+  while (!open_batch_.empty() || !backlog_.empty()) {
+    const Time target = !open_batch_.empty() && backlog_.empty()
+                            ? (open_window_ + 1) * opts_.window
+                            : next_close_;
+    close_windows_through(std::max(next_close_, target));
+  }
+  retire_through(kInfiniteWeight);
+
+  stats_.mean_backlog =
+      backlog_samples_ == 0
+          ? 0.0
+          : backlog_sum_ / static_cast<double>(backlog_samples_);
+  stats_.throughput =
+      static_cast<double>(stats_.committed) /
+      static_cast<double>(std::max<Time>(stats_.makespan, 1));
+  stats_.dep_edges = dep_.num_edges();
+  stats_.dep_max_weight = dep_.max_edge_weight();
+  drained_ = true;
+
+  if (opts_.replay_check) {
+    std::string err;
+    DTM_REQUIRE(verify_by_replay(&err),
+                "streaming replay check failed: " << err);
+  }
+  return stats_;
+}
+
+Instance StreamingRuntime::materialize() const {
+  InstanceBuilder b(*g_, object_home_.size());
+  b.allow_shared_homes();
+  for (std::size_t t = 0; t < home_.size(); ++t) {
+    b.add_transaction(home_[t], objects_[t]);
+  }
+  for (ObjectId o = 0; o < object_home_.size(); ++o) {
+    b.set_object_home(o, object_home_[o]);
+  }
+  return b.build();
+}
+
+Schedule StreamingRuntime::schedule() const {
+  Schedule s;
+  s.commit_time = commit_;
+  s.object_order = chains_;
+  return s;
+}
+
+bool StreamingRuntime::verify_by_replay(std::string* error) const {
+  const Instance inst = materialize();
+  const Schedule s = schedule();
+  EngineConfig eo;
+  eo.discipline = CommitDiscipline::kPlannedDegraded;
+  eo.telemetry = false;
+  BoundedCapacityLinks links(*metric_, 0);  // unbounded through the queues
+  EngineResult r = Engine(inst, *metric_, s, links, eo).run();
+  if (!r.ok) {
+    if (error) *error = r.violations.front();
+    return false;
+  }
+  if (r.realized_makespan != r.planned_makespan) {
+    if (error) {
+      *error = "stepwise replay realized makespan " +
+               std::to_string(r.realized_makespan) + " != planned " +
+               std::to_string(r.planned_makespan);
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dtm

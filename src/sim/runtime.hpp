@@ -1,0 +1,182 @@
+// Streaming runtime: incremental arrival-driven scheduling as a long-lived
+// service (the batch pipeline run "forever").
+//
+// Every scheduler in sched/ answers a one-shot question: here is a batch
+// (or a finite arrival vector), produce a schedule. A deployed DTM node
+// faces the open-ended version: transactions keep arriving, the schedule
+// must extend forever, and the interesting steady-state quantities are
+// sustained throughput and backlog, not makespan. StreamingRuntime is that
+// loop:
+//
+//   * ingest — transactions stream in from an ArrivalSource
+//     (core/generators.hpp) in non-decreasing arrival order; each is
+//     registered with the incrementally-maintained conflict graph
+//     (IncrementalConflictGraph: delta edge insertion against the live —
+//     uncommitted — requester sets, never a rebuild);
+//   * admit — at each window close, deferred work plus the window's
+//     arrivals are admitted up to the backpressure bound
+//     (max_live_admitted); the excess stays in a FIFO backlog and is
+//     counted, so overload sheds latency instead of memory;
+//   * schedule — the admitted batch is colored by the §2.3 greedy
+//     (sched/greedy's coloring over a subgraph *view* extracted from the
+//     incremental graph) and placed after the live horizon exactly like
+//     OnlineBatchScheduler places its windows: base = max(horizon,
+//     close-1), plus the worst transition distance from each object's
+//     current chain tail. Feasibility is by construction — the same
+//     triangle-inequality argument as the batch scheduler's;
+//   * commit — commit steps are tracked against the stream clock; when the
+//     clock passes a transaction's commit step it retires from the live
+//     conflict sets. drain() can additionally replay the materialized
+//     stream through the execution engine's stepwise path
+//     (sim/engine.hpp, queued links, planned-degraded discipline) and
+//     assert that every planned commit is realized on time.
+//
+// The runtime reports throughput/backlog/admission telemetry
+// (StreamStats) — the measurements bench_stream (E22) sweeps.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "core/generators.hpp"
+#include "core/instance.hpp"
+#include "core/online.hpp"
+#include "core/schedule.hpp"
+#include "graph/metric.hpp"
+#include "sched/dependency_graph.hpp"
+#include "sched/greedy.hpp"
+
+namespace dtm {
+
+struct StreamingRuntimeOptions {
+  /// Scheduling window in steps: arrivals are batched per window and
+  /// scheduled when their window closes.
+  Time window = 16;
+  ColoringRule rule = ColoringRule::kFirstFit;
+  /// Backpressure bound: a batch member is admitted only while fewer than
+  /// this many admitted transactions are still uncommitted at the window
+  /// close; the rest wait in the FIFO backlog. 0 = admit everything.
+  std::size_t max_live_admitted = 0;
+  /// drain(): replay the materialized stream through the stepwise engine
+  /// and fail if any planned commit is missed (see verify_by_replay()).
+  bool replay_check = false;
+};
+
+/// Steady-state measurements over one stream.
+struct StreamStats {
+  std::size_t arrived = 0;    // transactions ingested
+  std::size_t admitted = 0;   // entered a scheduling window
+  std::size_t committed = 0;  // commit step <= the final makespan (all,
+                              // once drained)
+  /// Admission deferrals: one per transaction per window it sat out.
+  std::size_t deferrals = 0;
+  std::size_t windows = 0;  // non-empty scheduling windows flushed
+  Time last_arrival = 0;
+  /// Step of the last planned commit (the stream's makespan).
+  Time makespan = 0;
+  /// Backlog = arrived - committed, sampled at each window close.
+  std::size_t peak_backlog = 0;
+  /// Sum of sampled backlogs / samples (coarse time average).
+  double mean_backlog = 0;
+  /// committed / makespan: sustained commit rate per step.
+  double throughput = 0;
+  /// Incremental conflict-graph footprint.
+  std::size_t dep_edges = 0;
+  Weight dep_max_weight = 0;
+};
+
+class StreamingRuntime {
+ public:
+  /// `object_home[o]` is object o's initial node; the vector fixes the
+  /// object universe size w.
+  StreamingRuntime(const Graph& g, const Metric& metric,
+                   std::vector<NodeId> object_home,
+                   StreamingRuntimeOptions opts = {});
+
+  /// Deterministic default placement: object o starts at node o mod n.
+  static std::vector<NodeId> spread_homes(const Graph& g,
+                                          std::size_t num_objects);
+
+  /// Ingests one transaction (non-decreasing arrival order enforced);
+  /// returns its runtime id. Windows that provably closed before this
+  /// arrival are scheduled first.
+  TxnId ingest(const ArrivingTxn& txn);
+
+  /// Pulls `src` dry through ingest().
+  void ingest_all(ArrivalSource& src);
+
+  /// Ends the stream: schedules every remaining window until the backlog
+  /// empties, finalizes stats (and runs the engine replay check when
+  /// configured — throws dtm::Error on a missed commit).
+  const StreamStats& drain();
+
+  // --- live telemetry -------------------------------------------------
+  /// Transactions arrived but not yet committed at the current clock.
+  std::size_t backlog() const { return stats_.arrived - stats_.committed; }
+  const StreamStats& stats() const { return stats_; }
+
+  // --- materialized results (tests, replay, validation) ---------------
+  /// The ingested stream as a (shared-homes) batch Instance.
+  Instance materialize() const;
+  /// Planned commit times + per-object visit chains over the stream.
+  Schedule schedule() const;
+  /// Arrival step per runtime id (validate_online's vector).
+  const ArrivalTimes& arrivals() const { return arrival_; }
+
+  /// Replays materialize()+schedule() through the stepwise engine (queued
+  /// links, planned-degraded discipline): returns false into `error` if
+  /// the engine misses a planned commit or reports a violation. Cheap
+  /// relative to the stream only for test-sized runs.
+  bool verify_by_replay(std::string* error = nullptr) const;
+
+ private:
+  /// Closes every window with close step <= `up_to`, scheduling batches.
+  void close_windows_through(Time up_to);
+  /// Schedules one window: retire commits the clock passed, admit, color
+  /// the batch subgraph, place after the horizon.
+  void schedule_window(Time close, std::vector<TxnId>&& fresh);
+  void retire_through(Time step);
+  void sample_backlog();
+
+  const Graph* g_;
+  const Metric* metric_;
+  StreamingRuntimeOptions opts_;
+
+  // Stream transcript (runtime ids are dense, in arrival order).
+  std::vector<NodeId> home_;
+  std::vector<std::vector<ObjectId>> objects_;
+  ArrivalTimes arrival_;
+  std::vector<Time> commit_;
+
+  // Chain state (same shape as OnlineBatchScheduler's).
+  std::vector<NodeId> object_home_;          // initial placement
+  std::vector<std::vector<TxnId>> chains_;   // per object, time order
+  std::vector<NodeId> pos_;                  // chain-tail positions
+  Time horizon_ = 0;
+
+  IncrementalConflictGraph dep_;
+
+  // Window assembly.
+  std::vector<TxnId> open_batch_;  // arrivals in the open window
+  Time open_window_ = 0;           // its index (valid if open_batch_ nonempty)
+  Time next_close_;                // close step of the next unclosed window
+  std::deque<TxnId> backlog_;      // deferred by admission, FIFO
+
+  // Commit calendar: (commit step, txn), min-first; retire_through pops it.
+  std::priority_queue<std::pair<Time, TxnId>,
+                      std::vector<std::pair<Time, TxnId>>,
+                      std::greater<std::pair<Time, TxnId>>>
+      pending_commits_;
+  std::size_t live_admitted_ = 0;  // admitted, commit not yet retired
+
+  StreamStats stats_;
+  double backlog_sum_ = 0;
+  std::size_t backlog_samples_ = 0;
+  bool drained_ = false;
+};
+
+}  // namespace dtm

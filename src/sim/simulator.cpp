@@ -50,7 +50,7 @@ SimResult simulate(const Instance& inst, const Metric& metric,
   const bool faulty = opts.faults != nullptr && opts.faults->active();
   const bool resched = static_cast<bool>(opts.reschedule);
 
-  EngineOptions eo;
+  EngineConfig eo;
   eo.record_events = opts.record_events;
   eo.record_hops = opts.record_hops;
   eo.max_commit_stall = opts.recovery.max_commit_stall;

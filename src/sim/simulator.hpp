@@ -38,34 +38,16 @@
 #include "graph/metric.hpp"
 #include "sim/engine.hpp"
 #include "sim/faults.hpp"
+#include "sim/options.hpp"
 
 namespace dtm {
 
-struct SimOptions {
-  /// Record leg-level events (depart/arrive/commit). Hop-level kHop events
-  /// are added too when `record_hops` is set (costly on weighted graphs).
-  bool record_events = false;
-  bool record_hops = false;
-
-  /// Fault oracle (non-owning; must outlive the simulate() call). Null or
-  /// inactive keeps the reliable path — bit-identical to a fault-free
-  /// build. `recovery` is only consulted when faults are active.
-  const FaultModel* faults = nullptr;
-  RecoveryPolicy recovery{};
-
-  /// Max concurrent traversals per link (both directions combined).
-  /// 0 keeps the §2.1 unbounded-capacity substrate; nonzero executes the
-  /// planned schedule on FIFO bounded links (composes with `faults`).
-  std::size_t capacity = 0;
-
-  /// Mid-run rescheduling: when set, the run is driven stepwise (even at
-  /// capacity 0, through unbounded FIFO queues) so the engine can monitor
-  /// realized lag and splice replacement schedules in per
-  /// `reschedule_policy` (sched/reschedule.hpp builds engine-ready hooks).
-  /// Unset keeps every dispatch path bit-identical to the baseline.
-  RescheduleFn reschedule;
-  ReschedulePolicy reschedule_policy{};
-};
+/// simulate()'s options are exactly the shared substrate block
+/// (sim/options.hpp): fault oracle + recovery, link capacity (nonzero
+/// executes the planned schedule on FIFO bounded links, composing with
+/// faults), event recording, and mid-run rescheduling (which forces the
+/// stepwise engine even at capacity 0, through unbounded FIFO queues).
+struct SimOptions : EngineOptions {};
 
 struct SimResult {
   bool ok = true;

@@ -42,7 +42,7 @@ TEST(CapacitySim, UnboundedMatchesEarliestTimes) {
     const Schedule s = sched.run(inst, m);
     const Schedule earliest = compact(inst, m, s);
     const CapacitySimResult r =
-        simulate_with_capacity(inst, m, s, {.capacity = 0});
+        simulate_with_capacity(inst, m, s, capacity_options(0));
     ASSERT_TRUE(r.ok) << r.error;
     EXPECT_EQ(r.makespan, earliest.makespan());
     EXPECT_EQ(r.total_queue_wait, 0);
@@ -56,13 +56,13 @@ TEST(CapacitySim, CapacityOneSerializesSharedEdges) {
   const Schedule s = Schedule::from_commit_times(inst, {4, 4, 4});
   // Unbounded: all three objects travel in parallel, distance 4 each.
   const CapacitySimResult unbounded =
-      simulate_with_capacity(inst, m, s, {.capacity = 0});
+      simulate_with_capacity(inst, m, s, capacity_options(0));
   ASSERT_TRUE(unbounded.ok);
   EXPECT_EQ(unbounded.makespan, 4);
   // Capacity 1: the shared first edge admits one object per traversal, so
   // the last object finishes 2 steps later.
   const CapacitySimResult tight =
-      simulate_with_capacity(inst, m, s, {.capacity = 1});
+      simulate_with_capacity(inst, m, s, capacity_options(1));
   ASSERT_TRUE(tight.ok);
   EXPECT_EQ(tight.makespan, 6);
   EXPECT_GT(tight.total_queue_wait, 0);
@@ -80,7 +80,7 @@ TEST(CapacitySim, MakespanMonotoneInCapacity) {
   Time prev = kInfiniteWeight;
   for (std::size_t cap : {1u, 2u, 4u, 0u}) {  // 0 = unbounded, last
     const CapacitySimResult r =
-        simulate_with_capacity(inst, m, s, {.capacity = cap});
+        simulate_with_capacity(inst, m, s, capacity_options(cap));
     ASSERT_TRUE(r.ok) << "capacity " << cap;
     EXPECT_LE(r.makespan, prev) << "capacity " << cap;
     prev = r.makespan;
@@ -118,7 +118,7 @@ TEST(CapacitySim, MakespanMonotoneAcrossTopologiesAndSeeds) {
                                     std::size_t{4}, std::size_t{2},
                                     std::size_t{1}}) {
         const CapacitySimResult r =
-            simulate_with_capacity(inst, m, s, {.capacity = cap});
+            simulate_with_capacity(inst, m, s, capacity_options(cap));
         ASSERT_TRUE(r.ok)
             << topo.name << " seed " << seed << " capacity " << cap;
         if (cap == 0) {
@@ -151,9 +151,9 @@ TEST(CapacitySim, StretchBoundedByPeakCongestion) {
   const Schedule s = sched.run(inst, m);
   const CongestionReport cong = analyze_congestion(inst, m, s);
   const CapacitySimResult unbounded =
-      simulate_with_capacity(inst, m, s, {.capacity = 0});
+      simulate_with_capacity(inst, m, s, capacity_options(0));
   const CapacitySimResult tight =
-      simulate_with_capacity(inst, m, s, {.capacity = 1});
+      simulate_with_capacity(inst, m, s, capacity_options(1));
   ASSERT_TRUE(unbounded.ok);
   ASSERT_TRUE(tight.ok);
   EXPECT_LE(tight.makespan,
@@ -183,7 +183,7 @@ TEST(CapacitySim, MaxStepsGuard) {
   const DenseMetric m(line.graph);
   const Schedule s = Schedule::from_commit_times(inst, {1, 8});
   const CapacitySimResult r =
-      simulate_with_capacity(inst, m, s, {.capacity = 1, .max_steps = 3});
+      simulate_with_capacity(inst, m, s, capacity_options(1, 3));
   EXPECT_FALSE(r.ok);
   EXPECT_NE(r.error.find("max_steps"), std::string::npos);
 }

@@ -176,7 +176,7 @@ TEST_P(TraceEquivalence, ExecutedLegsEqualPlannedTrace) {
   const Schedule s = make_scheduler("greedy-ff")->run(inst, metric);
 
   UnboundedLinks links(metric);
-  EngineOptions opts;
+  EngineConfig opts;
   opts.discipline = CommitDiscipline::kPlannedStrict;
   opts.record_legs = true;
   Engine eng(inst, metric, s, links, opts);
@@ -272,7 +272,7 @@ TEST(FaultsTimesCapacity, ScheduledOutageStallsQueuedObject) {
   const Schedule s = Schedule::from_commit_times(inst, {2});
 
   const CapacitySimResult reliable =
-      simulate_with_capacity(inst, m, s, {.capacity = 1});
+      simulate_with_capacity(inst, m, s, capacity_options(1));
   ASSERT_TRUE(reliable.ok) << reliable.error;
   EXPECT_EQ(reliable.makespan, 2);
 
@@ -342,7 +342,7 @@ TEST(FaultsTimesCapacity, ComposedRunDominatesIdealSubstrate) {
   const Schedule s = make_scheduler("greedy-ff")->run(inst, m);
 
   const CapacitySimResult ideal =
-      simulate_with_capacity(inst, m, s, {.capacity = 0});
+      simulate_with_capacity(inst, m, s, capacity_options(0));
   ASSERT_TRUE(ideal.ok) << ideal.error;
 
   FaultConfig cfg;

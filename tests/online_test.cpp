@@ -2,6 +2,10 @@
 // and the FIFO / batch online schedulers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
 #include "core/generators.hpp"
 #include "core/online.hpp"
 #include "graph/metric.hpp"
@@ -137,6 +141,135 @@ TEST(Online, CompetitiveAgainstOfflineGreedy) {
   const Time off = offline.run(inst, m).makespan();
   const Time on = fifo.run(inst, m).makespan();
   EXPECT_LE(on, 4 * off + 4);
+}
+
+// Drives the feed by hand — pushes in release order with advance_to()
+// interleaved at every arrival — and checks the result is bit-identical to
+// the run_online adapter. Covers every bench_online (E12) configuration:
+// both graphs, all four arrival kinds, all three schedulers, all five
+// trial seeds; together with CI's BENCH_online.json gate (recorded before
+// the feed redesign) this pins the feed to the historic clairvoyant
+// implementation.
+TEST(OnlineFeed, IncrementalFeedMatchesAdapterOnAllBenchConfigs) {
+  const Grid grid(10);
+  const DenseMetric grid_metric(grid.graph);
+  const Clique clique(64);
+  const DenseMetric clique_metric(clique.graph);
+
+  struct ArrivalKind {
+    Time horizon;
+    bool bursty;
+  };
+  const ArrivalKind kinds[] = {{0, false}, {64, false}, {512, false},
+                               {64, true}};
+  auto check = [](OnlineScheduler& sched, const Instance& inst,
+                  const Metric& m, const ArrivalTimes& arrival) {
+    const Schedule via_adapter = sched.run_online(inst, m, arrival);
+
+    std::vector<TxnId> order(inst.num_transactions());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](TxnId a, TxnId b) {
+      return arrival[a] < arrival[b];
+    });
+    sched.begin_feed(inst, m);
+    for (TxnId t : order) {
+      sched.advance_to(arrival[t]);  // no earlier release remains
+      sched.push(t, arrival[t]);
+    }
+    sched.advance_to(arrival.empty() ? 0 : arrival[order.back()] + 1000);
+    const Schedule via_feed = sched.finish();
+
+    EXPECT_EQ(via_feed.commit_time, via_adapter.commit_time);
+    EXPECT_EQ(via_feed.object_order, via_adapter.object_order);
+    // The feed recorded exactly the arrivals it was driven with.
+    EXPECT_EQ(sched.feed_arrivals(), arrival);
+  };
+
+  for (const auto& [graph, metric] :
+       {std::pair<const Graph&, const Metric&>{grid.graph, grid_metric},
+        std::pair<const Graph&, const Metric&>{clique.graph,
+                                               clique_metric}}) {
+    for (const ArrivalKind& kind : kinds) {
+      for (std::uint64_t seed = 31; seed < 36; ++seed) {
+        Rng rng(seed);
+        const Instance inst = generate_uniform(
+            graph, {.num_objects = 8, .objects_per_txn = 2}, rng);
+        Rng arng(seed + 9999);
+        ArrivalTimes arrival;
+        if (kind.horizon == 0) {
+          arrival.assign(inst.num_transactions(), 0);
+        } else if (kind.bursty) {
+          arrival = generate_bursty_arrivals(inst.num_transactions(),
+                                             kind.horizon, 4, arng);
+        } else {
+          arrival =
+              generate_arrivals(inst.num_transactions(), kind.horizon, arng);
+        }
+        OnlineFifoScheduler fifo;
+        check(fifo, inst, metric, arrival);
+        for (Time window : {Time{8}, Time{32}}) {
+          OnlineBatchScheduler batch({.window = window});
+          check(batch, inst, metric, arrival);
+        }
+      }
+    }
+  }
+}
+
+TEST(OnlineFeed, EnforcesFeedDiscipline) {
+  const Clique c(4);
+  InstanceBuilder b(c.graph, 1);
+  b.add_transaction(0, {0});
+  b.add_transaction(1, {0});
+  b.set_object_home(0, 0);
+  const Instance inst = b.build();
+  const DenseMetric m(c.graph);
+
+  OnlineFifoScheduler sched;
+  EXPECT_THROW(sched.push(0, 0), Error);    // no feed open
+  EXPECT_THROW(sched.advance_to(1), Error);
+  EXPECT_THROW(sched.finish(), Error);
+
+  sched.begin_feed(inst, m);
+  sched.push(0, 5);
+  EXPECT_THROW(sched.push(0, 6), Error);  // double release
+  EXPECT_THROW(sched.push(1, 3), Error);  // time went backwards
+  sched.advance_to(10);
+  EXPECT_THROW(sched.push(1, 7), Error);  // before the advanced horizon
+  sched.push(1, 12);
+  (void)sched.finish();
+  EXPECT_THROW(sched.finish(), Error);  // feed closed
+}
+
+TEST(OnlineFeed, NeverReleasedTransactionsAreRejectedByValidation) {
+  const Clique c(4);
+  InstanceBuilder b(c.graph, 1);
+  b.add_transaction(0, {0});
+  b.add_transaction(1, {0});
+  b.set_object_home(0, 0);
+  const Instance inst = b.build();
+  const DenseMetric m(c.graph);
+
+  OnlineFifoScheduler sched;
+  sched.begin_feed(inst, m);
+  sched.push(0, 2);
+  const Schedule s = sched.finish();  // T1 never released
+  EXPECT_EQ(sched.feed_arrivals()[1], kNeverReleased);
+  const auto vr = validate_online(inst, m, sched.feed_arrivals(), s);
+  EXPECT_FALSE(vr.ok);
+}
+
+TEST(OnlineFeed, RunTreatsOfflineAsExplicitZeroArrivals) {
+  const Grid g(5);
+  const DenseMetric m(g.graph);
+  const Instance inst = grid_instance(g, 21);
+  OnlineBatchScheduler a({.window = 8}), b({.window = 8});
+  const Schedule via_run = a.run(inst, m);
+  const Schedule via_zeros =
+      b.run_online(inst, m, ArrivalTimes(inst.num_transactions(), 0));
+  EXPECT_EQ(via_run.commit_time, via_zeros.commit_time);
+  EXPECT_EQ(via_run.object_order, via_zeros.object_order);
+  EXPECT_EQ(a.feed_arrivals(), ArrivalTimes(inst.num_transactions(), 0));
 }
 
 TEST(Online, BatchArrivalRespectMeansLateCommits) {

@@ -142,7 +142,7 @@ TEST_P(EverySchedulerEverywhere, FullInvariantSet) {
     EXPECT_TRUE(validate(inst, metric, tight).ok);
 
     const CapacitySimResult replay =
-        simulate_with_capacity(inst, metric, s, {.capacity = 0});
+        simulate_with_capacity(inst, metric, s, capacity_options(0));
     ASSERT_TRUE(replay.ok);
     EXPECT_EQ(replay.makespan, tight.makespan())
         << topo.name << '/' << sched->name();

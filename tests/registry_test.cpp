@@ -107,6 +107,33 @@ TEST(Registry, SchedulerNamesForExtendsAgnosticList) {
   EXPECT_EQ(scheduler_names_for(uniform_instance(clique.graph, 3)), base);
 }
 
+// registered_scheduler_names() is the instance-free full registry: it
+// contains the agnostic tier, and every name any instance can yield via
+// scheduler_names_for constructs through make_scheduler_for on a
+// structurally matching graph.
+TEST(Registry, RegisteredNamesEnumerateTheFullRegistry) {
+  const auto all = registered_scheduler_names();
+  const auto has = [&](const std::string& name) {
+    return std::find(all.begin(), all.end(), name) != all.end();
+  };
+  for (const std::string& name : scheduler_names()) {
+    EXPECT_TRUE(has(name)) << name;
+  }
+
+  const Line line(8);
+  const Grid grid(4);
+  const ClusterGraph cluster(3, 4, 6);
+  const Star star(3, 3);
+  for (const Graph* g :
+       {&line.graph, &grid.graph, &cluster.graph, &star.graph}) {
+    const Instance inst = uniform_instance(*g, 4);
+    for (const std::string& name : scheduler_names_for(inst)) {
+      EXPECT_TRUE(has(name)) << name << " missing from the full registry";
+      EXPECT_NE(make_scheduler_for(inst, name, 4), nullptr) << name;
+    }
+  }
+}
+
 // The wrapper owns the recovered topology; underlying() reaches the
 // concrete scheduler so post-run accessors stay usable.
 TEST(Registry, UnderlyingExposesConcreteScheduler) {

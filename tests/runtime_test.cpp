@@ -1,0 +1,287 @@
+// Streaming runtime: arrival sources, incremental conflict graph,
+// window scheduling, backpressure, and the engine replay check.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/generators.hpp"
+#include "core/online.hpp"
+#include "core/validate.hpp"
+#include "graph/topologies/clique.hpp"
+#include "graph/topologies/grid.hpp"
+#include "sched/dependency_graph.hpp"
+#include "sched/online.hpp"
+#include "sim/runtime.hpp"
+
+namespace dtm {
+namespace {
+
+ArrivalStreamOptions small_stream(std::size_t n, double rate) {
+  ArrivalStreamOptions opt;
+  opt.num_txns = n;
+  opt.num_objects = 8;
+  opt.objects_per_txn = 2;
+  opt.rate = rate;
+  return opt;
+}
+
+TEST(ArrivalSources, NonDecreasingAndExhausting) {
+  const Grid g(6);
+  for (ArrivalModel model : {ArrivalModel::kPoisson, ArrivalModel::kBursty,
+                             ArrivalModel::kHotObject}) {
+    auto src = make_arrival_source(model, g.graph, small_stream(50, 1.5), 7);
+    ArrivingTxn t;
+    Time prev = 0;
+    std::size_t count = 0;
+    while (src->next(t)) {
+      EXPECT_GE(t.arrival, prev);
+      EXPECT_LT(t.home, g.graph.num_nodes());
+      EXPECT_FALSE(t.objects.empty());
+      for (ObjectId o : t.objects) EXPECT_LT(o, 8u);
+      prev = t.arrival;
+      ++count;
+    }
+    EXPECT_EQ(count, 50u);
+    EXPECT_FALSE(src->next(t));  // stays exhausted
+  }
+}
+
+TEST(ArrivalSources, DeterministicPerSeed) {
+  const Grid g(5);
+  for (std::uint64_t seed : {1ull, 42ull}) {
+    auto a = make_arrival_source(ArrivalModel::kPoisson, g.graph,
+                                 small_stream(30, 2.0), seed);
+    auto b = make_arrival_source(ArrivalModel::kPoisson, g.graph,
+                                 small_stream(30, 2.0), seed);
+    ArrivingTxn ta, tb;
+    while (a->next(ta)) {
+      ASSERT_TRUE(b->next(tb));
+      EXPECT_EQ(ta.arrival, tb.arrival);
+      EXPECT_EQ(ta.home, tb.home);
+      EXPECT_EQ(ta.objects, tb.objects);
+    }
+    EXPECT_FALSE(b->next(tb));
+  }
+}
+
+TEST(ArrivalSources, HotObjectAlwaysTouchesObjectZero) {
+  const Grid g(4);
+  auto src = make_arrival_source(ArrivalModel::kHotObject, g.graph,
+                                 small_stream(20, 1.0), 3);
+  ArrivingTxn t;
+  while (src->next(t)) {
+    EXPECT_EQ(t.objects.front(), 0u);
+  }
+}
+
+TEST(IncrementalGraph, MatchesBatchBuilderOnFullSubset) {
+  const Grid g(6);
+  const DenseMetric m(g.graph);
+  Rng rng(11);
+  const Instance inst = generate_uniform(
+      g.graph, {.num_objects = 6, .objects_per_txn = 3}, rng);
+
+  IncrementalConflictGraph inc(m, inst.num_objects());
+  std::vector<TxnId> all;
+  for (TxnId t = 0; t < inst.num_transactions(); ++t) {
+    inc.add_txn(t, inst.txn(t).home, inst.txn(t).objects);
+    all.push_back(t);
+  }
+  const DependencyGraph batch = build_dependency_graph(inst, m, all);
+  const DependencyGraph view = inc.subgraph(all);
+  ASSERT_EQ(view.txns, batch.txns);
+  ASSERT_EQ(view.offsets, batch.offsets);
+  ASSERT_EQ(view.edges.size(), batch.edges.size());
+  for (std::size_t i = 0; i < view.edges.size(); ++i) {
+    EXPECT_EQ(view.edges[i].neighbor, batch.edges[i].neighbor);
+    EXPECT_EQ(view.edges[i].weight, batch.edges[i].weight);
+  }
+  EXPECT_EQ(view.max_degree, batch.max_degree);
+  EXPECT_EQ(view.max_edge_weight, batch.max_edge_weight);
+}
+
+TEST(IncrementalGraph, RetireStopsFutureConflicts) {
+  const Clique c(4);
+  const DenseMetric m(c.graph);
+  IncrementalConflictGraph inc(m, 1);
+  const std::vector<ObjectId> o0 = {0};
+  inc.add_txn(0, 0, o0);
+  inc.add_txn(1, 1, o0);  // conflicts with 0
+  EXPECT_EQ(inc.num_edges(), 1u);
+  inc.retire(0, o0);
+  inc.add_txn(2, 2, o0);  // only 1 still live
+  EXPECT_EQ(inc.num_edges(), 2u);
+  EXPECT_EQ(inc.live(), 2u);
+  // The T0-T1 edge remains visible to subgraphs containing both.
+  const std::vector<TxnId> both = {0, 1};
+  EXPECT_EQ(inc.subgraph(both).edges.size(), 2u);  // one edge, two arcs
+}
+
+StreamingRuntime run_stream(const Graph& g, const Metric& m,
+                            ArrivalModel model, double rate, std::size_t n,
+                            StreamingRuntimeOptions opts,
+                            std::uint64_t seed = 5) {
+  StreamingRuntime rt(g, m, StreamingRuntime::spread_homes(g, 8), opts);
+  auto src = make_arrival_source(model, g, small_stream(n, rate), seed);
+  rt.ingest_all(*src);
+  rt.drain();
+  return rt;
+}
+
+TEST(StreamingRuntime, FeasibleValidatedAndReplayable) {
+  const Grid g(6);
+  const DenseMetric m(g.graph);
+  for (ArrivalModel model : {ArrivalModel::kPoisson, ArrivalModel::kBursty,
+                             ArrivalModel::kHotObject}) {
+    StreamingRuntimeOptions opts;
+    opts.replay_check = true;  // drain() throws on a missed commit
+    const StreamingRuntime rt = run_stream(g.graph, m, model, 1.0, 80, opts);
+    const Instance inst = rt.materialize();
+    const auto vr = validate_online(inst, m, rt.arrivals(), rt.schedule());
+    EXPECT_TRUE(vr.ok) << vr.summary();
+    EXPECT_EQ(rt.stats().committed, 80u);
+    EXPECT_EQ(rt.stats().arrived, 80u);
+    EXPECT_GT(rt.stats().windows, 0u);
+    EXPECT_GT(rt.stats().throughput, 0.0);
+  }
+}
+
+TEST(StreamingRuntime, MatchesOnlineBatchSchedulerWithoutBackpressure) {
+  // With unbounded admission and distinct homes the runtime IS the
+  // window-batched online scheduler run over the materialized stream:
+  // same windows, same coloring (the incremental subgraph equals the
+  // batch-built dependency graph once every conflict spans two nodes, so
+  // the streaming >=1 weight clamp is a no-op), same placement
+  // arithmetic.
+  const Grid g(6);
+  const DenseMetric m(g.graph);
+  Rng rng(23);
+  for (Time window : {Time{4}, Time{16}}) {
+    StreamingRuntimeOptions opts;
+    opts.window = window;
+    StreamingRuntime rt(g.graph, m, StreamingRuntime::spread_homes(g.graph, 8),
+                        opts);
+    Time arrival = 0;
+    for (TxnId t = 0; t < 30; ++t) {
+      ArrivingTxn in;
+      in.arrival = arrival;
+      in.home = static_cast<NodeId>(t);  // one txn per node, like a batch
+      for (std::size_t o : rng.sample_indices(8, 2)) {
+        in.objects.push_back(static_cast<ObjectId>(o));
+      }
+      std::sort(in.objects.begin(), in.objects.end());
+      rt.ingest(in);
+      arrival += rng.uniform(0, 2);
+    }
+    rt.drain();
+    const Instance inst = rt.materialize();
+    OnlineBatchScheduler batch({.window = window});
+    const Schedule expect = batch.run_online(inst, m, rt.arrivals());
+    const Schedule got = rt.schedule();
+    EXPECT_EQ(got.commit_time, expect.commit_time) << "window=" << window;
+    EXPECT_EQ(got.object_order, expect.object_order) << "window=" << window;
+  }
+}
+
+TEST(StreamingRuntime, DeterministicAcrossRuns) {
+  const Clique c(16);
+  const DenseMetric m(c.graph);
+  StreamingRuntimeOptions opts;
+  const StreamingRuntime a =
+      run_stream(c.graph, m, ArrivalModel::kBursty, 2.0, 70, opts);
+  const StreamingRuntime b =
+      run_stream(c.graph, m, ArrivalModel::kBursty, 2.0, 70, opts);
+  EXPECT_EQ(a.schedule().commit_time, b.schedule().commit_time);
+  EXPECT_EQ(a.stats().makespan, b.stats().makespan);
+  EXPECT_EQ(a.stats().peak_backlog, b.stats().peak_backlog);
+}
+
+TEST(StreamingRuntime, BacklogBoundedBelowMeasuredCapacity) {
+  // Measure windowed service capacity by overloading (rate well above what
+  // the scheduler sustains, spread across many windows so the measurement
+  // includes per-window transition overhead), then rerun at 0.8x that
+  // rate. Note the window size matters: small windows pay the object
+  // transition on tiny batches, so capacity is measured at the same window
+  // the loaded runs use.
+  const Grid g(6);
+  const DenseMetric m(g.graph);
+  StreamingRuntimeOptions opts;
+  opts.window = 64;
+  const std::size_t n = 400;
+  const StreamingRuntime sat =
+      run_stream(g.graph, m, ArrivalModel::kPoisson, 2.0, n, opts);
+  const double mu = sat.stats().throughput;
+  ASSERT_GT(mu, 0.0);
+
+  for (double factor : {0.5, 0.8}) {
+    const StreamingRuntime loaded =
+        run_stream(g.graph, m, ArrivalModel::kPoisson, factor * mu, n, opts);
+    EXPECT_EQ(loaded.stats().committed, n);
+    EXPECT_LT(loaded.stats().peak_backlog, n / 2);
+
+    // The real boundedness statement: doubling the stream length leaves
+    // the peak backlog essentially unchanged — the queue reaches steady
+    // state instead of growing with the stream.
+    const StreamingRuntime twice =
+        run_stream(g.graph, m, ArrivalModel::kPoisson, factor * mu, 2 * n,
+                   opts);
+    EXPECT_EQ(twice.stats().committed, 2 * n);
+    EXPECT_LT(static_cast<double>(twice.stats().peak_backlog),
+              1.5 * static_cast<double>(loaded.stats().peak_backlog) + 16.0)
+        << "factor=" << factor << " peak(n)=" << loaded.stats().peak_backlog
+        << " peak(2n)=" << twice.stats().peak_backlog;
+  }
+}
+
+TEST(StreamingRuntime, BackpressureDefersAndEventuallyDrains) {
+  const Grid g(5);
+  const DenseMetric m(g.graph);
+  StreamingRuntimeOptions opts;
+  opts.max_live_admitted = 4;
+  opts.replay_check = true;
+  const StreamingRuntime rt =
+      run_stream(g.graph, m, ArrivalModel::kBursty, 4.0, 60, opts);
+  EXPECT_GT(rt.stats().deferrals, 0u);
+  EXPECT_EQ(rt.stats().committed, 60u);
+  const Instance inst = rt.materialize();
+  const auto vr = validate_online(inst, m, rt.arrivals(), rt.schedule());
+  EXPECT_TRUE(vr.ok) << vr.summary();
+}
+
+TEST(StreamingRuntime, RejectsOutOfOrderAndLateIngest) {
+  const Grid g(4);
+  const DenseMetric m(g.graph);
+  StreamingRuntime rt(g.graph, m, StreamingRuntime::spread_homes(g.graph, 4));
+  rt.ingest({.arrival = 10, .home = 1, .objects = {0}});
+  EXPECT_THROW(rt.ingest({.arrival = 5, .home = 2, .objects = {1}}), Error);
+  rt.drain();
+  EXPECT_THROW(rt.ingest({.arrival = 20, .home = 2, .objects = {1}}), Error);
+}
+
+TEST(StreamingRuntime, EmptyStreamDrainsClean) {
+  const Grid g(4);
+  const DenseMetric m(g.graph);
+  StreamingRuntime rt(g.graph, m, StreamingRuntime::spread_homes(g.graph, 4));
+  const StreamStats& st = rt.drain();
+  EXPECT_EQ(st.arrived, 0u);
+  EXPECT_EQ(st.makespan, 0);
+  EXPECT_TRUE(rt.verify_by_replay());
+}
+
+TEST(SharedHomes, BuilderAcceptsWhenOptedIn) {
+  const Grid g(4);
+  InstanceBuilder strict(g.graph, 2);
+  strict.add_transaction(0, {0});
+  EXPECT_THROW(strict.add_transaction(0, {1}), Error);
+
+  InstanceBuilder shared(g.graph, 2);
+  shared.allow_shared_homes();
+  shared.add_transaction(0, {0});
+  shared.add_transaction(0, {1});
+  const Instance inst = shared.build();
+  EXPECT_EQ(inst.num_transactions(), 2u);
+  EXPECT_EQ(inst.txn_at(0), 0u);  // first added wins the node slot
+}
+
+}  // namespace
+}  // namespace dtm
