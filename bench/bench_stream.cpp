@@ -20,15 +20,31 @@
 // optimistic baseline on contended streams (hot-object especially, where
 // validation aborts burn work) while keeping backlog flat below capacity.
 //
+// E23 — sharded pipeline + closed-loop admission (DESIGN.md §10), emitted
+// as a second artifact behind --shard-json FILE:
+//  * shard_identity — the same stream scheduled at shards 1/2/4/8: every
+//    result cell is REQUIREd identical to the shards=1 row (the tentpole's
+//    bit-identity contract, gated in CI by cell comparison).
+//  * shard_balance — per-shard load split (local/cross/fix-up transactions,
+//    peak shard batch) of those runs.
+//  * admission — fixed tight bound vs AIMD at 0.9x measured capacity: the
+//    fixed bound defers work without bound while AIMD opens the quota and
+//    keeps the backlog bounded, then cuts back once caught up.
+// The wall-clock speedup of the parallel window-scheduling path (shards=1
+// vs 4 on a group-local cluster workload) is printed to stdout and left in
+// the timer section only — never in gated series cells.
+//
 // --smoke runs the reduced stream lengths; the recorded BENCH_stream.json
 // baseline is the smoke artifact so CI can re-run and diff it cheaply.
 #include "bench_common.hpp"
 
 #include "core/online.hpp"
+#include "graph/partition.hpp"
 #include "graph/topologies/cluster.hpp"
 #include "graph/topologies/grid.hpp"
 #include "sim/optimistic.hpp"
 #include "sim/runtime.hpp"
+#include "util/telemetry.hpp"
 
 namespace {
 
@@ -48,10 +64,10 @@ ArrivalStreamOptions stream_options(std::size_t n, double rate) {
   return opt;
 }
 
-StreamingRuntime run_stream(const Graph& g, const Metric& m,
-                            ArrivalModel model, double rate, std::size_t n) {
-  StreamingRuntimeOptions opts;
-  opts.window = kWindow;
+StreamingRuntime run_stream_opts(const Graph& g, const Metric& m,
+                                 ArrivalModel model, double rate,
+                                 std::size_t n,
+                                 const StreamingRuntimeOptions& opts) {
   StreamingRuntime rt(g, m, StreamingRuntime::spread_homes(g, kObjects),
                       opts);
   auto src = make_arrival_source(model, g, stream_options(n, rate), kSeed);
@@ -61,6 +77,13 @@ StreamingRuntime run_stream(const Graph& g, const Metric& m,
       validate_online(rt.materialize(), m, rt.arrivals(), rt.schedule());
   DTM_REQUIRE(vr.ok, "infeasible streaming schedule: " << vr.summary());
   return rt;
+}
+
+StreamingRuntime run_stream(const Graph& g, const Metric& m,
+                            ArrivalModel model, double rate, std::size_t n) {
+  StreamingRuntimeOptions opts;
+  opts.window = kWindow;
+  return run_stream_opts(g, m, model, rate, n, opts);
 }
 
 /// The identical stream as an offline instance + arrival vector, for the
@@ -187,6 +210,173 @@ void print_series(bool smoke) {
   benchutil::emit_table("throughput", throughput);
 }
 
+// --- E23: sharded pipeline + closed-loop admission ----------------------
+
+/// Group-local cluster workload on a shard-aligned placement: the regime
+/// the sharded coloring pipeline parallelizes (conflicts stay inside one
+/// shard, so the fix-up pass is empty and all coloring fans out).
+StreamingRuntime run_group_local(const Graph& g, const Metric& m,
+                                 const std::vector<NodeId>& homes,
+                                 std::size_t shards, std::size_t n,
+                                 std::size_t w, double rate, Time window) {
+  ArrivalStreamOptions so;
+  so.num_txns = n;
+  so.num_objects = w;
+  so.objects_per_txn = kObjectsPerTxn;
+  so.rate = rate;
+  so.groups = 4;
+  StreamingRuntimeOptions opts;
+  opts.window = window;
+  opts.shards = shards;
+  StreamingRuntime rt(g, m, homes, opts);
+  auto src = make_arrival_source(ArrivalModel::kPoisson, g, so, kSeed);
+  rt.ingest_all(*src);
+  rt.drain();
+  return rt;
+}
+
+/// Total wall time spent in schedule_window (the phase the shards
+/// parallelize), read back from the phase-timer registry.
+double window_phase_ms() {
+  const auto snap = TelemetryRegistry::global().snapshot();
+  const auto it = snap.timers.find("phase.sched.stream_window");
+  return it == snap.timers.end() ? 0.0 : it->second.total_ns / 1e6;
+}
+
+void print_shard_series(bool smoke) {
+  benchutil::print_header(
+      "E23 — sharded scheduling + closed-loop admission (DESIGN.md §10)",
+      "shard-count bit-identity of the parallel coloring pipeline, "
+      "per-shard load balance, wall-clock window-scheduling speedup, and "
+      "AIMD admission vs a fixed bound at 0.9x measured capacity");
+
+  const ClusterGraph cluster(4, 8, 16);
+  const DenseMetric cluster_metric(cluster.graph);
+
+  // Wall-clock speedup first (it resets the telemetry registry around each
+  // timed run); the numbers go to stdout only — wall time never enters
+  // gated series cells. Group-local load + shard-aligned homes keep every
+  // window's coloring shard-confined, the workload the pipeline targets.
+  const std::size_t sn = smoke ? 4000 : 16000;
+  const std::size_t sw = 64;  // object universe of the speedup workload
+  const ShardMap map4 = make_shard_map(cluster.graph, 4);
+  const std::vector<NodeId> aligned = shard_aligned_homes(map4, sw);
+  TelemetryRegistry::global().reset();
+  const StreamingRuntime seq = run_group_local(
+      cluster.graph, cluster_metric, aligned, 1, sn, sw, 4.0, 128);
+  const double seq_ms = window_phase_ms();
+  TelemetryRegistry::global().reset();
+  const StreamingRuntime par = run_group_local(
+      cluster.graph, cluster_metric, aligned, 4, sn, sw, 4.0, 128);
+  const double par_ms = window_phase_ms();
+  DTM_REQUIRE(seq.stats().makespan == par.stats().makespan &&
+                  seq.stats().committed == par.stats().committed,
+              "sharded speedup run diverged from the sequential schedule");
+  std::cout << "window-scheduling wall time, group-local cluster4x8 (n="
+            << sn << ", w=" << sw << "): shards=1 " << seq_ms
+            << " ms, shards=4 " << par_ms << " ms, speedup "
+            << (par_ms > 0 ? seq_ms / par_ms : 0.0) << "x\n\n";
+  TelemetryRegistry::global().reset();
+
+  // Identity + balance: the E22 stream re-scheduled at every shard count.
+  const std::size_t n = smoke ? 200 : 500;
+  const Grid grid(6);
+  const DenseMetric grid_metric(grid.graph);
+  const std::tuple<const char*, const Graph&, const Metric&> topologies[] = {
+      {"grid6", grid.graph, grid_metric},
+      {"cluster4x8", cluster.graph, cluster_metric},
+  };
+
+  Table identity({"graph", "arrivals", "shards", "committed", "makespan",
+                  "throughput", "deferrals", "peak_backlog"});
+  Table balance({"graph", "arrivals", "shards", "scheme", "local", "cross",
+                 "fixup", "peak_members"});
+  for (const auto& [gname, g, metric] : topologies) {
+    for (ArrivalModel model :
+         {ArrivalModel::kPoisson, ArrivalModel::kHotObject}) {
+      StreamStats ref;
+      for (std::size_t shards :
+           {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+        StreamingRuntimeOptions opts;
+        opts.window = kWindow;
+        opts.shards = shards;
+        opts.max_live_admitted = 64;  // backpressure active in every run
+        const StreamingRuntime rt =
+            run_stream_opts(g, metric, model, 1.0, n, opts);
+        const StreamStats& st = rt.stats();
+        if (shards == 1) {
+          ref = st;
+        } else {
+          // The tentpole contract: sharding never changes the schedule.
+          DTM_REQUIRE(st.makespan == ref.makespan &&
+                          st.committed == ref.committed &&
+                          st.deferrals == ref.deferrals &&
+                          st.peak_backlog == ref.peak_backlog &&
+                          st.throughput == ref.throughput,
+                      "shards=" << shards << " diverged from shards=1 on "
+                                << gname << "/" << model_name(model));
+        }
+        identity.add_row(gname, model_name(model), shards, st.committed,
+                         static_cast<double>(st.makespan), st.throughput,
+                         st.deferrals, st.peak_backlog);
+        const ShardLoadStats& sl = rt.shard_stats();
+        balance.add_row(gname, model_name(model), shards, sl.scheme,
+                        sl.local_txns, sl.cross_txns, sl.fixup_txns,
+                        sl.peak_shard_members);
+      }
+    }
+  }
+  benchutil::emit_table("shard_identity", identity);
+  benchutil::emit_table("shard_balance", balance);
+
+  // Closed-loop admission at 0.9x measured capacity: a tight fixed bound
+  // defers without bound (the backlog tracks the whole remaining stream),
+  // AIMD opens the quota while behind and cuts back once caught up.
+  Table admission({"graph", "arrivals", "policy", "rate", "committed",
+                   "deferrals", "peak_backlog", "mean_backlog", "makespan",
+                   "final_quota", "raises", "cuts"});
+  {
+    // Bursty arrivals (32 at once) are where a fixed bound hurts: a tight
+    // bound admits 8 per window and parks the rest of every burst.
+    const double mu =
+        measure_capacity(cluster.graph, cluster_metric, ArrivalModel::kBursty,
+                         n);
+    const double rate = 0.9 * mu;
+    StreamingRuntimeOptions fixed;
+    fixed.window = kWindow;
+    fixed.max_live_admitted = 8;  // tight: well under one burst
+    const StreamingRuntime frun = run_stream_opts(
+        cluster.graph, cluster_metric, ArrivalModel::kBursty, rate, n, fixed);
+    StreamingRuntimeOptions aimd;
+    aimd.window = kWindow;
+    aimd.admission.policy = AdmissionPolicy::kAimd;
+    aimd.admission.min_live = 8;  // same starting bound as the fixed run
+    aimd.admission.increase = 8;
+    aimd.admission.decrease = 0.5;
+    const StreamingRuntime arun = run_stream_opts(
+        cluster.graph, cluster_metric, ArrivalModel::kBursty, rate, n, aimd);
+    for (const StreamingRuntime* rt : {&frun, &arun}) {
+      const StreamStats& st = rt->stats();
+      admission.add_row("cluster4x8", "bursty",
+                        rt->admission().name(), rate, st.committed,
+                        st.deferrals, st.peak_backlog, st.mean_backlog,
+                        static_cast<double>(st.makespan),
+                        rt->admission().quota(), rt->admission().raises(),
+                        rt->admission().cuts());
+    }
+    DTM_REQUIRE(arun.stats().committed == n,
+                "adaptive admission failed to drain the stream");
+    DTM_REQUIRE(arun.stats().peak_backlog < frun.stats().peak_backlog &&
+                    arun.stats().deferrals < frun.stats().deferrals,
+                "AIMD did not beat the tight fixed bound at 0.9x capacity: "
+                    << "peak " << arun.stats().peak_backlog << " vs "
+                    << frun.stats().peak_backlog << ", deferrals "
+                    << arun.stats().deferrals << " vs "
+                    << frun.stats().deferrals);
+  }
+  benchutil::emit_table("admission", admission);
+}
+
 void BM_StreamPipeline(benchmark::State& state) {
   const Grid grid(static_cast<std::size_t>(state.range(0)));
   const DenseMetric metric(grid.graph);
@@ -217,13 +407,44 @@ void BM_Optimistic(benchmark::State& state) {
 }
 BENCHMARK(BM_Optimistic)->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
 
+void BM_ShardedWindow(benchmark::State& state) {
+  const ClusterGraph cluster(4, 8, 16);
+  const DenseMetric metric(cluster.graph);
+  const ShardMap map = make_shard_map(cluster.graph, 4);
+  const std::vector<NodeId> homes = shard_aligned_homes(map, 64);
+  for (auto _ : state) {
+    const StreamingRuntime rt = run_group_local(
+        cluster.graph, metric, homes,
+        static_cast<std::size_t>(state.range(0)), 2000, 64, 4.0, 128);
+    benchmark::DoNotOptimize(rt.stats().makespan);
+  }
+}
+BENCHMARK(BM_ShardedWindow)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool smoke = dtm::benchutil::strip_flag(argc, argv, "--smoke");
+  const std::string shard_json =
+      dtm::benchutil::strip_value_flag(argc, argv, "--shard-json");
   dtm::benchutil::BenchMain bm("stream", argc, argv);
   print_series(smoke);
   bm.write_artifact();
+
+  // E23 goes into its own artifact: drop the E22 series and counters so
+  // BENCH_stream_shard.json reflects only the sharded sweep.
+  dtm::benchutil::BenchReport::instance().clear();
+  dtm::TelemetryRegistry::global().reset();
+  print_shard_series(smoke);
+  if (!shard_json.empty()) {
+    std::ofstream out(shard_json);
+    DTM_REQUIRE(out.good(), "cannot open --shard-json file " << shard_json);
+    out << dtm::benchutil::BenchReport::instance().to_json("stream_shard",
+                                                           bm.invocation())
+        << '\n';
+    std::cout << "\nwrote " << shard_json << "\n";
+  }
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -263,6 +263,8 @@ int run_streaming(const ArgParser& args, const TopologyBundle& topo,
   opts.window = args.get_int("window", opts.window);
   opts.max_live_admitted =
       static_cast<std::size_t>(args.get_int("max-live", 0));
+  opts.shards = static_cast<std::size_t>(args.get_int("shards", 1));
+  opts.admission.policy = parse_admission_policy(args.get("admission", "fixed"));
   StreamingRuntime rt(
       topo.graph(), metric,
       StreamingRuntime::spread_homes(topo.graph(), stream.num_objects), opts);
@@ -278,6 +280,18 @@ int run_streaming(const ArgParser& args, const TopologyBundle& topo,
                 st.deferrals, st.peak_backlog, st.mean_backlog,
                 static_cast<double>(st.makespan), st.throughput);
   table.print(std::cout);
+  if (opts.shards > 1) {
+    const ShardLoadStats& sh = rt.shard_stats();
+    std::cout << "shards: " << sh.num_shards << " (" << sh.scheme
+              << " partition), local txns " << sh.local_txns << ", cross "
+              << sh.cross_txns << ", fixup-colored " << sh.fixup_txns
+              << ", peak shard batch " << sh.peak_shard_members << '\n';
+  }
+  if (opts.admission.policy != AdmissionPolicy::kFixed) {
+    const AdmissionController& ac = rt.admission();
+    std::cout << "admission: " << ac.name() << ", final quota " << ac.quota()
+              << ", raises " << ac.raises() << ", cuts " << ac.cuts() << '\n';
+  }
   warn_unknown_flags(args);
   return 0;
 }
@@ -519,7 +533,11 @@ int main(int argc, char** argv) {
           "  [--list-schedulers]\n"
           "streaming mode (continual arrivals instead of a fixed batch):\n"
           "  [--arrival-rate R] [--arrival-model poisson|bursty|hot]\n"
-          "  [--txns N] [--burst B] [--max-live M] [--optimistic]\n";
+          "  [--txns N] [--burst B] [--max-live M] [--optimistic]\n"
+          "  [--shards N]               parallel conflict-graph shards "
+          "(1 = sequential; any N is bit-identical)\n"
+          "  [--admission fixed|adaptive]  admission control: fixed "
+          "--max-live bound, or AIMD closed-loop on backlog\n";
       return 0;
     }
     std::string invocation = "dtm_cli";

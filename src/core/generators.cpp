@@ -208,6 +208,12 @@ void check_stream_options(const ArrivalStreamOptions& opt) {
                   opt.objects_per_txn <= opt.num_objects,
               "stream k out of [1, w]");
   DTM_REQUIRE(opt.rate > 0, "stream rate must be positive");
+  DTM_REQUIRE(opt.groups >= 1, "stream needs at least one object group");
+  DTM_REQUIRE(opt.groups == 1 ||
+                  opt.num_objects / opt.groups >= opt.objects_per_txn,
+              "group-local draws need floor(w/groups) >= k (w="
+                  << opt.num_objects << ", groups=" << opt.groups
+                  << ", k=" << opt.objects_per_txn << ")");
 }
 
 std::vector<ObjectId> uniform_objects(std::size_t w, std::size_t k,
@@ -216,6 +222,28 @@ std::vector<ObjectId> uniform_objects(std::size_t w, std::size_t k,
   objs.reserve(k);
   for (std::size_t idx : rng.sample_indices(w, k)) {
     objs.push_back(static_cast<ObjectId>(idx));
+  }
+  return objs;
+}
+
+/// Group-local draw (ArrivalStreamOptions::groups): pick one group, then k
+/// objects from its pool {o : o mod groups == group}. groups == 1 keeps
+/// the RNG consumption of the plain uniform draw (one sample_indices call
+/// over the full universe), so default streams are unchanged bit for bit.
+std::vector<ObjectId> stream_objects(const ArrivalStreamOptions& opt,
+                                     Rng& rng) {
+  if (opt.groups <= 1) {
+    return uniform_objects(opt.num_objects, opt.objects_per_txn, rng);
+  }
+  const std::size_t group = rng.index(opt.groups);
+  // Pool size: objects o < w with o mod groups == group.
+  const std::size_t pool =
+      opt.num_objects / opt.groups +
+      (group < opt.num_objects % opt.groups ? 1 : 0);
+  std::vector<ObjectId> objs;
+  objs.reserve(opt.objects_per_txn);
+  for (std::size_t idx : rng.sample_indices(pool, opt.objects_per_txn)) {
+    objs.push_back(static_cast<ObjectId>(group + idx * opt.groups));
   }
   return objs;
 }
@@ -246,8 +274,7 @@ bool PoissonArrivalSource::next(ArrivingTxn& out) {
   clock_ += -std::log(1.0 - rng_.real()) / opt_.rate;
   out.arrival = static_cast<Time>(clock_);
   out.home = static_cast<NodeId>(rng_.index(g_->num_nodes()));
-  out.objects =
-      uniform_objects(opt_.num_objects, opt_.objects_per_txn, rng_);
+  out.objects = stream_objects(opt_, rng_);
   ++produced_;
   return true;
 }
@@ -266,8 +293,7 @@ bool BurstyArrivalSource::next(ArrivingTxn& out) {
   if (produced_ >= opt_.num_txns) return false;
   out.arrival = static_cast<Time>(produced_ / opt_.burst_size) * gap_;
   out.home = static_cast<NodeId>(rng_.index(g_->num_nodes()));
-  out.objects =
-      uniform_objects(opt_.num_objects, opt_.objects_per_txn, rng_);
+  out.objects = stream_objects(opt_, rng_);
   ++produced_;
   return true;
 }

@@ -123,6 +123,15 @@ struct ArrivalStreamOptions {
   /// Bursty source only: arrivals per burst (the gap between bursts is
   /// derived as burst_size / rate, so the average rate stays `rate`).
   std::size_t burst_size = 32;
+  /// Group-local object draws (Poisson/bursty): each transaction picks one
+  /// of `groups` uniform groups and draws its k objects from that group's
+  /// pool {o : o mod groups == group}. With groups equal to the runtime's
+  /// shard count and shard_aligned_homes placement (graph/partition.hpp),
+  /// group-local transactions conflict inside one shard — the workload
+  /// regime the sharded coloring pipeline parallelizes. 1 = uniform draws
+  /// over all objects (bit-identical to PR 8). The hot source stays
+  /// adversarial and ignores this knob. Requires floor(w/groups) >= k.
+  std::size_t groups = 1;
 };
 
 /// Poisson process: exponential interarrival gaps with mean 1/rate,

@@ -48,52 +48,95 @@ DependencyGraph build_dependency_graph(const Instance& inst,
 
 IncrementalConflictGraph::IncrementalConflictGraph(const Metric& metric,
                                                    std::size_t num_objects)
-    : metric_(&metric), live_req_(num_objects) {}
+    : metric_(&metric), pools_(1), live_req_(num_objects),
+      cursor_scratch_(1), cursor_local_scratch_(1) {}
+
+IncrementalConflictGraph::IncrementalConflictGraph(
+    const Metric& metric, std::vector<std::uint32_t> object_shard,
+    std::size_t num_shards)
+    : metric_(&metric), pools_(num_shards),
+      object_shard_(std::move(object_shard)), live_req_(object_shard_.size()),
+      cursor_scratch_(num_shards), cursor_local_scratch_(num_shards) {
+  DTM_REQUIRE(num_shards >= 1, "incremental graph: need at least one shard");
+  for (std::uint32_t s : object_shard_) {
+    DTM_REQUIRE(s < num_shards,
+                "incremental graph: object shard " << s << " out of range");
+  }
+}
+
+void IncrementalConflictGraph::push_arc(Pool& pool, TxnId owner, TxnId to,
+                                        Weight w) {
+  if (owner >= pool.head.size()) {
+    pool.head.resize(owner + 1, -1);
+    pool.tail.resize(owner + 1, -1);
+  }
+  const auto idx = static_cast<std::int32_t>(pool.arcs.size());
+  pool.arcs.push_back({to, w, -1});
+  if (pool.tail[owner] == -1) {
+    pool.head[owner] = idx;
+  } else {
+    pool.arcs[pool.tail[owner]].next = idx;
+  }
+  pool.tail[owner] = idx;
+  ++num_arcs_;
+}
 
 void IncrementalConflictGraph::add_txn(TxnId t, NodeId home,
                                        std::span<const ObjectId> objects) {
-  DTM_REQUIRE(t == head_.size(),
+  DTM_REQUIRE(t == num_txns_,
               "incremental graph: ids must arrive dense and in order "
               "(expected T"
-                  << head_.size() << ", got T" << t << ")");
-  head_.push_back(-1);
+                  << num_txns_ << ", got T" << t << ")");
+  ++num_txns_;
   home_.push_back(home);
   ++live_;
 
-  // Collect conflict partners over all shared objects, deduplicating pairs
-  // that share more than one object (the CSR builder dedups too).
-  std::vector<TxnId> partners;
+  // Collect (partner, owning shard) over all shared objects; a pair
+  // sharing several objects is deduplicated (the CSR builder dedups too)
+  // keeping the smallest object's shard, so every pair lands in exactly
+  // one pool no matter how the ownership question is asked later.
+  auto& partners = partner_scratch_;
+  partners.clear();
   for (ObjectId o : objects) {
     DTM_REQUIRE(o < live_req_.size(),
                 "incremental graph: object id " << o << " out of range");
-    partners.insert(partners.end(), live_req_[o].begin(), live_req_[o].end());
+    const std::uint32_t s = object_shard_.empty() ? 0 : object_shard_[o];
+    for (TxnId p : live_req_[o]) partners.emplace_back(p, s);
     live_req_[o].push_back(t);
   }
-  std::sort(partners.begin(), partners.end());
-  partners.erase(std::unique(partners.begin(), partners.end()),
+  // `objects` ascend, so the first entry per partner is the smallest
+  // shared object's shard; stable_sort by partner keeps it first.
+  std::stable_sort(partners.begin(), partners.end(),
+                   [](const auto& x, const auto& y) {
+                     return x.first < y.first;
+                   });
+  partners.erase(std::unique(partners.begin(), partners.end(),
+                             [](const auto& x, const auto& y) {
+                               return x.first == y.first;
+                             }),
                  partners.end());
 
   if (!partners.empty()) {
     // One batched distance query for the delta, matching the builder's
     // access pattern (DenseMetric streams a matrix row).
-    std::vector<NodeId> targets(partners.size());
-    std::vector<Weight> dist(partners.size());
+    target_scratch_.resize(partners.size());
+    dist_scratch_.resize(partners.size());
     for (std::size_t i = 0; i < partners.size(); ++i) {
-      targets[i] = home_[partners[i]];
+      target_scratch_[i] = home_[partners[i].first];
     }
-    metric_->distances(home, targets, dist.data());
+    metric_->distances(home, target_scratch_, dist_scratch_.data());
     for (std::size_t i = 0; i < partners.size(); ++i) {
-      const TxnId p = partners[i];
+      const auto [p, s] = partners[i];
       // Streams revisit homes, so two conflicting transactions can share a
       // node (distance 0). The single-copy object still serves one commit
       // per step — exactly what the stepwise engine enforces — so conflict
       // edges are at least 1 here, where the batch builder (one txn per
       // node) never sees a zero.
-      const Weight w = std::max<Weight>(dist[i], 1);
-      arcs_.push_back({p, w, head_[t]});
-      head_[t] = static_cast<std::int32_t>(arcs_.size() - 1);
-      arcs_.push_back({t, w, head_[p]});
-      head_[p] = static_cast<std::int32_t>(arcs_.size() - 1);
+      const Weight w = std::max<Weight>(dist_scratch_[i], 1);
+      // Tail-appended in ascending partner order; p's chain gains t, the
+      // largest id so far — both chains stay ascending by neighbor.
+      push_arc(pools_[s], t, p, w);
+      push_arc(pools_[s], p, t, w);
       max_w_ = std::max(max_w_, w);
     }
     telemetry::count("stream.dep_edges", partners.size());
@@ -102,7 +145,7 @@ void IncrementalConflictGraph::add_txn(TxnId t, NodeId home,
 
 void IncrementalConflictGraph::retire(TxnId t,
                                       std::span<const ObjectId> objects) {
-  DTM_REQUIRE(t < head_.size(), "incremental graph: retiring unknown txn");
+  DTM_REQUIRE(t < num_txns_, "incremental graph: retiring unknown txn");
   for (ObjectId o : objects) {
     auto& req = live_req_[o];
     auto it = std::find(req.begin(), req.end(), t);
@@ -112,6 +155,15 @@ void IncrementalConflictGraph::retire(TxnId t,
   }
   DTM_ASSERT(live_ > 0);
   --live_;
+}
+
+std::size_t IncrementalConflictGraph::arc_pool_bytes() const {
+  std::size_t bytes = 0;
+  for (const Pool& pool : pools_) {
+    bytes += pool.arcs.size() * sizeof(Arc) +
+             (pool.head.size() + pool.tail.size()) * sizeof(std::int32_t);
+  }
+  return bytes;
 }
 
 DependencyGraph IncrementalConflictGraph::subgraph(
@@ -134,28 +186,99 @@ DependencyGraph IncrementalConflictGraph::subgraph(
                : kInvalidTxn;
   };
 
+  // Pass 1: exact degrees (chains filtered to subset members).
   h.offsets.assign(n + 1, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    DTM_REQUIRE(h.txns[i] < head_.size(),
+    DTM_REQUIRE(h.txns[i] < num_txns_,
                 "incremental subgraph: T" << h.txns[i] << " never added");
     std::size_t deg = 0;
-    for (std::int32_t a = head_[h.txns[i]]; a != -1; a = arcs_[a].next) {
-      const TxnId j = local_of(arcs_[a].to);
-      if (j == kInvalidTxn) continue;
-      h.edges.push_back({j, arcs_[a].weight});
-      h.max_edge_weight = std::max(h.max_edge_weight, arcs_[a].weight);
-      ++deg;
+    for (const Pool& pool : pools_) {
+      for (std::int32_t a = chain_head(pool, h.txns[i]); a != -1;
+           a = pool.arcs[a].next) {
+        if (local_of(pool.arcs[a].to) != kInvalidTxn) ++deg;
+      }
     }
-    // The pool lists arcs newest-first; sort the slice by local index so
-    // the view matches the batch builder's ordering.
-    std::sort(h.edges.begin() + h.offsets[i], h.edges.end(),
-              [](const DependencyEdge& x, const DependencyEdge& y) {
-                return x.neighbor < y.neighbor;
-              });
-    h.offsets[i + 1] = static_cast<std::uint32_t>(h.edges.size());
+    h.offsets[i + 1] = h.offsets[i] + static_cast<std::uint32_t>(deg);
     h.max_degree = std::max(h.max_degree, deg);
   }
+
+  // Pass 2: fill by k-way merge of the per-pool chains. Every chain is
+  // ascending by neighbor id (tail insertion, see add_txn) and a pair
+  // lives in exactly one pool, so picking the smallest live cursor yields
+  // the batch builder's ascending-local-index order with no sort and no
+  // allocation beyond the exact-sized edge array.
+  h.edges.resize(h.offsets[n]);
+  auto& cur = cursor_scratch_;
+  auto& cur_local = cursor_local_scratch_;
+  const std::size_t S = pools_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Park each pool's cursor on its first in-subset arc.
+    for (std::size_t s = 0; s < S; ++s) {
+      std::int32_t a = chain_head(pools_[s], h.txns[i]);
+      TxnId l = kInvalidTxn;
+      while (a != -1 &&
+             (l = local_of(pools_[s].arcs[a].to)) == kInvalidTxn) {
+        a = pools_[s].arcs[a].next;
+      }
+      cur[s] = a;
+      cur_local[s] = a != -1 ? l : kInvalidTxn;
+    }
+    for (std::uint32_t e = h.offsets[i]; e < h.offsets[i + 1]; ++e) {
+      std::size_t best = S;
+      for (std::size_t s = 0; s < S; ++s) {
+        if (cur[s] == -1) continue;
+        if (best == S || cur_local[s] < cur_local[best]) best = s;
+      }
+      DTM_ASSERT(best < S);
+      const Arc& arc = pools_[best].arcs[cur[best]];
+      h.edges[e] = {cur_local[best], arc.weight};
+      h.max_edge_weight = std::max(h.max_edge_weight, arc.weight);
+      // Advance the winning cursor to its next in-subset arc.
+      std::int32_t a = arc.next;
+      TxnId l = kInvalidTxn;
+      while (a != -1 &&
+             (l = local_of(pools_[best].arcs[a].to)) == kInvalidTxn) {
+        a = pools_[best].arcs[a].next;
+      }
+      cur[best] = a;
+      cur_local[best] = a != -1 ? l : kInvalidTxn;
+    }
+  }
   return h;
+}
+
+void IncrementalConflictGraph::shard_subgraph(std::size_t s,
+                                              std::span<const TxnId> window,
+                                              std::span<const TxnId> local_of,
+                                              ShardSubgraph& out) const {
+  DTM_ASSERT(s < pools_.size());
+  const Pool& pool = pools_[s];
+  const std::size_t n = window.size();
+  out.max_edge_weight = 0;
+  out.offsets.assign(n + 1, 0);
+
+  // Two passes over the chains: count, then fill in chain order (already
+  // ascending by neighbor id, hence by window-local index).
+  for (std::size_t i = 0; i < n; ++i) {
+    DTM_ASSERT(window[i] < local_of.size());
+    std::uint32_t deg = 0;
+    for (std::int32_t a = chain_head(pool, window[i]); a != -1;
+         a = pool.arcs[a].next) {
+      if (local_of[pool.arcs[a].to] != kInvalidTxn) ++deg;
+    }
+    out.offsets[i + 1] = out.offsets[i] + deg;
+  }
+  out.edges.resize(out.offsets[n]);
+  std::size_t e = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::int32_t a = chain_head(pool, window[i]); a != -1;
+         a = pool.arcs[a].next) {
+      const TxnId l = local_of[pool.arcs[a].to];
+      if (l == kInvalidTxn) continue;
+      out.edges[e++] = {l, pool.arcs[a].weight};
+      out.max_edge_weight = std::max(out.max_edge_weight, pool.arcs[a].weight);
+    }
+  }
 }
 
 }  // namespace dtm

@@ -1,0 +1,85 @@
+// Closed-loop admission control for the streaming runtime (DESIGN.md §10).
+//
+// PR 8's backpressure was a fixed bound: admit while fewer than max_live
+// admitted transactions are uncommitted. A fixed bound has no good value
+// under a varying offered load — too tight and the runtime defers work it
+// could absorb (backlog grows without bound below capacity), too loose and
+// every window colors a huge live batch (scheduling latency grows with
+// contention). AdmissionController is the seam between those policies:
+// the runtime asks quota() at each window close and reports what it
+// observed through on_window(), so the bound can follow the stream.
+//
+// Policies:
+//  * kFixed — quota() is a constant; on_window() ignores the feedback.
+//    Bit-identical to the PR 8 behavior (0 = admit everything).
+//  * kAimd  — additive-increase / multiplicative-decrease on the backlog
+//    slope, TCP-style. While deferred work exists and the backlog is
+//    still growing, the quota was the bottleneck: raise it additively.
+//    Once the runtime has caught up (nothing deferred, backlog at or
+//    under the low watermark), cut multiplicatively toward the floor so
+//    the live set — and with it per-window coloring latency — shrinks
+//    again. Every decision is a pure function of schedule-derived
+//    feedback, so adaptive runs stay deterministic (and shard-count
+//    invariant).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace dtm {
+
+enum class AdmissionPolicy { kFixed, kAimd };
+
+struct AdmissionConfig {
+  AdmissionPolicy policy = AdmissionPolicy::kFixed;
+  /// kFixed: the bound itself (0 = admit everything).
+  /// kAimd: the starting quota (0 = start at min_live).
+  std::size_t max_live = 0;
+  /// kAimd: quota floor (multiplicative decrease never goes below).
+  std::size_t min_live = 8;
+  /// kAimd: quota ceiling (0 = uncapped).
+  std::size_t cap = 0;
+  /// kAimd: additive step while the backlog grows.
+  std::size_t increase = 8;
+  /// kAimd: multiplicative factor once caught up (in (0, 1)).
+  double decrease = 0.5;
+  /// kAimd: a backlog at or below this counts as caught up.
+  std::size_t low_watermark = 0;
+};
+
+/// What the runtime observed over one closed window.
+struct AdmissionFeedback {
+  /// arrived - committed at the window close (sampled backlog).
+  std::size_t backlog = 0;
+  /// Transactions still deferred in the FIFO after this admission round.
+  std::size_t waiting = 0;
+  /// Admitted transactions whose commit has not yet retired.
+  std::size_t live = 0;
+  /// Commits retired by this window's clock advance.
+  std::size_t committed_delta = 0;
+};
+
+class AdmissionController {
+ public:
+  virtual ~AdmissionController() = default;
+  virtual std::string name() const = 0;
+  /// Current bound: admit while live < quota(); 0 = admit everything.
+  virtual std::size_t quota() const = 0;
+  virtual void on_window(const AdmissionFeedback& fb) = 0;
+  /// Control actions taken so far (0 for kFixed; telemetry + bench).
+  virtual std::size_t raises() const { return 0; }
+  virtual std::size_t cuts() const { return 0; }
+};
+
+std::unique_ptr<AdmissionController> make_admission_controller(
+    const AdmissionConfig& cfg);
+
+/// "fixed" | "adaptive" (the dtm_cli / bench spelling of kAimd).
+AdmissionPolicy parse_admission_policy(std::string_view name);
+const char* admission_policy_name(AdmissionPolicy policy);
+
+}  // namespace dtm

@@ -14,16 +14,28 @@
 //     (IncrementalConflictGraph: delta edge insertion against the live —
 //     uncommitted — requester sets, never a rebuild);
 //   * admit — at each window close, deferred work plus the window's
-//     arrivals are admitted up to the backpressure bound
-//     (max_live_admitted); the excess stays in a FIFO backlog and is
-//     counted, so overload sheds latency instead of memory;
+//     arrivals are admitted up to the AdmissionController's quota
+//     (sim/admission.hpp: a fixed bound, or AIMD closed-loop control fed
+//     by backlog/commit feedback); the excess stays in a FIFO backlog and
+//     is counted, so overload sheds latency instead of memory;
 //   * schedule — the admitted batch is colored by the §2.3 greedy
 //     (sched/greedy's coloring over a subgraph *view* extracted from the
 //     incremental graph) and placed after the live horizon exactly like
 //     OnlineBatchScheduler places its windows: base = max(horizon,
 //     close-1), plus the worst transition distance from each object's
 //     current chain tail. Feasibility is by construction — the same
-//     triangle-inequality argument as the batch scheduler's;
+//     triangle-inequality argument as the batch scheduler's.
+//     With shards > 1 the coloring step fans out over the thread pool
+//     (DESIGN.md §10): the conflict graph keeps one arc pool per shard of
+//     a locality partition of the substrate (graph/partition.hpp — an
+//     object belongs to its home node's shard), per-shard window views
+//     are extracted concurrently and k-way merged into the window CSR,
+//     conflict components confined to one shard are colored in parallel,
+//     and components spanning shards — found by a taint walk from
+//     cross-shard transactions — are colored by a sequential fix-up pass.
+//     A greedy color depends only on already-colored same-component
+//     neighbors plus window-global h_max/Δ, so the sharded schedule is
+//     bit-identical to the shards=1 schedule;
 //   * commit — commit steps are tracked against the stream clock; when the
 //     clock passes a transaction's commit step it retires from the live
 //     conflict sets. drain() can additionally replay the materialized
@@ -47,8 +59,10 @@
 #include "core/online.hpp"
 #include "core/schedule.hpp"
 #include "graph/metric.hpp"
+#include "graph/partition.hpp"
 #include "sched/dependency_graph.hpp"
 #include "sched/greedy.hpp"
+#include "sim/admission.hpp"
 
 namespace dtm {
 
@@ -60,7 +74,18 @@ struct StreamingRuntimeOptions {
   /// Backpressure bound: a batch member is admitted only while fewer than
   /// this many admitted transactions are still uncommitted at the window
   /// close; the rest wait in the FIFO backlog. 0 = admit everything.
+  /// Shorthand for admission = {kFixed, max_live_admitted}; ignored when
+  /// `admission.max_live` is set.
   std::size_t max_live_admitted = 0;
+  /// Closed-loop admission control (sim/admission.hpp). The default —
+  /// kFixed with max_live 0 — falls back to max_live_admitted above,
+  /// reproducing the PR 8 behavior bit for bit.
+  AdmissionConfig admission;
+  /// Conflict-graph shards: 1 = the sequential path; k > 1 partitions the
+  /// substrate into k locality shards (graph/partition.hpp) and colors
+  /// shard-confined conflict components concurrently on the shared
+  /// ThreadPool. The schedule is bit-identical for every value.
+  std::size_t shards = 1;
   /// drain(): replay the materialized stream through the stepwise engine
   /// and fail if any planned commit is missed (see verify_by_replay()).
   bool replay_check = false;
@@ -87,6 +112,24 @@ struct StreamStats {
   /// Incremental conflict-graph footprint.
   std::size_t dep_edges = 0;
   Weight dep_max_weight = 0;
+};
+
+/// Shard-partition load measurements (only meaningful with shards > 1;
+/// kept out of StreamStats, which is shard-count invariant by contract).
+struct ShardLoadStats {
+  std::size_t num_shards = 1;
+  /// Partition rule that produced the shard map ("cluster"|"grid"|"range").
+  std::string scheme = "range";
+  /// Admitted transactions whose objects all live in one shard.
+  std::size_t local_txns = 0;
+  /// Admitted transactions spanning shards (taint seeds).
+  std::size_t cross_txns = 0;
+  /// Transactions colored by the sequential fix-up pass (members of
+  /// components containing a cross-shard transaction; >= cross_txns).
+  std::size_t fixup_txns = 0;
+  /// Largest single-shard member list any window colored (imbalance
+  /// indicator: ideal is batch/shards).
+  std::size_t peak_shard_members = 0;
 };
 
 class StreamingRuntime {
@@ -118,6 +161,9 @@ class StreamingRuntime {
   /// Transactions arrived but not yet committed at the current clock.
   std::size_t backlog() const { return stats_.arrived - stats_.committed; }
   const StreamStats& stats() const { return stats_; }
+  const ShardLoadStats& shard_stats() const { return shard_stats_; }
+  /// The live admission controller (quota / raises / cuts for benches).
+  const AdmissionController& admission() const { return *admission_; }
 
   // --- materialized results (tests, replay, validation) ---------------
   /// The ingested stream as a (shared-homes) batch Instance.
@@ -139,7 +185,13 @@ class StreamingRuntime {
   /// Schedules one window: retire commits the clock passed, admit, color
   /// the batch subgraph, place after the horizon.
   void schedule_window(Time close, std::vector<TxnId>&& fresh);
-  void retire_through(Time step);
+  /// Colors the admitted batch: shards=1 takes the sequential subgraph
+  /// path, shards>1 the parallel extract/merge/color pipeline. Both emit
+  /// identical greedy.* telemetry and identical colors.
+  ColoredSubset color_batch(const std::vector<TxnId>& batch);
+  ColoredSubset color_batch_sharded(const std::vector<TxnId>& batch);
+  /// Commits the clock passed; returns how many transactions retired.
+  std::size_t retire_through(Time step);
   void sample_backlog();
 
   const Graph* g_;
@@ -158,7 +210,25 @@ class StreamingRuntime {
   std::vector<NodeId> pos_;                  // chain-tail positions
   Time horizon_ = 0;
 
+  // Shard partition (only populated with opts.shards > 1).
+  ShardMap shard_map_;
   IncrementalConflictGraph dep_;
+  /// Per txn: owning shard, or num_shards as the cross-shard sentinel
+  /// (only maintained with opts.shards > 1).
+  std::vector<std::uint32_t> txn_shard_;
+
+  // Reused sharded-window scratch (allocation-free steady state).
+  std::vector<TxnId> local_tbl_;        // global id -> window-local index
+  std::vector<ShardSubgraph> views_;    // per-shard window slices
+  std::vector<std::vector<std::uint32_t>> shard_members_;
+  std::vector<std::uint32_t> fixup_members_;
+  std::vector<char> tainted_;
+  std::vector<std::uint32_t> taint_stack_;
+  std::vector<std::uint32_t> merge_cur_;
+  std::vector<std::uint64_t> probes_scratch_;
+  std::vector<Time> durs_scratch_;
+  std::unique_ptr<AdmissionController> admission_;
+  ShardLoadStats shard_stats_;
 
   // Window assembly.
   std::vector<TxnId> open_batch_;  // arrivals in the open window
