@@ -33,6 +33,7 @@
 #include "trial_runner.hpp"
 #include "util/args.hpp"
 #include "util/json_writer.hpp"
+#include "util/metrics.hpp"
 #include "util/provenance.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -239,6 +240,31 @@ class BenchReport {
     w.key("rss").begin_object();
     w.key("peak_bytes").value(peak_rss_bytes());
     w.end_object();
+    // Informational metrics block (benches that enable the MetricsRegistry
+    // embed the final gauge/histogram snapshot; bench_compare reports
+    // changes under metrics/ but never gates on them). Samples stay out —
+    // they belong to the --metrics-out JSONL, not the bench artifact.
+    if (MetricsRegistry::global().enabled()) {
+      const MetricsSnapshot ms = MetricsRegistry::global().snapshot();
+      w.key("metrics").begin_object();
+      w.key("gauges").begin_object();
+      for (const auto& [name, v] : ms.gauges) w.key(name).value(v);
+      w.end_object();
+      w.key("histograms").begin_object();
+      for (const auto& [name, h] : ms.histograms) {
+        w.key(name).begin_object();
+        w.key("count").value(h.count);
+        w.key("sum").value(h.sum);
+        w.key("min").value(h.min);
+        w.key("max").value(h.max);
+        w.key("p50").value(h.percentile(50));
+        w.key("p95").value(h.percentile(95));
+        w.key("p99").value(h.percentile(99));
+        w.end_object();
+      }
+      w.end_object();
+      w.end_object();
+    }
     w.end_object();
     return w.str();
   }

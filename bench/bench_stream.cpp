@@ -44,6 +44,7 @@
 #include "graph/topologies/grid.hpp"
 #include "sim/optimistic.hpp"
 #include "sim/runtime.hpp"
+#include "util/metrics.hpp"
 #include "util/telemetry.hpp"
 
 namespace {
@@ -377,6 +378,70 @@ void print_shard_series(bool smoke) {
   benchutil::emit_table("admission", admission);
 }
 
+// --- E24: admission policy by latency distribution ----------------------
+
+/// Fixed-vs-AIMD admission restated in the units users feel: the
+/// arrival->commit latency distribution at 0.9x measured capacity. E23
+/// already shows the backlog/deferral win; here the same two runs are
+/// compared by p50/p95/p99 of the per-transaction latency histograms the
+/// MetricsRegistry records (nearest-rank bucket lower bounds, so every
+/// cell is a deterministic integer). Goes into its own artifact
+/// (--latency-json) with a committed CI-gated baseline.
+void print_latency_series(bool smoke) {
+  benchutil::print_header(
+      "E24 — admission policy by arrival->commit latency (metrics layer)",
+      "fixed tight bound vs AIMD on bursty arrivals at 0.9x measured "
+      "capacity, compared by per-transaction latency percentiles");
+
+  const std::size_t n = smoke ? 200 : 500;
+  const ClusterGraph cluster(4, 8, 16);
+  const DenseMetric cluster_metric(cluster.graph);
+  MetricsRegistry& mreg = MetricsRegistry::global();
+
+  const double mu = measure_capacity(cluster.graph, cluster_metric,
+                                     ArrivalModel::kBursty, n);
+  const double rate = 0.9 * mu;
+
+  Table latency({"graph", "arrivals", "policy", "rate", "committed", "count",
+                 "mean", "p50", "p95", "p99", "max"});
+  StreamingRuntimeOptions fixed;
+  fixed.window = kWindow;
+  fixed.max_live_admitted = 8;  // E23's tight bound: well under one burst
+  StreamingRuntimeOptions aimd;
+  aimd.window = kWindow;
+  aimd.admission.policy = AdmissionPolicy::kAimd;
+  aimd.admission.min_live = 8;
+  aimd.admission.increase = 8;
+  aimd.admission.decrease = 0.5;
+
+  std::uint64_t fixed_p99 = 0, aimd_p99 = 0;
+  const std::pair<const char*, const StreamingRuntimeOptions*> policies[] = {
+      {"fixed", &fixed}, {"aimd", &aimd}};
+  for (const auto& [policy, opts] : policies) {
+    // One histogram set per measured run (capacity probes above and the
+    // other policy's run must not bleed into the distribution).
+    mreg.reset();
+    const StreamingRuntime rt = run_stream_opts(
+        cluster.graph, cluster_metric, ArrivalModel::kBursty, rate, n, *opts);
+    const MetricsSnapshot snap = mreg.snapshot();
+    const auto it = snap.histograms.find("stream.latency.arrival_to_commit");
+    DTM_REQUIRE(it != snap.histograms.end(),
+                "stream run recorded no arrival_to_commit histogram");
+    const HistogramSnapshot& h = it->second;
+    latency.add_row("cluster4x8", "bursty", policy, rate,
+                    rt.stats().committed, h.count, h.mean(), h.percentile(50),
+                    h.percentile(95), h.percentile(99), h.max);
+    (policy == std::string("fixed") ? fixed_p99 : aimd_p99) =
+        h.percentile(99);
+  }
+  // The E23 deferral win restated as tail latency: opening the quota under
+  // a backlog must shorten the p99 wait, not just the deferral count.
+  DTM_REQUIRE(aimd_p99 < fixed_p99,
+              "AIMD p99 arrival->commit latency " << aimd_p99
+                  << " not below the tight fixed bound's " << fixed_p99);
+  benchutil::emit_table("latency", latency);
+}
+
 void BM_StreamPipeline(benchmark::State& state) {
   const Grid grid(static_cast<std::size_t>(state.range(0)));
   const DenseMetric metric(grid.graph);
@@ -427,7 +492,16 @@ int main(int argc, char** argv) {
   const bool smoke = dtm::benchutil::strip_flag(argc, argv, "--smoke");
   const std::string shard_json =
       dtm::benchutil::strip_value_flag(argc, argv, "--shard-json");
+  const std::string latency_json =
+      dtm::benchutil::strip_value_flag(argc, argv, "--latency-json");
+  const std::string metrics_out =
+      dtm::benchutil::strip_value_flag(argc, argv, "--metrics-out");
   dtm::benchutil::BenchMain bm("stream", argc, argv);
+  // The stream bench always records metrics (every artifact embeds its
+  // informational gauge/histogram snapshot, and E24's series cells come
+  // from the latency histograms); the registry stays disabled everywhere
+  // else, preserving the one-relaxed-load cost contract.
+  dtm::MetricsRegistry::global().set_enabled(true);
   print_series(smoke);
   bm.write_artifact();
 
@@ -435,6 +509,7 @@ int main(int argc, char** argv) {
   // BENCH_stream_shard.json reflects only the sharded sweep.
   dtm::benchutil::BenchReport::instance().clear();
   dtm::TelemetryRegistry::global().reset();
+  dtm::MetricsRegistry::global().reset();
   print_shard_series(smoke);
   if (!shard_json.empty()) {
     std::ofstream out(shard_json);
@@ -444,6 +519,45 @@ int main(int argc, char** argv) {
         << '\n';
     std::cout << "\nwrote " << shard_json << "\n";
   }
+
+  // E24 likewise (BENCH_stream_latency.json): latency-distribution cells
+  // from the metrics histograms.
+  dtm::benchutil::BenchReport::instance().clear();
+  dtm::TelemetryRegistry::global().reset();
+  dtm::MetricsRegistry::global().reset();
+  print_latency_series(smoke);
+  if (!latency_json.empty()) {
+    std::ofstream out(latency_json);
+    DTM_REQUIRE(out.good(),
+                "cannot open --latency-json file " << latency_json);
+    out << dtm::benchutil::BenchReport::instance().to_json("stream_latency",
+                                                           bm.invocation())
+        << '\n';
+    std::cout << "\nwrote " << latency_json << "\n";
+  }
+
+  // --metrics-out FILE: one dedicated AIMD bursty run (fixed rate, so no
+  // capacity probes pollute the time series) exported as dtm-metrics-v1
+  // JSONL — the file CI pipes through stream_report --validate.
+  if (!metrics_out.empty()) {
+    dtm::MetricsRegistry::global().reset();
+    dtm::StreamingRuntimeOptions opts;
+    opts.window = kWindow;
+    opts.admission.policy = dtm::AdmissionPolicy::kAimd;
+    opts.admission.min_live = 8;
+    opts.admission.increase = 8;
+    opts.admission.decrease = 0.5;
+    const dtm::ClusterGraph cluster(4, 8, 16);
+    const dtm::DenseMetric metric(cluster.graph);
+    run_stream_opts(cluster.graph, metric, dtm::ArrivalModel::kBursty, 1.2,
+                    smoke ? 200 : 500, opts);
+    std::ofstream out(metrics_out);
+    DTM_REQUIRE(out.good(),
+                "cannot open --metrics-out file " << metrics_out);
+    out << dtm::MetricsRegistry::global().snapshot().to_jsonl();
+    std::cout << "\nwrote " << metrics_out << "\n";
+  }
+  dtm::MetricsRegistry::global().set_enabled(false);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -50,6 +50,7 @@
 #include "util/csv.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/metrics.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
@@ -217,6 +218,25 @@ void warn_unknown_flags(const ArgParser& args) {
 /// executor instead, so the two execution models are directly comparable.
 int run_streaming(const ArgParser& args, const TopologyBundle& topo,
                   const Metric& metric, std::uint64_t seed) {
+  // --metrics-out[=FILE] turns the (disabled-by-default) MetricsRegistry on
+  // for this run and writes the dtm-metrics-v1 JSONL afterwards (latency
+  // histograms, per-window samples; stream_report reads it). Bare flag
+  // defaults to metrics.jsonl.
+  const bool metrics_requested = args.has("metrics-out");
+  MetricsRegistry& mreg = MetricsRegistry::global();
+  if (metrics_requested) {
+    mreg.reset();
+    mreg.set_enabled(true);
+  }
+  const auto write_metrics = [&] {
+    if (!metrics_requested) return;
+    const std::string path = args.get_optional("metrics-out", "metrics.jsonl");
+    std::ofstream out(path);
+    DTM_REQUIRE(out.good(), "cannot open --metrics-out file " << path);
+    out << mreg.snapshot().to_jsonl();
+    std::cout << "wrote metrics to " << path << '\n';
+  };
+
   const ArrivalModel model =
       parse_arrival_model(args.get("arrival-model", "poisson"));
   ArrivalStreamOptions stream;
@@ -255,6 +275,7 @@ int run_streaming(const ArgParser& args, const TopologyBundle& topo,
                   static_cast<double>(r.wasted_steps),
                   static_cast<double>(r.makespan), r.throughput);
     table.print(std::cout);
+    write_metrics();
     warn_unknown_flags(args);
     return 0;
   }
@@ -292,6 +313,7 @@ int run_streaming(const ArgParser& args, const TopologyBundle& topo,
     std::cout << "admission: " << ac.name() << ", final quota " << ac.quota()
               << ", raises " << ac.raises() << ", cuts " << ac.cuts() << '\n';
   }
+  write_metrics();
   warn_unknown_flags(args);
   return 0;
 }
@@ -537,7 +559,10 @@ int main(int argc, char** argv) {
           "  [--shards N]               parallel conflict-graph shards "
           "(1 = sequential; any N is bit-identical)\n"
           "  [--admission fixed|adaptive]  admission control: fixed "
-          "--max-live bound, or AIMD closed-loop on backlog\n";
+          "--max-live bound, or AIMD closed-loop on backlog\n"
+          "  [--metrics-out[=FILE]]     write dtm-metrics-v1 JSONL (latency "
+          "histograms, per-window samples; default metrics.jsonl;\n"
+          "                             summarize with tools/stream_report)\n";
       return 0;
     }
     std::string invocation = "dtm_cli";

@@ -2,15 +2,26 @@
 
 #include <algorithm>
 
+#include "util/metrics.hpp"
 #include "util/telemetry.hpp"
 
 namespace dtm {
 
 namespace {
 
+/// Mirrors the live quota into the "admission.quota" gauge so AIMD
+/// oscillation shows up in metrics snapshots. One relaxed load when metrics
+/// are off (the gauge handle is resolved once per process).
+void publish_quota(std::size_t quota) {
+  static MetricGauge& g = metrics::gauge("admission.quota");
+  g.set(static_cast<std::int64_t>(quota));
+}
+
 class FixedAdmission final : public AdmissionController {
  public:
-  explicit FixedAdmission(std::size_t max_live) : max_live_(max_live) {}
+  explicit FixedAdmission(std::size_t max_live) : max_live_(max_live) {
+    publish_quota(max_live_);
+  }
   std::string name() const override { return "fixed"; }
   std::size_t quota() const override { return max_live_; }
   void on_window(const AdmissionFeedback&) override {}
@@ -29,6 +40,7 @@ class AimdAdmission final : public AdmissionController {
     quota_ = cfg.max_live != 0 ? cfg.max_live : cfg.min_live;
     quota_ = std::max(quota_, cfg.min_live);
     if (cfg.cap != 0) quota_ = std::min(quota_, cfg.cap);
+    publish_quota(quota_);
   }
 
   std::string name() const override { return "aimd"; }
@@ -48,6 +60,7 @@ class AimdAdmission final : public AdmissionController {
         quota_ = next;
         ++raises_;
         telemetry::count("admission.raises");
+        publish_quota(quota_);
       }
     } else if (fb.waiting == 0 && fb.backlog <= cfg_.low_watermark) {
       // Caught up: shrink toward the floor so windows color small live
@@ -59,6 +72,7 @@ class AimdAdmission final : public AdmissionController {
         quota_ = next;
         ++cuts_;
         telemetry::count("admission.cuts");
+        publish_quota(quota_);
       }
     }
     prev_backlog_ = fb.backlog;

@@ -6,6 +6,7 @@
 #include <tuple>
 #include <utility>
 
+#include "util/metrics.hpp"
 #include "util/telemetry.hpp"
 
 namespace dtm {
@@ -89,6 +90,13 @@ OptimisticResult run_optimistic(const Instance& inst, const Metric& metric,
 
     ++out.aborts;
     out.wasted_steps += latency[a.txn];
+    {
+      // One wasted round-trip per abort: the latency the failed attempt
+      // burned before validation killed it.
+      static MetricHistogram& h_wasted =
+          metrics::histogram("optimistic.wasted_steps");
+      h_wasted.record(static_cast<std::uint64_t>(latency[a.txn]));
+    }
     if (++retries[a.txn] > opts.max_retries) {
       std::ostringstream os;
       os << "T" << a.txn << " exceeded " << opts.max_retries << " retries";
@@ -109,6 +117,20 @@ OptimisticResult run_optimistic(const Instance& inst, const Metric& metric,
                    static_cast<double>(std::max<Time>(out.makespan, 1));
   telemetry::count("optimistic.commits", out.commits);
   telemetry::count("optimistic.aborts", out.aborts);
+  if (MetricsRegistry::global().enabled()) {
+    // Distribution view of the contention cost: retries per transaction and
+    // end-to-end arrival -> commit latency (scheduler-vs-optimistic
+    // comparisons become latency comparisons, not just throughput).
+    static MetricHistogram& h_retries =
+        metrics::histogram("optimistic.retries");
+    static MetricHistogram& h_latency =
+        metrics::histogram("optimistic.latency.arrival_to_commit");
+    for (TxnId t = 0; t < n; ++t) {
+      h_retries.record(retries[t]);
+      h_latency.record(static_cast<std::uint64_t>(
+          out.commit_time[t] - std::max<Time>(arrival[t], 0)));
+    }
+  }
   return out;
 }
 

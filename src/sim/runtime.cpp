@@ -7,6 +7,7 @@
 
 #include "sim/engine.hpp"
 #include "sim/link_policy.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel_for.hpp"
 #include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
@@ -212,9 +213,25 @@ void StreamingRuntime::schedule_window(Time close,
                            .live = live_admitted_,
                            .committed_delta = retired});
   };
+  MetricsRegistry& mreg = MetricsRegistry::global();
+  const bool metrics_on = mreg.enabled();  // one relaxed load per window
+  const auto emit_window_sample = [&](std::size_t admitted_now,
+                                      Time colors) {
+    mreg.sample("window",
+                {{"t", close},
+                 {"backlog", static_cast<std::int64_t>(backlog())},
+                 {"admitted", static_cast<std::int64_t>(admitted_now)},
+                 {"deferred", static_cast<std::int64_t>(backlog_.size())},
+                 {"quota", static_cast<std::int64_t>(quota)},
+                 {"live", static_cast<std::int64_t>(live_admitted_)},
+                 {"retired", static_cast<std::int64_t>(retired)},
+                 {"colors", colors}});
+  };
+
   if (batch.empty()) {
     sample_backlog();
     close_feedback();
+    if (metrics_on) emit_window_sample(0, 0);
     return;
   }
   std::sort(batch.begin(), batch.end());  // backlog ids precede fresh ids
@@ -253,6 +270,29 @@ void StreamingRuntime::schedule_window(Time close,
     pending_commits_.emplace(commit_[t], t);
     stats_.makespan = std::max(stats_.makespan, commit_[t]);
   }
+  if (metrics_on) {
+    // Per-transaction latency stages. They tile commit - arrival exactly:
+    // the admit wait runs from arrival to the admitting window's close - 1
+    // (>= 0: members arrived before the close), the scheduling gap is the
+    // horizon/transition placement past the close (>= 0: base >= close - 1),
+    // and the commit wait is the in-window color slot (>= 1).
+    static MetricHistogram& h_wait =
+        metrics::histogram("stream.latency.arrival_to_admit");
+    static MetricHistogram& h_sched =
+        metrics::histogram("stream.latency.admit_to_scheduled");
+    static MetricHistogram& h_commit =
+        metrics::histogram("stream.latency.scheduled_to_commit");
+    static MetricHistogram& h_total =
+        metrics::histogram("stream.latency.arrival_to_commit");
+    for (std::size_t i = 0; i < colored.txns.size(); ++i) {
+      const TxnId t = colored.txns[i];
+      h_wait.record(static_cast<std::uint64_t>(close - 1 - arrival_[t]));
+      h_sched.record(
+          static_cast<std::uint64_t>(base + transition - (close - 1)));
+      h_commit.record(static_cast<std::uint64_t>(colored.local_time[i]));
+      h_total.record(static_cast<std::uint64_t>(commit_[t] - arrival_[t]));
+    }
+  }
   std::vector<std::size_t> by_color(colored.txns.size());
   for (std::size_t i = 0; i < by_color.size(); ++i) by_color[i] = i;
   std::sort(by_color.begin(), by_color.end(),
@@ -276,6 +316,22 @@ void StreamingRuntime::schedule_window(Time close,
   telemetry::count("stream.windows");
   sample_backlog();
   close_feedback();
+  if (metrics_on) {
+    emit_window_sample(batch.size(), colored.duration);
+    if (opts_.shards > 1) {
+      // Shard split rides in its own series so the "window" series (and the
+      // merged histograms above) stay byte-identical at every shard count.
+      mreg.sample("shard",
+                  {{"t", close},
+                   {"shards", static_cast<std::int64_t>(opts_.shards)},
+                   {"batch", static_cast<std::int64_t>(batch.size())},
+                   {"local", static_cast<std::int64_t>(window_split_.local)},
+                   {"cross", static_cast<std::int64_t>(window_split_.cross)},
+                   {"fixup", static_cast<std::int64_t>(window_split_.fixup)},
+                   {"peak_members",
+                    static_cast<std::int64_t>(window_split_.peak)}});
+    }
+  }
 }
 
 ColoredSubset StreamingRuntime::color_batch(const std::vector<TxnId>& batch) {
@@ -449,7 +505,9 @@ ColoredSubset StreamingRuntime::color_batch_sharded(
   shard_stats_.local_txns += n - cross;
   shard_stats_.cross_txns += cross;
   shard_stats_.fixup_txns += fixup_members_.size();
+  window_split_ = {n - cross, cross, fixup_members_.size(), 0};
   for (std::size_t s = 0; s < S; ++s) {
+    window_split_.peak = std::max(window_split_.peak, shard_members_[s].size());
     shard_stats_.peak_shard_members =
         std::max(shard_stats_.peak_shard_members, shard_members_[s].size());
   }
@@ -480,6 +538,23 @@ const StreamStats& StreamingRuntime::drain() {
   stats_.dep_edges = dep_.num_edges();
   stats_.dep_max_weight = dep_.max_edge_weight();
   telemetry::count("stream.arc_pool_bytes", dep_.arc_pool_bytes());
+  if (MetricsRegistry::global().enabled()) {
+    // End-of-stream gauges: stream_report --validate reconciles the latency
+    // histogram counts against stream.admitted.
+    metrics::gauge("stream.arrived")
+        .set(static_cast<std::int64_t>(stats_.arrived));
+    metrics::gauge("stream.admitted")
+        .set(static_cast<std::int64_t>(stats_.admitted));
+    metrics::gauge("stream.committed")
+        .set(static_cast<std::int64_t>(stats_.committed));
+    metrics::gauge("stream.deferrals")
+        .set(static_cast<std::int64_t>(stats_.deferrals));
+    metrics::gauge("stream.windows")
+        .set(static_cast<std::int64_t>(stats_.windows));
+    metrics::gauge("stream.peak_backlog")
+        .set(static_cast<std::int64_t>(stats_.peak_backlog));
+    metrics::gauge("stream.makespan").set(stats_.makespan);
+  }
   drained_ = true;
 
   if (opts_.replay_check) {

@@ -230,6 +230,16 @@ class StreamingRuntime {
   std::unique_ptr<AdmissionController> admission_;
   ShardLoadStats shard_stats_;
 
+  /// Per-window shard split captured by color_batch_sharded for the metrics
+  /// "shard" sample row (meaningless with shards == 1; overwritten every
+  /// sharded window).
+  struct WindowShardSplit {
+    std::size_t local = 0;   // shard-confined transactions this window
+    std::size_t cross = 0;   // cross-shard transactions this window
+    std::size_t fixup = 0;   // colored by the sequential fix-up pass
+    std::size_t peak = 0;    // largest single-shard member list
+  } window_split_;
+
   // Window assembly.
   std::vector<TxnId> open_batch_;  // arrivals in the open window
   Time open_window_ = 0;           // its index (valid if open_batch_ nonempty)

@@ -4,6 +4,8 @@
 #include <map>
 #include <sstream>
 
+#include "util/stats.hpp"
+
 namespace dtm {
 
 namespace {
@@ -113,6 +115,27 @@ TraceSummary summarize_trace(const std::vector<TraceSpanRecord>& events,
                      return a.slack != b.slack ? a.slack > b.slack
                                                : a.txn < b.txn;
                    });
+
+  // Arrival→commit latency distribution: batch traces have arrival step 0,
+  // so latency is the realized commit step itself.
+  if (!out.slack.empty()) {
+    std::vector<double> realized;
+    realized.reserve(out.slack.size());
+    out.latency.min = out.slack.front().realized;
+    for (const TxnSlack& s : out.slack) {
+      realized.push_back(static_cast<double>(s.realized));
+      out.latency.sum += s.realized;
+      out.latency.min = std::min(out.latency.min, s.realized);
+      out.latency.max = std::max(out.latency.max, s.realized);
+    }
+    std::sort(realized.begin(), realized.end());
+    out.latency.count = realized.size();
+    out.latency.mean = static_cast<double>(out.latency.sum) /
+                       static_cast<double>(realized.size());
+    out.latency.p50 = percentile_of_sorted(realized, 50.0);
+    out.latency.p95 = percentile_of_sorted(realized, 95.0);
+    out.latency.p99 = percentile_of_sorted(realized, 99.0);
+  }
 
   // The makespan witness: the last realized commit.
   const TraceSpanRecord* cur = nullptr;

@@ -66,6 +66,23 @@ struct TxnSlack {
   Time slack = 0;
 };
 
+/// Per-transaction arrival→commit latency distribution over the realized
+/// commit ends witnessed by the trace. Batch traces carry no arrival
+/// steps, so arrival is step 0 and latency == realized commit step — the
+/// same quantity the streaming runtime records (with true arrivals) into
+/// the `stream.latency.arrival_to_commit` histogram, which makes the two
+/// observability paths cross-checkable on all-zero-arrival instances.
+struct LatencySummary {
+  std::size_t count = 0;
+  Time sum = 0;
+  Time min = 0;
+  Time max = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
 /// Online form of the critical-path lag for the engine's reschedule seam.
 /// The post-mortem walk attributes every step of realized makespan to
 /// transfers and waits; while the run is still going the same quantity is
@@ -110,6 +127,10 @@ struct TraceSummary {
   std::vector<LinkUtilization> links;         // sorted by busy desc
   std::vector<QueueWaitEntry> queue_waits;    // sorted by length desc, top-k
   std::vector<TxnSlack> slack;                // sorted by slack desc
+
+  /// Arrival→commit latency over every committed transaction (see
+  /// LatencySummary); count == number of txn spans in the trace.
+  LatencySummary latency;
 
   /// Chain violations found while walking (empty on a healthy trace; a
   /// non-empty list means critical_total is not trustworthy).

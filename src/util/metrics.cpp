@@ -1,0 +1,206 @@
+#include "util/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/json_writer.hpp"
+#include "util/provenance.hpp"
+
+namespace dtm {
+
+std::uint64_t HistogramSnapshot::percentile(double p) const {
+  DTM_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
+  if (count == 0) return 0;
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t seen = 0;
+  for (const auto& [idx, c] : buckets) {
+    seen += c;
+    if (seen >= rank) return hdr::bucket_lower(idx);
+  }
+  DTM_ASSERT_MSG(false, "histogram bucket counts disagree with total");
+  return 0;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  std::size_t a = 0, b = 0;
+  while (a < buckets.size() || b < other.buckets.size()) {
+    if (b == other.buckets.size() ||
+        (a < buckets.size() && buckets[a].first < other.buckets[b].first)) {
+      merged.push_back(buckets[a++]);
+    } else if (a == buckets.size() ||
+               other.buckets[b].first < buckets[a].first) {
+      merged.push_back(other.buckets[b++]);
+    } else {
+      merged.emplace_back(buckets[a].first,
+                          buckets[a].second + other.buckets[b].second);
+      ++a;
+      ++b;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+MetricHistogram::MetricHistogram(const std::atomic<bool>* enabled)
+    : buckets_(new std::atomic<std::uint64_t>[hdr::kNumBuckets]),
+      min_(std::numeric_limits<std::uint64_t>::max()),
+      enabled_(enabled) {
+  for (std::uint32_t i = 0; i < hdr::kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void MetricHistogram::reset() {
+  for (std::uint32_t i = 0; i < hdr::kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<std::uint64_t>::max(),
+             std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+HistogramSnapshot MetricHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  for (std::uint32_t i = 0; i < hdr::kNumBuckets; ++i) {
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) {
+      snap.buckets.emplace_back(i, c);
+      snap.count += c;
+    }
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  const std::uint64_t mn = min_.load(std::memory_order_relaxed);
+  snap.min = snap.count == 0 ? 0 : mn;
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+MetricGauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(name,
+                      std::unique_ptr<MetricGauge>(new MetricGauge(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricHistogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<MetricHistogram>(
+                                new MetricHistogram(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::sample(
+    std::string series,
+    std::initializer_list<std::pair<const char*, std::int64_t>> fields) {
+  if (!enabled()) return;
+  MetricSample row;
+  row.series = std::move(series);
+  row.fields.reserve(fields.size());
+  for (const auto& [k, v] : fields) row.fields.emplace_back(k, v);
+  std::lock_guard lock(mu_);
+  samples_.push_back(std::move(row));
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mu_);
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = g->value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs = h->snapshot();
+    if (hs.count != 0) snap.histograms[name] = std::move(hs);
+  }
+  snap.samples = samples_;
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, g] : gauges_) {
+    (void)name;
+    g->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : histograms_) {
+    (void)name;
+    h->reset();
+  }
+  samples_.clear();
+}
+
+std::string MetricsSnapshot::to_jsonl() const {
+  std::string out;
+  {
+    JsonWriter w;
+    w.begin_object().key("schema").value("dtm-metrics-v1");
+    w.key("provenance").begin_object();
+    for (const auto& [k, v] : build_provenance()) w.key(k).value(v);
+    w.end_object().end_object();
+    out += w.str();
+    out += '\n';
+  }
+  for (const MetricSample& s : samples) {
+    JsonWriter w;
+    w.begin_object().key("series").value(s.series);
+    for (const auto& [k, v] : s.fields) w.key(k).value(v);
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  for (const auto& [name, v] : gauges) {
+    JsonWriter w;
+    w.begin_object().key("gauge").value(name).key("value").value(v);
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  for (const auto& [name, h] : histograms) {
+    JsonWriter w;
+    w.begin_object().key("hist").value(name);
+    w.key("count").value(h.count).key("sum").value(h.sum);
+    w.key("min").value(h.min).key("max").value(h.max);
+    w.key("buckets").begin_array();
+    for (const auto& [idx, c] : h.buckets) {
+      w.begin_array()
+          .value(static_cast<std::uint64_t>(idx))
+          .value(c)
+          .end_array();
+    }
+    w.end_array().end_object();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dtm

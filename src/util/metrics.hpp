@@ -1,0 +1,257 @@
+// Time-series stream health metrics: named gauges, deterministic mergeable
+// log-bucket histograms, and per-window sample rows, collected in a
+// MetricsRegistry whose snapshot serializes to deterministic JSONL
+// ("dtm-metrics-v1"). This is the third leg of the observability spine —
+// telemetry counts *events*, traces record *spans*, metrics record
+// *distributions and time series* (latency percentiles, backlog drift,
+// quota oscillation).
+//
+// Cost model (mirrors util/telemetry.hpp — the standing invariant):
+//  * The registry is DISABLED by default. MetricGauge::set()/add() and
+//    MetricHistogram::record() are one relaxed atomic load of the enabled
+//    flag when off — no stores, no locks.
+//  * Handles are stable for the registry's life: hot code looks a gauge or
+//    histogram up once (function-local static or member) and keeps the
+//    reference; only the lookup and snapshot take the registry mutex.
+//  * MetricsRegistry::sample() appends one row under the mutex; samples are
+//    per scheduling window (coarse), never in an inner loop, and the
+//    enabled check happens before the lock.
+//
+// Histogram bucketing (HDR-style, fixed for all histograms so snapshots
+// merge bucket-by-bucket and are byte-stable across shard counts):
+//  * values 0..31 get exact unit buckets (index == value);
+//  * every power-of-two octave [2^m, 2^(m+1)) above that is split into 32
+//    sub-buckets of width 2^(m-5), so relative error is <= 1/32;
+//  * bucket index = 32*(m-4) + (v >> (m-5)) - 32 for m = bit_width(v)-1,
+//    1920 buckets covering the full uint64 range.
+// Merging is element-wise count addition — exactly associative and
+// commutative — and percentiles are nearest-rank over the cumulative bucket
+// counts, reported as the containing bucket's lower bound (a deterministic
+// integer, never an interpolated double).
+//
+// Thread-safety: bucket counts / sums are relaxed atomics (concurrent
+// record() is safe and totals are exact); min/max use CAS loops; snapshots
+// are consistent per-cell, sufficient for post-run reporting.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dtm {
+
+class MetricsRegistry;
+
+/// Fixed log-bucket geometry shared by every histogram (see file comment).
+namespace hdr {
+
+inline constexpr std::uint32_t kSubBucketBits = 5;              // 32/octave
+inline constexpr std::uint32_t kSubBuckets = 1u << kSubBucketBits;
+/// Octaves: unit range [0,32) counts as the first two (indices 0..63 are
+/// exact through [32,64)), then one per remaining leading-bit position.
+inline constexpr std::uint32_t kNumBuckets = kSubBuckets * (64 - kSubBucketBits + 1);
+
+/// Bucket index for a value; monotone non-decreasing in `v`.
+constexpr std::uint32_t bucket_index(std::uint64_t v) {
+  if (v < kSubBuckets) return static_cast<std::uint32_t>(v);
+  const auto m = static_cast<std::uint32_t>(std::bit_width(v)) - 1;
+  const std::uint32_t shift = m - kSubBucketBits;
+  return kSubBuckets * (m - kSubBucketBits + 1) +
+         static_cast<std::uint32_t>(v >> shift) - kSubBuckets;
+}
+
+/// Smallest value mapping to bucket `idx` (the value percentiles report).
+constexpr std::uint64_t bucket_lower(std::uint32_t idx) {
+  if (idx < 2 * kSubBuckets) return idx;
+  const std::uint32_t octave = idx / kSubBuckets - 1;  // == m - kSubBucketBits
+  const std::uint64_t sub = idx % kSubBuckets;
+  return (static_cast<std::uint64_t>(kSubBuckets) + sub) << octave;
+}
+
+/// Largest value mapping to bucket `idx`.
+constexpr std::uint64_t bucket_upper(std::uint32_t idx) {
+  if (idx + 1 >= kNumBuckets) return ~std::uint64_t{0};
+  return bucket_lower(idx + 1) - 1;
+}
+
+}  // namespace hdr
+
+/// Point-in-time copy of one histogram: total count/sum/min/max plus the
+/// non-empty buckets in ascending index order. Snapshots from independent
+/// recorders (e.g. per-shard runs) merge losslessly.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // 0 when count == 0
+  std::uint64_t max = 0;
+  /// (bucket index, count) pairs, ascending index, counts > 0.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+
+  /// Nearest-rank percentile, p in [0, 100]: the lower bound of the bucket
+  /// holding the ceil(p/100 * count)-th smallest sample (rank 1 for p=0).
+  /// Returns 0 on an empty snapshot.
+  std::uint64_t percentile(double p) const;
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Element-wise accumulate: exactly associative and commutative.
+  void merge(const HistogramSnapshot& other);
+
+  friend bool operator==(const HistogramSnapshot&,
+                         const HistogramSnapshot&) = default;
+};
+
+/// One named last-value gauge (signed: backlog deltas may go negative in
+/// principle). Obtained from and owned by a MetricsRegistry.
+class MetricGauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.store(v, std::memory_order_relaxed);
+    }
+  }
+  void add(std::int64_t d) noexcept {
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.fetch_add(d, std::memory_order_relaxed);
+    }
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  MetricGauge(const MetricGauge&) = delete;
+  MetricGauge& operator=(const MetricGauge&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  explicit MetricGauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  std::atomic<std::int64_t> value_{0};
+  const std::atomic<bool>* enabled_;
+};
+
+/// One named log-bucket histogram. record() is wait-free (relaxed adds plus
+/// bounded CAS for min/max) and safe to call concurrently.
+class MetricHistogram {
+ public:
+  void record(std::uint64_t v) noexcept {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    buckets_[hdr::bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot snapshot() const;
+
+  MetricHistogram(const MetricHistogram&) = delete;
+  MetricHistogram& operator=(const MetricHistogram&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  explicit MetricHistogram(const std::atomic<bool>* enabled);
+  void reset();
+
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_;
+  std::atomic<std::uint64_t> max_{0};
+  const std::atomic<bool>* enabled_;
+};
+
+/// One time-series row: a named series plus ordered integer fields. Field
+/// order is the emission order (fixed per call site), which makes the JSONL
+/// byte-stable.
+struct MetricSample {
+  std::string series;
+  std::vector<std::pair<std::string, std::int64_t>> fields;
+
+  friend bool operator==(const MetricSample&, const MetricSample&) = default;
+};
+
+/// Point-in-time copy of a registry: gauges and histograms in name order
+/// (std::map), samples in recording order.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::vector<MetricSample> samples;
+
+  bool empty() const {
+    return gauges.empty() && histograms.empty() && samples.empty();
+  }
+
+  /// Deterministic JSONL ("dtm-metrics-v1"): a schema+provenance header
+  /// line, then samples in recording order, then gauges and histograms in
+  /// name order. Carries only build provenance (no invocation), so two runs
+  /// of the same build and workload serialize byte-identically.
+  std::string to_jsonl() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  /// Process-wide registry used by all built-in instrumentation sites.
+  static MetricsRegistry& global();
+
+  /// Finds or registers; the reference stays valid (and keeps its value
+  /// across reset()) for the registry's life.
+  MetricGauge& gauge(const std::string& name);
+  MetricHistogram& histogram(const std::string& name);
+
+  /// Appends one time-series row (no-op while disabled). The enabled check
+  /// runs before the mutex, so disabled call sites pay one relaxed load.
+  void sample(std::string series,
+              std::initializer_list<std::pair<const char*, std::int64_t>>
+                  fields);
+
+  /// Disabled by default: gauge/histogram/sample calls are no-ops until a
+  /// sink (--metrics-out, a bench, a test) opts in.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes gauges and histograms and drops all samples; handles stay
+  /// valid. Benches call this between artifact runs.
+  void reset();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<MetricGauge>> gauges_;
+  std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+  std::vector<MetricSample> samples_;
+  std::atomic<bool> enabled_{false};
+};
+
+namespace metrics {
+
+/// Handle lookups on the global registry. Hot paths call these once and
+/// keep the reference (function-local static or member).
+inline MetricGauge& gauge(const std::string& name) {
+  return MetricsRegistry::global().gauge(name);
+}
+inline MetricHistogram& histogram(const std::string& name) {
+  return MetricsRegistry::global().histogram(name);
+}
+
+}  // namespace metrics
+
+}  // namespace dtm

@@ -7,6 +7,16 @@
 
 namespace dtm {
 
+double percentile_of_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
 void Stats::add(double x) {
   samples_.push_back(x);
   sorted_valid_ = false;
@@ -45,12 +55,7 @@ double Stats::percentile(double p) const {
     std::sort(sorted_.begin(), sorted_.end());
     sorted_valid_ = true;
   }
-  if (sorted_.size() == 1) return sorted_[0];
-  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const auto hi = std::min(lo + 1, sorted_.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+  return percentile_of_sorted(sorted_, p);
 }
 
 namespace chernoff {

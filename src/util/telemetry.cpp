@@ -3,22 +3,9 @@
 #include <algorithm>
 
 #include "util/json_writer.hpp"
+#include "util/stats.hpp"
 
 namespace dtm {
-
-namespace {
-
-double percentile_of_sorted(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  if (sorted.size() == 1) return sorted.front();
-  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
-}
-
-}  // namespace
 
 TelemetryRegistry& TelemetryRegistry::global() {
   static TelemetryRegistry reg;

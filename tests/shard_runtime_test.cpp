@@ -31,6 +31,7 @@
 #include "graph/topologies/star.hpp"
 #include "sim/admission.hpp"
 #include "sim/runtime.hpp"
+#include "util/metrics.hpp"
 
 namespace dtm {
 namespace {
@@ -399,6 +400,52 @@ TEST_P(ShardIdentity, AdaptiveAdmissionIsShardCountInvariant) {
   // The controller saw identical feedback, so it took identical actions.
   EXPECT_EQ(ref.raises, got.raises) << f.name;
   EXPECT_EQ(ref.cuts, got.cuts) << f.name;
+}
+
+// The metrics spine inherits the tentpole property: with the registry
+// enabled, the exported dtm-metrics-v1 JSONL of a shards=k run is
+// byte-identical to the shards=1 run once the (explicitly per-shard)
+// "shard" series rows are dropped — histograms, gauges, and the "window"
+// series never see the shard count.
+TEST_P(ShardIdentity, MetricsJsonlIsShardCountInvariant) {
+  const Fixture f = make_fixture(GetParam());
+  const DenseMetric m(f.graph());
+  const std::uint64_t seed = 70 + static_cast<std::uint64_t>(GetParam());
+  MetricsRegistry& mreg = MetricsRegistry::global();
+  const auto run_jsonl = [&](std::size_t shards) {
+    StreamingRuntimeOptions opts;
+    opts.window = 8;
+    opts.max_live_admitted = 24;
+    opts.shards = shards;
+    mreg.reset();
+    mreg.set_enabled(true);
+    run_stream(f.graph(), m, ArrivalModel::kBursty, seed, opts);
+    const std::string jsonl = mreg.snapshot().to_jsonl();
+    mreg.set_enabled(false);
+    mreg.reset();
+    // Drop the per-shard split series; everything else must be invariant.
+    std::string out;
+    std::size_t pos = 0;
+    while (pos < jsonl.size()) {
+      std::size_t nl = jsonl.find('\n', pos);
+      if (nl == std::string::npos) nl = jsonl.size();
+      const std::string line = jsonl.substr(pos, nl - pos);
+      if (line.rfind("{\"series\":\"shard\"", 0) != 0) {
+        out += line;
+        out += '\n';
+      }
+      pos = nl + 1;
+    }
+    return out;
+  };
+  const std::string ref = run_jsonl(1);
+  EXPECT_NE(ref.find("\"series\":\"window\""), std::string::npos);
+  EXPECT_NE(ref.find("\"hist\":\"stream.latency.arrival_to_commit\""),
+            std::string::npos);
+  for (std::size_t shards : {std::size_t{2}, std::size_t{3}, std::size_t{4}}) {
+    EXPECT_EQ(run_jsonl(shards), ref)
+        << f.name << " shards=" << shards;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllFixtures, ShardIdentity,

@@ -203,6 +203,29 @@ TEST(Stats, PercentileAfterLaterAdds) {
   EXPECT_DOUBLE_EQ(s.median(), 2.0);
 }
 
+// The shared interpolation behind Stats::percentile and telemetry's
+// TimerStats, pinned to a hand-computed oracle: rank = p/100 * (n-1),
+// value = sorted[lo] * (1-frac) + sorted[hi] * frac.
+TEST(Stats, SharedPercentileHelperMatchesOracle) {
+  EXPECT_DOUBLE_EQ(percentile_of_sorted({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_of_sorted({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_of_sorted({7.0}, 100.0), 7.0);
+  const std::vector<double> v = {1.0, 2.0, 4.0, 8.0, 16.0};
+  EXPECT_DOUBLE_EQ(percentile_of_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of_sorted(v, 25.0), 2.0);    // rank 1 exactly
+  EXPECT_DOUBLE_EQ(percentile_of_sorted(v, 50.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_of_sorted(v, 75.0), 8.0);
+  EXPECT_DOUBLE_EQ(percentile_of_sorted(v, 100.0), 16.0);
+  // rank 3.6: 8 * 0.4 + 16 * 0.6.
+  EXPECT_DOUBLE_EQ(percentile_of_sorted(v, 90.0), 8.0 * 0.4 + 16.0 * 0.6);
+  // Stats::percentile is the same function modulo its sorting cache.
+  Stats s;
+  for (double x : {8.0, 1.0, 16.0, 2.0, 4.0}) s.add(x);
+  for (double p : {0.0, 10.0, 25.0, 50.0, 90.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(s.percentile(p), percentile_of_sorted(v, p)) << p;
+  }
+}
+
 TEST(Chernoff, BoundsDecreaseWithMu) {
   EXPECT_GT(chernoff::upper_tail_bound(10, 0.5),
             chernoff::upper_tail_bound(100, 0.5));

@@ -66,6 +66,23 @@ std::map<std::string, double> metrics_of(const JsonValue& doc,
       out["rss/" + name] = v.number;
     }
   }
+  // Metrics block (absent unless the bench enabled the MetricsRegistry):
+  // informational like rss/ — the gauge/histogram snapshot is a health
+  // readout, and gating happens through stream_report --validate instead.
+  if (const JsonValue* metrics = doc.find("metrics")) {
+    if (const JsonValue* gauges = metrics->find("gauges")) {
+      for (const auto& [name, v] : gauges->obj) {
+        out["metrics/gauge/" + name] = v.number;
+      }
+    }
+    if (const JsonValue* hists = metrics->find("histograms")) {
+      for (const auto& [name, h] : hists->obj) {
+        for (const auto& [field, v] : h.obj) {
+          out["metrics/hist/" + name + "/" + field] = v.number;
+        }
+      }
+    }
+  }
   if (!with_timers) return out;
   if (const JsonValue* timers = doc.find("timers")) {
     for (const auto& [name, t] : timers->obj) {
@@ -90,6 +107,7 @@ std::map<std::string, double> metrics_of(const JsonValue& doc,
 /// make p50 == max, so gating on them would just re-gate the mean.
 bool informational(const std::string& name) {
   return name == "counter/pool.workers" || name.rfind("rss/", 0) == 0 ||
+         name.rfind("metrics/", 0) == 0 ||
          name.rfind("timer_p50_ns/", 0) == 0 ||
          name.rfind("timer_p95_ns/", 0) == 0 ||
          name.rfind("timer_max_ns/", 0) == 0;

@@ -279,6 +279,15 @@ void print_tables(const ParsedTrace& trace, const dtm::TraceSummary& sum) {
     qt.print(std::cout);
   }
 
+  if (sum.latency.count > 0) {
+    dtm::Table la({"txns", "mean", "p50", "p95", "p99", "min", "max"});
+    la.add_row(sum.latency.count, sum.latency.mean, sum.latency.p50,
+               sum.latency.p95, sum.latency.p99, sum.latency.min,
+               sum.latency.max);
+    std::cout << "\narrival->commit latency:\n";
+    la.print(std::cout);
+  }
+
   if (!sum.slack.empty()) {
     dtm::Table st({"txn", "assembled", "planned", "realized", "slack"});
     std::size_t shown = 0;
@@ -353,6 +362,16 @@ std::string to_json(const ParsedTrace& trace, const dtm::TraceSummary& sum) {
         .end_object();
   }
   w.end_array();
+  w.key("latency").begin_object();
+  w.key("count").value(static_cast<std::uint64_t>(sum.latency.count));
+  w.key("sum").value(static_cast<std::int64_t>(sum.latency.sum));
+  w.key("min").value(static_cast<std::int64_t>(sum.latency.min));
+  w.key("max").value(static_cast<std::int64_t>(sum.latency.max));
+  w.key("mean").value(sum.latency.mean);
+  w.key("p50").value(sum.latency.p50);
+  w.key("p95").value(sum.latency.p95);
+  w.key("p99").value(sum.latency.p99);
+  w.end_object();
   w.key("slack").begin_array();
   for (const dtm::TxnSlack& s : sum.slack) {
     w.begin_object()
